@@ -1,0 +1,6 @@
+//! Regenerates the paper artefact; see `upa_bench::experiments::fig2a`.
+
+fn main() {
+    let cfg = upa_bench::ExpConfig::from_env();
+    upa_bench::experiments::fig2a(&cfg);
+}

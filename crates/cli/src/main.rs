@@ -1,0 +1,18 @@
+//! The `upa-cli` binary; all logic lives in the library for testability.
+
+fn main() {
+    let args = match upa_cli::Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match upa_cli::run_release(&args) {
+        Ok(output) => println!("{}", upa_cli::render_output(&output, &args)),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

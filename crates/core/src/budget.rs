@@ -1,0 +1,111 @@
+//! Privacy-budget accounting (sequential composition).
+//!
+//! Differential privacy composes: answering `k` queries at ε each costs
+//! `k·ε` in total. The accountant tracks cumulative spend and refuses
+//! queries that would exceed the data provider's total budget.
+
+/// A sequential-composition privacy-budget accountant.
+///
+/// ```
+/// use upa_core::budget::BudgetAccountant;
+/// let mut b = BudgetAccountant::new(1.0);
+/// assert!(b.try_spend(0.6).is_ok());
+/// assert!(b.try_spend(0.6).is_err());
+/// assert!((b.remaining() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetAccountant {
+    total: f64,
+    spent: f64,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant with the given total ε budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epsilon` is not a finite positive number.
+    pub fn new(total_epsilon: f64) -> Self {
+        assert!(
+            total_epsilon.is_finite() && total_epsilon > 0.0,
+            "total budget must be finite and positive"
+        );
+        BudgetAccountant {
+            total: total_epsilon,
+            spent: 0.0,
+        }
+    }
+
+    /// Total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Charges `epsilon` if it fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the remaining budget when the charge does not fit. A small
+    /// tolerance absorbs floating-point accumulation so that, e.g., ten
+    /// charges of 0.1 fit a budget of 1.0 exactly.
+    pub fn try_spend(&mut self, epsilon: f64) -> Result<(), f64> {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "charged epsilon must be finite and positive"
+        );
+        if self.spent + epsilon <= self.total + 1e-12 {
+            self.spent += epsilon;
+            Ok(())
+        } else {
+            Err(self.remaining())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spends_until_exhausted() {
+        let mut b = BudgetAccountant::new(0.3);
+        assert!(b.try_spend(0.1).is_ok());
+        assert!(b.try_spend(0.1).is_ok());
+        assert!(b.try_spend(0.1).is_ok());
+        let err = b.try_spend(0.1).unwrap_err();
+        assert!(err.abs() < 1e-9, "remaining should be ~0, got {err}");
+        assert!((b.spent() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejected_spend_does_not_charge() {
+        let mut b = BudgetAccountant::new(0.5);
+        b.try_spend(0.4).unwrap();
+        assert!(b.try_spend(0.2).is_err());
+        assert!((b.spent() - 0.4).abs() < 1e-12, "failed spend must not charge");
+        assert!(b.try_spend(0.1).is_ok(), "a fitting charge still succeeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_zero_total() {
+        let _ = BudgetAccountant::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_bad_charge() {
+        let mut b = BudgetAccountant::new(1.0);
+        let _ = b.try_spend(-0.1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for UPA operations.
+
+use upa_stats::StatsError;
+
+/// Errors surfaced by the UPA pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpaError {
+    /// The input dataset was empty — there is nothing to protect and no
+    /// neighbour outputs to sample.
+    EmptyDataset,
+    /// A statistics routine failed (degenerate fit parameters etc.).
+    Stats(StatsError),
+    /// The privacy budget is exhausted; the payload is the remaining
+    /// budget that was insufficient for the request.
+    BudgetExhausted { remaining: f64, requested: f64 },
+    /// A configuration value was invalid; the payload names it.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for UpaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpaError::EmptyDataset => write!(f, "input dataset is empty"),
+            UpaError::Stats(e) => write!(f, "statistics error: {e}"),
+            UpaError::BudgetExhausted {
+                remaining,
+                requested,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            UpaError::InvalidConfig(name) => write!(f, "invalid configuration: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for UpaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpaError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for UpaError {
+    fn from(e: StatsError) -> Self {
+        UpaError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(!UpaError::EmptyDataset.to_string().is_empty());
+        let e = UpaError::BudgetExhausted {
+            remaining: 0.05,
+            requested: 0.1,
+        };
+        assert!(e.to_string().contains("0.05"));
+        assert!(UpaError::from(StatsError::EmptySample)
+            .to_string()
+            .contains("empty sample"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of UPA's soundness invariants.
+
+use dataflow::Context;
+use proptest::prelude::*;
+use upa_core::domain::EmpiricalSampler;
+use upa_core::query::MapReduceQuery;
+use upa_core::{DpOutput, Upa, UpaConfig};
+
+fn ctx() -> Context {
+    Context::with_threads(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The enforced output always lies inside the inferred range — the
+    /// prerequisite of the §IV-C iDP proof — for arbitrary data,
+    /// partitionings and seeds.
+    #[test]
+    fn enforced_output_always_in_range(
+        values in prop::collection::vec(-1000.0f64..1000.0, 2..300),
+        partitions in 1usize..6,
+        sample_size in 2usize..64,
+        seed in 0u64..500,
+    ) {
+        let c = ctx();
+        let ds = c.parallelize(values.clone(), partitions);
+        let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x)
+            .with_half_key(|x: &f64| x.to_bits());
+        let domain = EmpiricalSampler::new(values);
+        let mut upa = Upa::new(
+            c.clone(),
+            UpaConfig { sample_size, seed, add_noise: false, ..UpaConfig::default() },
+        );
+        let r = upa.run(&ds, &query, &domain).unwrap();
+        prop_assert!(r.range.contains(&r.enforced.components()));
+        prop_assert!(r.sensitivity.iter().all(|s| *s >= 0.0 && s.is_finite()));
+        prop_assert!(r.max_empirical_sensitivity() <= r.max_sensitivity() + 1e-9,
+            "the enforced width dominates the observed neighbour spread");
+    }
+
+    /// Sensitivity of a scaled query scales linearly (Laplace mechanism
+    /// equivariance through the whole pipeline).
+    #[test]
+    fn sensitivity_is_scale_equivariant(
+        values in prop::collection::vec(0.0f64..100.0, 10..200),
+        factor in 1.0f64..50.0,
+        seed in 0u64..100,
+    ) {
+        let c = ctx();
+        let ds = c.parallelize(values.clone(), 4);
+        let domain = EmpiricalSampler::new(values);
+        let config = UpaConfig { sample_size: 32, seed, add_noise: false, ..UpaConfig::default() };
+        let base = MapReduceQuery::scalar_sum("sum", |x: &f64| *x)
+            .with_half_key(|x: &f64| x.to_bits());
+        let scaled = MapReduceQuery::scalar_sum("sum_scaled", move |x: &f64| *x * factor)
+            .with_half_key(|x: &f64| x.to_bits());
+        let mut u1 = Upa::new(c.clone(), config.clone());
+        let mut u2 = Upa::new(c.clone(), config);
+        let r1 = u1.run(&ds, &base, &domain).unwrap();
+        let r2 = u2.run(&ds, &scaled, &domain).unwrap();
+        // Same seed → same sample → exactly proportional estimates.
+        prop_assert!((r2.max_empirical_sensitivity() - factor * r1.max_empirical_sensitivity()).abs()
+            <= 1e-6 * (1.0 + r2.max_empirical_sensitivity()));
+    }
+
+    /// Repeated enforcement over many random queries never loops and the
+    /// history grows by exactly one entry per query.
+    #[test]
+    fn enforcer_history_grows_linearly(
+        datasets in prop::collection::vec(
+            prop::collection::vec(0.0f64..50.0, 4..60),
+            1..6
+        ),
+        seed in 0u64..100,
+    ) {
+        let c = ctx();
+        let query = MapReduceQuery::scalar_sum("count", |_x: &f64| 1.0)
+            .with_half_key(|x: &f64| x.to_bits());
+        let mut upa = Upa::new(
+            c.clone(),
+            UpaConfig { sample_size: 8, seed, add_noise: false, ..UpaConfig::default() },
+        );
+        let total = datasets.len();
+        for values in datasets {
+            let domain = EmpiricalSampler::new(values.clone());
+            let ds = c.parallelize(values, 2);
+            let _ = upa.run(&ds, &query, &domain).unwrap();
+        }
+        prop_assert_eq!(upa.enforcer().history_len(), total);
+    }
+}

@@ -1,0 +1,715 @@
+//! The partitioned, immutable dataset — the engine's RDD analogue.
+
+use crate::context::Context;
+
+/// Shared handle to a commutative, associative binary reducer.
+pub(crate) type ReduceFn<T> = Arc<dyn Fn(&T, &T) -> T + Send + Sync>;
+use crate::lineage::Lineage;
+use crate::Data;
+use std::sync::Arc;
+
+/// An immutable, partitioned, in-memory dataset.
+///
+/// Cloning is cheap (partitions are shared via `Arc`). All transformations
+/// are **eager**: each call runs one parallel stage on the context's thread
+/// pool and materialises the result, which doubles as Spark's memory cache
+/// — re-using a `Dataset` re-uses its materialised partitions, the effect
+/// the paper credits for Figure 4(b)'s flat sample-size scaling.
+///
+/// ```
+/// use dataflow::Context;
+/// let ctx = Context::with_threads(2);
+/// let ds = ctx.parallelize(vec![1, 2, 3, 4], 2);
+/// assert_eq!(ds.filter(|x| x % 2 == 0).collect(), vec![2, 4]);
+/// ```
+pub struct Dataset<T> {
+    ctx: Context,
+    partitions: Arc<Vec<Arc<Vec<T>>>>,
+    lineage: Arc<Lineage>,
+}
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Dataset {
+            ctx: self.ctx.clone(),
+            partitions: Arc::clone(&self.partitions),
+            lineage: Arc::clone(&self.lineage),
+        }
+    }
+}
+
+impl<T: Data> std::fmt::Debug for Dataset<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("partitions", &self.num_partitions())
+            .field("len", &self.len())
+            .field("op", &self.lineage.op())
+            .finish()
+    }
+}
+
+impl<T: Data> Dataset<T> {
+    pub(crate) fn from_parts(
+        ctx: Context,
+        partitions: Vec<Arc<Vec<T>>>,
+        lineage: Arc<Lineage>,
+    ) -> Self {
+        Dataset {
+            ctx,
+            partitions: Arc::new(partitions),
+            lineage,
+        }
+    }
+
+    /// The context this dataset belongs to.
+    pub fn ctx(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The underlying partitions (shared, read-only).
+    pub fn partitions(&self) -> &[Arc<Vec<T>>] {
+        &self.partitions
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.iter().all(|p| p.is_empty())
+    }
+
+    /// The lineage node of this dataset.
+    pub fn lineage(&self) -> &Arc<Lineage> {
+        &self.lineage
+    }
+
+    /// Renders the operator tree that produced this dataset.
+    pub fn explain(&self) -> String {
+        self.lineage.explain()
+    }
+
+    /// Gathers all records into one vector, preserving partition order.
+    pub fn collect(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for p in self.partitions.iter() {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// Applies `f` to every record (a narrow, embarrassingly parallel
+    /// stage — Spark's `map`).
+    pub fn map<U: Data>(
+        &self,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        let f = Arc::new(f);
+        let parts = self.ctx.run_stage(
+            "map",
+            &self.partitions,
+            Arc::new(move |_i, part: &[T]| part.iter().map(|t| f(t)).collect()),
+        );
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::derived("map", Arc::clone(&self.lineage)),
+        )
+    }
+
+    /// Keeps records satisfying `pred`.
+    pub fn filter(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Dataset<T> {
+        let pred = Arc::new(pred);
+        let parts = self.ctx.run_stage(
+            "filter",
+            &self.partitions,
+            Arc::new(move |_i, part: &[T]| part.iter().filter(|t| pred(t)).cloned().collect()),
+        );
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::derived("filter", Arc::clone(&self.lineage)),
+        )
+    }
+
+    /// Applies `f` and flattens the results.
+    pub fn flat_map<U: Data, I>(
+        &self,
+        f: impl Fn(&T) -> I + Send + Sync + 'static,
+    ) -> Dataset<U>
+    where
+        I: IntoIterator<Item = U>,
+    {
+        let f = Arc::new(f);
+        let parts = self.ctx.run_stage(
+            "flat_map",
+            &self.partitions,
+            Arc::new(move |_i, part: &[T]| part.iter().flat_map(|t| f(t)).collect()),
+        );
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::derived("flat_map", Arc::clone(&self.lineage)),
+        )
+    }
+
+    /// Applies `f` to every record together with the index of the
+    /// partition holding it (Spark's `mapPartitionsWithIndex`, per
+    /// record). UPA uses this to tag records with the logical dataset
+    /// half they belong to.
+    pub fn map_with_partition<U: Data>(
+        &self,
+        f: impl Fn(usize, &T) -> U + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        let f = Arc::new(f);
+        let parts = self.ctx.run_stage(
+            "map_with_partition",
+            &self.partitions,
+            Arc::new(move |i, part: &[T]| part.iter().map(|t| f(i, t)).collect()),
+        );
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::derived("map_with_partition", Arc::clone(&self.lineage)),
+        )
+    }
+
+    /// Runs `f` once per partition (Spark's `mapPartitions`).
+    pub fn map_partitions<U: Data>(
+        &self,
+        f: impl Fn(&[T]) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        let f = Arc::new(f);
+        let parts = self.ctx.run_stage(
+            "map_partitions",
+            &self.partitions,
+            Arc::new(move |_i, part: &[T]| f(part)),
+        );
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::derived("map_partitions", Arc::clone(&self.lineage)),
+        )
+    }
+
+    /// Pairs every record with a key (Spark's `keyBy`), enabling the pair
+    /// operators in [`crate::pair::PairOps`].
+    pub fn key_by<K: Data>(
+        &self,
+        f: impl Fn(&T) -> K + Send + Sync + 'static,
+    ) -> Dataset<(K, T)> {
+        self.map(move |t| (f(t), t.clone()))
+    }
+
+    /// Reduces the whole dataset with a **commutative, associative**
+    /// function: partitions fold in parallel, then partial results combine.
+    /// Returns `None` for an empty dataset.
+    ///
+    /// Correctness under parallelism, re-partitioning and task retry
+    /// requires `f` to be commutative and associative — the exact property
+    /// UPA's union-preserving reduce exploits (paper §II-C).
+    pub fn reduce(&self, f: impl Fn(&T, &T) -> T + Send + Sync + 'static) -> Option<T> {
+        let f: ReduceFn<T> = Arc::new(f);
+        let partials = self.reduce_partitions_with(Arc::clone(&f));
+        partials
+            .into_iter()
+            .flatten()
+            .reduce(|a, b| f(&a, &b))
+    }
+
+    /// Per-partition reduce (the paper's `ReduceByPar`): returns one
+    /// partial result per partition without combining them. UPA uses this
+    /// to obtain `f(x1)` and `f(x2)` for RANGE ENFORCER.
+    pub fn reduce_partitions(
+        &self,
+        f: impl Fn(&T, &T) -> T + Send + Sync + 'static,
+    ) -> Vec<Option<T>> {
+        self.reduce_partitions_with(Arc::new(f))
+    }
+
+    fn reduce_partitions_with(&self, f: ReduceFn<T>) -> Vec<Option<T>> {
+        let scan_ns = self.ctx.scan_cost_ns();
+        self.ctx.run_tasks(
+            "reduce",
+            self.partitions.to_vec(),
+            move |_i, part: Arc<Vec<T>>| {
+                crate::context::scan_delay(part.len(), scan_ns);
+                let mut it = part.iter();
+                let first = it.next()?.clone();
+                Some(it.fold(first, |acc, t| f(&acc, t)))
+            },
+        )
+    }
+
+    /// General aggregation: fold each partition from `zero` with `seq`,
+    /// then combine partials with `comb` (Spark's `aggregate`). `comb`
+    /// must be commutative and associative and `zero` its identity.
+    pub fn aggregate<A: Data>(
+        &self,
+        zero: A,
+        seq: impl Fn(A, &T) -> A + Send + Sync + 'static,
+        comb: impl Fn(A, A) -> A + Send + Sync + 'static,
+    ) -> A {
+        let seq = Arc::new(seq);
+        let z = zero.clone();
+        let scan_ns = self.ctx.scan_cost_ns();
+        let partials = self.ctx.run_tasks(
+            "aggregate",
+            self.partitions.to_vec(),
+            move |_i, part: Arc<Vec<T>>| {
+                crate::context::scan_delay(part.len(), scan_ns);
+                part.iter().fold(z.clone(), |acc, t| seq(acc, t))
+            },
+        );
+        partials.into_iter().fold(zero, comb)
+    }
+
+    /// Number of records, computed as a parallel aggregation.
+    pub fn count(&self) -> u64 {
+        self.aggregate(0u64, |acc, _| acc + 1, |a, b| a + b)
+    }
+
+    /// Concatenates two datasets (partitions of `other` follow `self`'s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datasets belong to different contexts' pools — union
+    /// requires a shared scheduler. (Contexts are compared by identity.)
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        assert!(
+            self.ctx.same_engine(&other.ctx),
+            "union requires datasets from the same context"
+        );
+        let mut parts: Vec<Arc<Vec<T>>> = self.partitions.to_vec();
+        parts.extend(other.partitions.iter().cloned());
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::derived_multi(
+                "union",
+                vec![Arc::clone(&self.lineage), Arc::clone(&other.lineage)],
+            ),
+        )
+    }
+
+    /// Re-distributes records across `k` partitions, preserving order.
+    pub fn repartition(&self, k: usize) -> Dataset<T> {
+        let data = self.collect();
+        let ds = self.ctx.parallelize(data, k);
+        Dataset::from_parts(
+            self.ctx.clone(),
+            ds.partitions.to_vec(),
+            Lineage::derived(format!("repartition[{k}]"), Arc::clone(&self.lineage)),
+        )
+    }
+
+    /// The first `n` records in partition order (Spark's `take`).
+    pub fn take(&self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n.min(self.len()));
+        for p in self.partitions.iter() {
+            for t in p.iter() {
+                if out.len() == n {
+                    return out;
+                }
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// The `k` largest records under `cmp` (Spark's `top`): each
+    /// partition computes a partial top-k in parallel, partials merge on
+    /// the driver. Result is sorted descending.
+    pub fn top_k_by(
+        &self,
+        k: usize,
+        cmp: impl Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + 'static,
+    ) -> Vec<T> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let cmp = Arc::new(cmp);
+        let cmp_task = Arc::clone(&cmp);
+        let partials: Vec<Vec<T>> = self.ctx.run_tasks(
+            "top_k",
+            self.partitions.to_vec(),
+            move |_i, part: Arc<Vec<T>>| {
+                let mut local: Vec<T> = part.to_vec();
+                local.sort_by(|a, b| cmp_task(b, a));
+                local.truncate(k);
+                local
+            },
+        );
+        let mut merged: Vec<T> = partials.into_iter().flatten().collect();
+        merged.sort_by(|a, b| cmp(b, a));
+        merged.truncate(k);
+        merged
+    }
+
+    /// The maximum record under `cmp`, if any.
+    pub fn max_by(
+        &self,
+        cmp: impl Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + 'static,
+    ) -> Option<T> {
+        self.reduce(move |a, b| {
+            if cmp(a, b) == std::cmp::Ordering::Less {
+                b.clone()
+            } else {
+                a.clone()
+            }
+        })
+    }
+
+    /// A Bernoulli sample keeping each record with probability
+    /// `fraction`, decided deterministically from `seed` and the record's
+    /// position (so the same call yields the same sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn sample_fraction(&self, fraction: f64, seed: u64) -> Dataset<T> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let threshold = (fraction * (1u64 << 53) as f64) as u64;
+        let parts = self.ctx.run_stage(
+            "sample",
+            &self.partitions,
+            Arc::new(move |p, part: &[T]| {
+                part.iter()
+                    .enumerate()
+                    .filter(|(offset, _)| {
+                        use std::hash::{Hash, Hasher};
+                        let mut h = std::collections::hash_map::DefaultHasher::new();
+                        seed.hash(&mut h);
+                        p.hash(&mut h);
+                        offset.hash(&mut h);
+                        (h.finish() >> 11) < threshold
+                    })
+                    .map(|(_, t)| t.clone())
+                    .collect()
+            }),
+        );
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::derived(format!("sample[{fraction}]"), Arc::clone(&self.lineage)),
+        )
+    }
+
+    /// Pairs every record with its global index (Spark's
+    /// `zipWithIndex`).
+    pub fn zip_with_index(&self) -> Dataset<(usize, T)> {
+        let mut offsets = Vec::with_capacity(self.num_partitions());
+        let mut base = 0usize;
+        for p in self.partitions.iter() {
+            offsets.push(base);
+            base += p.len();
+        }
+        let offsets = Arc::new(offsets);
+        let parts = self.ctx.run_stage(
+            "zip_with_index",
+            &self.partitions,
+            Arc::new(move |p, part: &[T]| {
+                part.iter()
+                    .enumerate()
+                    .map(|(i, t)| (offsets[p] + i, t.clone()))
+                    .collect()
+            }),
+        );
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::derived("zip_with_index", Arc::clone(&self.lineage)),
+        )
+    }
+
+    /// Splits off the records at the given **sorted, distinct** global
+    /// indices: returns the picked records and the dataset of the rest.
+    /// This implements UPA's Partition-and-Sample split into `S` (sampled)
+    /// and `S′` (remainder) while preserving the partition structure of the
+    /// remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted_indices` is not strictly increasing or contains an
+    /// out-of-range index.
+    pub fn split_indices(&self, sorted_indices: &[usize]) -> (Vec<T>, Dataset<T>) {
+        assert!(
+            sorted_indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        if let Some(&last) = sorted_indices.last() {
+            assert!(last < self.len(), "index {last} out of range");
+        }
+        let mut picked = Vec::with_capacity(sorted_indices.len());
+        let mut rest_parts: Vec<Arc<Vec<T>>> = Vec::with_capacity(self.num_partitions());
+        let mut cursor = 0; // position in sorted_indices
+        let mut base = 0; // global index of the first record in this partition
+        for part in self.partitions.iter() {
+            let end = base + part.len();
+            // Indices that fall inside this partition.
+            let start_cursor = cursor;
+            while cursor < sorted_indices.len() && sorted_indices[cursor] < end {
+                cursor += 1;
+            }
+            let local: &[usize] = &sorted_indices[start_cursor..cursor];
+            if local.is_empty() {
+                rest_parts.push(Arc::clone(part));
+            } else {
+                let mut rest = Vec::with_capacity(part.len() - local.len());
+                let mut li = 0;
+                for (offset, record) in part.iter().enumerate() {
+                    if li < local.len() && local[li] - base == offset {
+                        picked.push(record.clone());
+                        li += 1;
+                    } else {
+                        rest.push(record.clone());
+                    }
+                }
+                rest_parts.push(Arc::new(rest));
+            }
+            base = end;
+        }
+        let rest = Dataset::from_parts(
+            self.ctx.clone(),
+            rest_parts,
+            Lineage::derived("split_indices", Arc::clone(&self.lineage)),
+        );
+        (picked, rest)
+    }
+}
+
+impl<T: Data + std::hash::Hash + Eq> Dataset<T> {
+    /// Removes duplicate records (Spark's `distinct`). One shuffle: equal
+    /// records co-locate by hash, then each bucket deduplicates.
+    pub fn distinct(&self) -> Dataset<T> {
+        use crate::pair::PairOps;
+        self.map(|t| (t.clone(), ()))
+            .reduce_by_key(|_, _| ())
+            .keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::with_threads(4)
+    }
+
+    #[test]
+    fn map_filter_flat_map_chain() {
+        let ds = ctx().parallelize((1..=10).collect::<Vec<i64>>(), 3);
+        let out = ds
+            .map(|x| x * 10)
+            .filter(|x| x % 20 == 0)
+            .flat_map(|x| vec![*x, *x + 1])
+            .collect();
+        assert_eq!(out, vec![20, 21, 40, 41, 60, 61, 80, 81, 100, 101]);
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let data: Vec<i64> = (1..=1000).collect();
+        let ds = ctx().parallelize(data.clone(), 7);
+        assert_eq!(ds.reduce(|a, b| a + b), Some(data.iter().sum()));
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let ds = ctx().parallelize(Vec::<i64>::new(), 4);
+        assert_eq!(ds.reduce(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn reduce_single_element() {
+        let ds = ctx().parallelize(vec![42i64], 4);
+        assert_eq!(ds.reduce(|a, b| a + b), Some(42));
+    }
+
+    #[test]
+    fn reduce_partitions_returns_one_partial_per_partition() {
+        let ds = ctx().parallelize(vec![1, 2, 3, 4, 5, 6], 3);
+        let partials = ds.reduce_partitions(|a, b| a + b);
+        assert_eq!(partials.len(), 3);
+        assert_eq!(
+            partials.into_iter().map(|p| p.unwrap()).sum::<i32>(),
+            21
+        );
+    }
+
+    #[test]
+    fn aggregate_computes_mean_components() {
+        let ds = ctx().parallelize((1..=100).map(|x| x as f64).collect::<Vec<f64>>(), 5);
+        let (sum, n) = ds.aggregate(
+            (0.0, 0u64),
+            |(s, n), x| (s + x, n + 1),
+            |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2),
+        );
+        assert_eq!(n, 100);
+        assert!((sum - 5050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_matches_len() {
+        let ds = ctx().parallelize((0..123).collect::<Vec<i32>>(), 4);
+        assert_eq!(ds.count(), 123);
+        assert_eq!(ds.len(), 123);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let c = ctx();
+        let a = c.parallelize(vec![1, 2], 1);
+        let b = c.parallelize(vec![3, 4], 2);
+        let u = a.union(&b);
+        assert_eq!(u.collect(), vec![1, 2, 3, 4]);
+        assert_eq!(u.num_partitions(), a.num_partitions() + b.num_partitions());
+    }
+
+    #[test]
+    fn repartition_preserves_content() {
+        let ds = ctx().parallelize((0..50).collect::<Vec<i32>>(), 2);
+        let re = ds.repartition(9);
+        assert_eq!(re.collect(), (0..50).collect::<Vec<_>>());
+        assert!(re.num_partitions() <= 9);
+    }
+
+    #[test]
+    fn key_by_builds_pairs() {
+        let ds = ctx().parallelize(vec![10, 21, 32], 2);
+        let pairs = ds.key_by(|x| x % 10).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 21), (2, 32)]);
+    }
+
+    #[test]
+    fn split_indices_partitions_the_data() {
+        let ds = ctx().parallelize((0..20).collect::<Vec<i32>>(), 4);
+        let (picked, rest) = ds.split_indices(&[0, 5, 6, 19]);
+        assert_eq!(picked, vec![0, 5, 6, 19]);
+        let mut remaining = rest.collect();
+        remaining.sort_unstable();
+        let expected: Vec<i32> = (0..20).filter(|x| ![0, 5, 6, 19].contains(x)).collect();
+        assert_eq!(remaining, expected);
+        // Partition structure of the remainder is preserved.
+        assert_eq!(rest.num_partitions(), 4);
+    }
+
+    #[test]
+    fn split_indices_empty_pick() {
+        let ds = ctx().parallelize(vec![1, 2, 3], 2);
+        let (picked, rest) = ds.split_indices(&[]);
+        assert!(picked.is_empty());
+        assert_eq!(rest.collect(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn split_indices_rejects_unsorted() {
+        let ds = ctx().parallelize(vec![1, 2, 3], 1);
+        let _ = ds.split_indices(&[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn split_indices_rejects_out_of_range() {
+        let ds = ctx().parallelize(vec![1, 2, 3], 1);
+        let _ = ds.split_indices(&[5]);
+    }
+
+    #[test]
+    fn map_with_partition_sees_partition_index() {
+        let ds = ctx().parallelize((0..12).collect::<Vec<i32>>(), 3);
+        let tagged = ds.map_with_partition(|p, x| (p, *x)).collect();
+        assert_eq!(tagged.len(), 12);
+        // Records 0..4 are in partition 0, 4..8 in 1, 8..12 in 2.
+        for (p, x) in tagged {
+            assert_eq!(p, (x / 4) as usize);
+        }
+    }
+
+    #[test]
+    fn explain_shows_operator_chain() {
+        let ds = ctx().parallelize(vec![1], 1).map(|x| x + 1).filter(|_| true);
+        let plan = ds.explain();
+        assert!(plan.starts_with("filter"));
+        assert!(plan.contains("map"));
+        assert!(plan.contains("parallelize"));
+    }
+
+    #[test]
+    fn datasets_are_cheap_to_clone_and_share_partitions() {
+        let ds = ctx().parallelize((0..1000).collect::<Vec<i32>>(), 4);
+        let clone = ds.clone();
+        assert!(Arc::ptr_eq(&ds.partitions[0], &clone.partitions[0]));
+    }
+
+    #[test]
+    fn take_returns_prefix() {
+        let ds = ctx().parallelize((0..20).collect::<Vec<i32>>(), 4);
+        assert_eq!(ds.take(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(ds.take(0), Vec::<i32>::new());
+        assert_eq!(ds.take(100).len(), 20);
+    }
+
+    #[test]
+    fn top_k_matches_sorted_suffix() {
+        let data: Vec<i64> = (0..500).map(|i| (i * 37) % 251).collect();
+        let ds = ctx().parallelize(data.clone(), 6);
+        let top = ds.top_k_by(10, |a, b| a.cmp(b));
+        let mut want = data;
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        want.truncate(10);
+        assert_eq!(top, want);
+    }
+
+    #[test]
+    fn max_by_finds_max() {
+        let ds = ctx().parallelize(vec![3, 9, 1, 7], 2);
+        assert_eq!(ds.max_by(|a, b| a.cmp(b)), Some(9));
+        let empty = ctx().parallelize(Vec::<i32>::new(), 2);
+        assert_eq!(empty.max_by(|a, b| a.cmp(b)), None);
+    }
+
+    #[test]
+    fn sample_fraction_is_deterministic_and_proportional() {
+        let ds = ctx().parallelize((0..10_000).collect::<Vec<i32>>(), 8);
+        let a = ds.sample_fraction(0.3, 42).collect();
+        let b = ds.sample_fraction(0.3, 42).collect();
+        assert_eq!(a, b, "same seed, same sample");
+        let frac = a.len() as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "got fraction {frac}");
+        let c = ds.sample_fraction(0.3, 43).collect();
+        assert_ne!(a, c, "different seed, different sample");
+        assert!(ds.sample_fraction(0.0, 1).is_empty());
+        assert_eq!(ds.sample_fraction(1.0, 1).len(), 10_000);
+    }
+
+    #[test]
+    fn zip_with_index_is_global_and_ordered() {
+        let ds = ctx().parallelize((100..120).collect::<Vec<i32>>(), 3);
+        let indexed = ds.zip_with_index().collect();
+        for (i, (idx, v)) in indexed.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, 100 + i as i32);
+        }
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let ds = ctx().parallelize(vec![1, 2, 2, 3, 1, 3, 3], 3);
+        let mut got = ds.distinct().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+}

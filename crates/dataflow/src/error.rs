@@ -1,0 +1,47 @@
+//! Error type for the dataflow engine.
+
+/// Errors surfaced by the dataflow engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// A task failed more times than the configured retry budget allows.
+    /// Carries the stage name and the zero-based task index.
+    TaskFailed { stage: String, task: usize },
+    /// An operation that requires a non-empty dataset was invoked on an
+    /// empty one.
+    EmptyDataset,
+    /// A configuration value was invalid; the payload names it.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataflowError::TaskFailed { stage, task } => {
+                write!(f, "task {task} of stage '{stage}' exhausted its retries")
+            }
+            DataflowError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            DataflowError::InvalidConfig(name) => write!(f, "invalid configuration: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataflowError::TaskFailed {
+            stage: "map".into(),
+            task: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("map") && s.contains('3'));
+        assert!(!DataflowError::EmptyDataset.to_string().is_empty());
+        assert!(DataflowError::InvalidConfig("threads")
+            .to_string()
+            .contains("threads"));
+    }
+}

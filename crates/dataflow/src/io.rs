@@ -1,0 +1,105 @@
+//! Text-file sources and sinks — the engine's `textFile`/`saveAsTextFile`
+//! analogue (line-oriented, std-only).
+
+use crate::context::Context;
+use crate::dataset::Dataset;
+use crate::Data;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Reads a file into a dataset of lines, distributed over `partitions`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening or reading the file.
+pub fn read_lines(
+    ctx: &Context,
+    path: impl AsRef<Path>,
+    partitions: usize,
+) -> std::io::Result<Dataset<String>> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    Ok(ctx.parallelize(lines, partitions))
+}
+
+/// Writes a dataset as one line per record via `Display`, in partition
+/// order.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_lines<T: Data + std::fmt::Display>(
+    ds: &Dataset<T>,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for part in ds.partitions() {
+        for record in part.iter() {
+            writeln!(w, "{record}")?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dataflow_io_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_lines() {
+        let ctx = Context::with_threads(2);
+        let path = temp_path("roundtrip.txt");
+        let data: Vec<i64> = (0..1_000).collect();
+        let ds = ctx.parallelize(data.clone(), 4);
+        write_lines(&ds, &path).expect("write");
+        let back = read_lines(&ctx, &path, 3).expect("read");
+        assert_eq!(back.len(), 1_000);
+        let parsed: Vec<i64> = back
+            .map(|l| l.parse::<i64>().expect("numeric line"))
+            .collect();
+        assert_eq!(parsed, data);
+    }
+
+    #[test]
+    fn reads_empty_file() {
+        let ctx = Context::with_threads(1);
+        let path = temp_path("empty.txt");
+        std::fs::write(&path, "").expect("write");
+        let ds = read_lines(&ctx, &path, 2).expect("read");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let ctx = Context::with_threads(1);
+        assert!(read_lines(&ctx, "/no/such/file/anywhere.txt", 2).is_err());
+    }
+
+    #[test]
+    fn lines_feed_word_count() {
+        use crate::pair::PairOps;
+        let ctx = Context::with_threads(2);
+        let path = temp_path("words.txt");
+        std::fs::write(&path, "a b a\nb c\na\n").expect("write");
+        let counts = read_lines(&ctx, &path, 2)
+            .expect("read")
+            .flat_map(|line| {
+                line.split_whitespace()
+                    .map(|w| (w.to_string(), 1u64))
+                    .collect::<Vec<_>>()
+            })
+            .reduce_by_key(|a, b| a + b)
+            .collect_as_map();
+        assert_eq!(counts["a"], 3);
+        assert_eq!(counts["b"], 2);
+        assert_eq!(counts["c"], 1);
+    }
+}

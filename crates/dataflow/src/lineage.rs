@@ -1,0 +1,117 @@
+//! Operator lineage.
+//!
+//! Every [`crate::Dataset`] carries a lineage node recording the operator
+//! that produced it and its parents, mirroring Spark's RDD lineage graph.
+//! `explain()` renders the plan tree, which the examples use to show the
+//! extra stages UPA inserts relative to a vanilla query.
+
+use std::sync::Arc;
+
+/// One node in the lineage DAG.
+#[derive(Debug)]
+pub struct Lineage {
+    op: String,
+    parents: Vec<Arc<Lineage>>,
+}
+
+impl Lineage {
+    /// A source node (no parents).
+    pub fn source(op: impl Into<String>) -> Arc<Self> {
+        Arc::new(Lineage {
+            op: op.into(),
+            parents: Vec::new(),
+        })
+    }
+
+    /// A derived node with one parent.
+    pub fn derived(op: impl Into<String>, parent: Arc<Lineage>) -> Arc<Self> {
+        Arc::new(Lineage {
+            op: op.into(),
+            parents: vec![parent],
+        })
+    }
+
+    /// A derived node with multiple parents (joins, unions).
+    pub fn derived_multi(op: impl Into<String>, parents: Vec<Arc<Lineage>>) -> Arc<Self> {
+        Arc::new(Lineage {
+            op: op.into(),
+            parents,
+        })
+    }
+
+    /// The operator name of this node.
+    pub fn op(&self) -> &str {
+        &self.op
+    }
+
+    /// Parent nodes.
+    pub fn parents(&self) -> &[Arc<Lineage>] {
+        &self.parents
+    }
+
+    /// Renders the lineage tree rooted at this node, one operator per line,
+    /// children indented below their consumer.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        out
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.op);
+        out.push('\n');
+        for p in &self.parents {
+            p.render(depth + 1, out);
+        }
+    }
+
+    /// Total number of operators in the tree (counting shared subtrees once
+    /// per occurrence).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .parents
+            .iter()
+            .map(|p| p.depth())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_renders_tree() {
+        let src = Lineage::source("parallelize[8]");
+        let mapped = Lineage::derived("map", src);
+        let other = Lineage::source("parallelize[4]");
+        let joined = Lineage::derived_multi("join", vec![mapped, other]);
+        let plan = joined.explain();
+        assert!(plan.starts_with("join\n"));
+        assert!(plan.contains("  map\n"));
+        assert!(plan.contains("    parallelize[8]\n"));
+        assert!(plan.contains("  parallelize[4]\n"));
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        let src = Lineage::source("src");
+        let a = Lineage::derived("a", Arc::clone(&src));
+        let b = Lineage::derived("b", a);
+        assert_eq!(b.depth(), 3);
+        assert_eq!(src.depth(), 1);
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let src = Lineage::source("src");
+        let node = Lineage::derived("map", Arc::clone(&src));
+        assert_eq!(node.op(), "map");
+        assert_eq!(node.parents().len(), 1);
+        assert_eq!(node.parents()[0].op(), "src");
+    }
+}

@@ -1,0 +1,556 @@
+//! Key-value (pair) operators: shuffle, `reduce_by_key`, `group_by_key`,
+//! `join` — the wide dependencies of the engine.
+//!
+//! Every operator here moves data through an explicit two-phase shuffle
+//! (map-side bucketing, reduce-side concatenation) that is counted by the
+//! context's metrics. UPA's `joinDP` triggers this shuffle **twice** per
+//! join where vanilla execution triggers it once (paper §V-C), which is the
+//! mechanism behind the >100% overhead of TPCH4/TPCH13 in Figure 2(b).
+
+use crate::context::Context;
+use crate::dataset::Dataset;
+use crate::lineage::Lineage;
+use crate::partitioner::{HashPartitioner, Partitioner, RangePartitioner};
+use crate::Data;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// One reduce-side bucket of a shuffled pair dataset.
+type Bucket<K, V> = Arc<Vec<(K, V)>>;
+
+/// Hash-partitions a pair dataset into `buckets` reduce-side partitions.
+/// One full shuffle: every record is moved and counted.
+pub(crate) fn shuffle_by_key<K: Data + Hash + Eq, V: Data>(
+    ctx: &Context,
+    ds: &Dataset<(K, V)>,
+    buckets: usize,
+) -> Vec<Bucket<K, V>> {
+    shuffle_with(ctx, ds, buckets, Arc::new(HashPartitioner))
+}
+
+/// Shuffles a pair dataset into `buckets` reduce-side partitions using an
+/// arbitrary [`Partitioner`]. One full shuffle: every record is moved and
+/// counted.
+pub(crate) fn shuffle_with<K: Data, V: Data, P: Partitioner<K> + 'static>(
+    ctx: &Context,
+    ds: &Dataset<(K, V)>,
+    buckets: usize,
+    partitioner: Arc<P>,
+) -> Vec<Arc<Vec<(K, V)>>> {
+    let total: u64 = ds.len() as u64;
+    ctx.record_shuffle(total);
+    let scan_ns = ctx.scan_cost_ns();
+    // Map side: split each partition into per-bucket runs.
+    let bucketed: Vec<Vec<Vec<(K, V)>>> = ctx.run_tasks(
+        "shuffle-write",
+        ds.partitions().to_vec(),
+        move |_i, part: Arc<Vec<(K, V)>>| {
+            crate::context::scan_delay(part.len(), scan_ns);
+            let mut out: Vec<Vec<(K, V)>> = (0..buckets).map(|_| Vec::new()).collect();
+            for kv in part.iter() {
+                out[partitioner.partition(&kv.0, buckets)].push(kv.clone());
+            }
+            out
+        },
+    );
+    // Reduce side: concatenate run `b` of every map output.
+    let bucketed = Arc::new(bucketed);
+    ctx.run_tasks("shuffle-read", (0..buckets).collect(), move |_i, b: usize| {
+        let mut merged = Vec::new();
+        for map_out in bucketed.iter() {
+            merged.extend(map_out[b].iter().cloned());
+        }
+        Arc::new(merged)
+    })
+}
+
+/// Pair-dataset operators, available on any `Dataset<(K, V)>`.
+///
+/// This trait is sealed: it exists to attach methods, not to be
+/// implemented downstream.
+pub trait PairOps<K, V>: private::Sealed {
+    /// Merges values per key with a commutative, associative function
+    /// (Spark's `reduceByKey`). One shuffle.
+    fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V + Send + Sync + 'static) -> Dataset<(K, V)>;
+
+    /// Groups all values per key (Spark's `groupByKey`). One shuffle.
+    fn group_by_key(&self) -> Dataset<(K, Vec<V>)>;
+
+    /// Inner hash join on the key (Spark's `join`). Shuffles both sides.
+    fn join<W: Data>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>;
+
+    /// Left outer hash join: every left record appears once per match, or
+    /// once with `None` when unmatched. Shuffles both sides.
+    fn left_outer_join<W: Data>(
+        &self,
+        other: &Dataset<(K, W)>,
+    ) -> Dataset<(K, (V, Option<W>))>;
+
+    /// Groups both sides by key (Spark's `cogroup`). Shuffles both sides.
+    #[allow(clippy::type_complexity)]
+    fn cogroup<W: Data>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (Vec<V>, Vec<W>))>;
+
+    /// Globally sorts by key via range partitioning: output partitions
+    /// are key-ordered and each partition is sorted (Spark's
+    /// `sortByKey`). One shuffle.
+    fn sort_by_key(&self) -> Dataset<(K, V)>
+    where
+        K: Ord;
+
+    /// Number of records per key. One shuffle.
+    fn count_by_key(&self) -> Dataset<(K, u64)>;
+
+    /// Applies `f` to every value, keeping keys (narrow).
+    fn map_values<U: Data>(
+        &self,
+        f: impl Fn(&V) -> U + Send + Sync + 'static,
+    ) -> Dataset<(K, U)>;
+
+    /// The keys, in partition order (narrow).
+    fn keys(&self) -> Dataset<K>;
+
+    /// The values, in partition order (narrow).
+    fn values(&self) -> Dataset<V>;
+
+    /// Collects into a `HashMap`, later duplicates of a key winning. This
+    /// is the engine's "broadcast" primitive: UPA and the TPC-H queries
+    /// build map-side join tables with it.
+    fn collect_as_map(&self) -> HashMap<K, V>
+    where
+        K: Hash + Eq;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl<K, V> Sealed for crate::dataset::Dataset<(K, V)> {}
+}
+
+impl<K: Data + Hash + Eq, V: Data> PairOps<K, V> for Dataset<(K, V)> {
+    fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V + Send + Sync + 'static) -> Dataset<(K, V)> {
+        let ctx = self.ctx().clone();
+        let buckets = ctx.shuffle_partitions();
+        let shuffled = shuffle_by_key(&ctx, self, buckets);
+        let f = Arc::new(f);
+        let parts = ctx.run_tasks(
+            "reduce_by_key",
+            shuffled,
+            move |_i, part: Arc<Vec<(K, V)>>| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in part.iter() {
+                    match acc.get_mut(k) {
+                        Some(slot) => *slot = f(slot, v),
+                        None => {
+                            acc.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+                Arc::new(acc.into_iter().collect::<Vec<(K, V)>>())
+            },
+        );
+        Dataset::from_parts(
+            ctx,
+            parts,
+            Lineage::derived("reduce_by_key", Arc::clone(self.lineage())),
+        )
+    }
+
+    fn group_by_key(&self) -> Dataset<(K, Vec<V>)> {
+        let ctx = self.ctx().clone();
+        let buckets = ctx.shuffle_partitions();
+        let shuffled = shuffle_by_key(&ctx, self, buckets);
+        let parts = ctx.run_tasks(
+            "group_by_key",
+            shuffled,
+            move |_i, part: Arc<Vec<(K, V)>>| {
+                let mut acc: HashMap<K, Vec<V>> = HashMap::new();
+                for (k, v) in part.iter() {
+                    acc.entry(k.clone()).or_default().push(v.clone());
+                }
+                Arc::new(acc.into_iter().collect::<Vec<(K, Vec<V>)>>())
+            },
+        );
+        Dataset::from_parts(
+            ctx,
+            parts,
+            Lineage::derived("group_by_key", Arc::clone(self.lineage())),
+        )
+    }
+
+    fn join<W: Data>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))> {
+        let ctx = self.ctx().clone();
+        let buckets = ctx.shuffle_partitions();
+        // Both sides hash-partition with the same function, so matching
+        // keys land in the same bucket index.
+        let left = shuffle_by_key(&ctx, self, buckets);
+        let right = shuffle_by_key(&ctx, other, buckets);
+        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> =
+            left.into_iter().zip(right).collect();
+        let parts = ctx.run_tasks(
+            "join",
+            inputs,
+            move |_i, (l, r): (Bucket<K, V>, Bucket<K, W>)| {
+                let mut table: HashMap<K, Vec<W>> = HashMap::new();
+                for (k, w) in r.iter() {
+                    table.entry(k.clone()).or_default().push(w.clone());
+                }
+                let mut out = Vec::new();
+                for (k, v) in l.iter() {
+                    if let Some(ws) = table.get(k) {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                    }
+                }
+                Arc::new(out)
+            },
+        );
+        Dataset::from_parts(
+            ctx,
+            parts,
+            Lineage::derived_multi(
+                "join",
+                vec![Arc::clone(self.lineage()), Arc::clone(other.lineage())],
+            ),
+        )
+    }
+
+    fn left_outer_join<W: Data>(
+        &self,
+        other: &Dataset<(K, W)>,
+    ) -> Dataset<(K, (V, Option<W>))> {
+        let ctx = self.ctx().clone();
+        let buckets = ctx.shuffle_partitions();
+        let left = shuffle_by_key(&ctx, self, buckets);
+        let right = shuffle_by_key(&ctx, other, buckets);
+        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> =
+            left.into_iter().zip(right).collect();
+        let parts = ctx.run_tasks(
+            "left_outer_join",
+            inputs,
+            move |_i, (l, r): (Bucket<K, V>, Bucket<K, W>)| {
+                let mut table: HashMap<K, Vec<W>> = HashMap::new();
+                for (k, w) in r.iter() {
+                    table.entry(k.clone()).or_default().push(w.clone());
+                }
+                let mut out = Vec::new();
+                for (k, v) in l.iter() {
+                    match table.get(k) {
+                        Some(ws) => {
+                            for w in ws {
+                                out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                            }
+                        }
+                        None => out.push((k.clone(), (v.clone(), None))),
+                    }
+                }
+                Arc::new(out)
+            },
+        );
+        Dataset::from_parts(
+            ctx,
+            parts,
+            Lineage::derived_multi(
+                "left_outer_join",
+                vec![Arc::clone(self.lineage()), Arc::clone(other.lineage())],
+            ),
+        )
+    }
+
+    fn cogroup<W: Data>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (Vec<V>, Vec<W>))> {
+        let ctx = self.ctx().clone();
+        let buckets = ctx.shuffle_partitions();
+        let left = shuffle_by_key(&ctx, self, buckets);
+        let right = shuffle_by_key(&ctx, other, buckets);
+        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> =
+            left.into_iter().zip(right).collect();
+        let parts = ctx.run_tasks(
+            "cogroup",
+            inputs,
+            move |_i, (l, r): (Bucket<K, V>, Bucket<K, W>)| {
+                let mut table: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+                for (k, v) in l.iter() {
+                    table.entry(k.clone()).or_default().0.push(v.clone());
+                }
+                for (k, w) in r.iter() {
+                    table.entry(k.clone()).or_default().1.push(w.clone());
+                }
+                Arc::new(table.into_iter().collect::<Vec<_>>())
+            },
+        );
+        Dataset::from_parts(
+            ctx,
+            parts,
+            Lineage::derived_multi(
+                "cogroup",
+                vec![Arc::clone(self.lineage()), Arc::clone(other.lineage())],
+            ),
+        )
+    }
+
+    fn sort_by_key(&self) -> Dataset<(K, V)>
+    where
+        K: Ord,
+    {
+        let ctx = self.ctx().clone();
+        let buckets = ctx.shuffle_partitions();
+        // Sample up to 32 keys per partition to build range boundaries.
+        let sample: Vec<K> = self
+            .map_partitions(|part| part.iter().take(32).map(|(k, _)| k.clone()).collect())
+            .collect();
+        let partitioner = Arc::new(RangePartitioner::from_sample(sample, buckets));
+        let shuffled = shuffle_with(&ctx, self, buckets, partitioner);
+        let parts = ctx.run_tasks(
+            "sort_by_key",
+            shuffled,
+            move |_i, part: Arc<Vec<(K, V)>>| {
+                let mut sorted: Vec<(K, V)> = part.to_vec();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Arc::new(sorted)
+            },
+        );
+        Dataset::from_parts(
+            ctx,
+            parts,
+            Lineage::derived("sort_by_key", Arc::clone(self.lineage())),
+        )
+    }
+
+    fn count_by_key(&self) -> Dataset<(K, u64)> {
+        self.map_values(|_| 1u64).reduce_by_key(|a, b| a + b)
+    }
+
+    fn map_values<U: Data>(
+        &self,
+        f: impl Fn(&V) -> U + Send + Sync + 'static,
+    ) -> Dataset<(K, U)> {
+        self.map(move |(k, v)| (k.clone(), f(v)))
+    }
+
+    fn keys(&self) -> Dataset<K> {
+        self.map(|(k, _)| k.clone())
+    }
+
+    fn values(&self) -> Dataset<V> {
+        self.map(|(_, v)| v.clone())
+    }
+
+    fn collect_as_map(&self) -> HashMap<K, V>
+    where
+        K: Hash + Eq,
+    {
+        self.collect().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+
+    fn ctx() -> Context {
+        Context::with_threads(4)
+    }
+
+    #[test]
+    fn reduce_by_key_sums_per_key() {
+        let c = ctx();
+        let ds = c.parallelize(
+            vec![("a", 1), ("b", 10), ("a", 2), ("c", 100), ("b", 20)],
+            3,
+        );
+        let mut out = ds.reduce_by_key(|x, y| x + y).collect();
+        out.sort();
+        assert_eq!(out, vec![("a", 3), ("b", 30), ("c", 100)]);
+    }
+
+    #[test]
+    fn reduce_by_key_counts_one_shuffle() {
+        let c = ctx();
+        let ds = c.parallelize(vec![(1, 1); 100], 4);
+        c.reset_metrics();
+        let _ = ds.reduce_by_key(|a, b| a + b).collect();
+        let m = c.metrics();
+        assert_eq!(m.shuffles, 1);
+        assert_eq!(m.shuffle_records, 100);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let c = ctx();
+        let ds = c.parallelize(vec![(1, "x"), (2, "y"), (1, "z")], 2);
+        let grouped = ds.group_by_key().collect_as_map();
+        let mut ones = grouped[&1].clone();
+        ones.sort();
+        assert_eq!(ones, vec!["x", "z"]);
+        assert_eq!(grouped[&2], vec!["y"]);
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference() {
+        let c = ctx();
+        let left: Vec<(u32, i64)> = (0..200).map(|i| (i % 10, i as i64)).collect();
+        let right: Vec<(u32, char)> = (0..30).map(|i| (i % 15, (b'a' + (i % 26) as u8) as char)).collect();
+        let l = c.parallelize(left.clone(), 5);
+        let r = c.parallelize(right.clone(), 3);
+        let mut got = l.join(&r).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut want: Vec<(u32, (i64, char))> = Vec::new();
+        for (k1, v) in &left {
+            for (k2, w) in &right {
+                if k1 == k2 {
+                    want.push((*k1, (*v, *w)));
+                }
+            }
+        }
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn join_counts_two_shuffles() {
+        let c = ctx();
+        let l = c.parallelize(vec![(1, 1); 50], 2);
+        let r = c.parallelize(vec![(1, 2); 30], 2);
+        c.reset_metrics();
+        let _ = l.join(&r).collect();
+        let m = c.metrics();
+        assert_eq!(m.shuffles, 2, "a join shuffles both inputs");
+        assert_eq!(m.shuffle_records, 80);
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let c = ctx();
+        let l = c.parallelize(vec![(1, "a")], 1);
+        let r = c.parallelize(vec![(2, "b")], 1);
+        assert!(l.join(&r).is_empty());
+    }
+
+    #[test]
+    fn count_by_key_matches_manual() {
+        let c = ctx();
+        let ds = c.parallelize(vec![("x", ()), ("y", ()), ("x", ()), ("x", ())], 2);
+        let counts = ds.count_by_key().collect_as_map();
+        assert_eq!(counts["x"], 3);
+        assert_eq!(counts["y"], 1);
+    }
+
+    #[test]
+    fn keys_values_map_values() {
+        let c = ctx();
+        let ds = c.parallelize(vec![(1, 10), (2, 20)], 1);
+        assert_eq!(ds.keys().collect(), vec![1, 2]);
+        assert_eq!(ds.values().collect(), vec![10, 20]);
+        assert_eq!(
+            ds.map_values(|v| v + 1).collect(),
+            vec![(1, 11), (2, 21)]
+        );
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let c = ctx();
+        let data: Vec<(u64, u64)> = (0..1000).map(|i| (i % 97, i)).collect();
+        let ds = c.parallelize(data, 8);
+        let a = shuffle_by_key(&c, &ds, 4);
+        let b = shuffle_by_key(&c, &ds, 4);
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let c = ctx();
+        let data: Vec<(u8, u32)> = (0..500u32).map(|i| ((i % 7) as u8, i)).collect();
+        let ds = c.parallelize(data.clone(), 6);
+        let shuffled = shuffle_by_key(&c, &ds, 3);
+        let mut flat: Vec<(u8, u32)> = shuffled
+            .iter()
+            .flat_map(|p| p.iter().cloned())
+            .collect();
+        flat.sort();
+        let mut want = data;
+        want.sort();
+        assert_eq!(flat, want);
+    }
+
+    #[test]
+    fn keys_colocate_in_one_bucket() {
+        let c = ctx();
+        let data: Vec<(u8, u32)> = (0..100u32).map(|i| ((i % 5) as u8, i)).collect();
+        let ds = c.parallelize(data, 4);
+        let shuffled = shuffle_by_key(&c, &ds, 3);
+        // Every key must appear in exactly one bucket.
+        for key in 0u8..5 {
+            let holding: usize = shuffled
+                .iter()
+                .filter(|p| p.iter().any(|(k, _)| *k == key))
+                .count();
+            assert_eq!(holding, 1, "key {key} split across buckets");
+        }
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_left() {
+        let c = ctx();
+        let l = c.parallelize(vec![(1, "a"), (2, "b"), (3, "c")], 2);
+        let r = c.parallelize(vec![(1, 10), (1, 11), (3, 30)], 2);
+        let mut got = l.left_outer_join(&r).collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (1, ("a", Some(10))),
+                (1, ("a", Some(11))),
+                (2, ("b", None)),
+                (3, ("c", Some(30))),
+            ]
+        );
+    }
+
+    #[test]
+    fn cogroup_collects_both_sides() {
+        let c = ctx();
+        let l = c.parallelize(vec![(1, "x"), (2, "y"), (1, "z")], 2);
+        let r = c.parallelize(vec![(1, 100), (3, 300)], 2);
+        let grouped = l.cogroup(&r).collect_as_map();
+        let (mut vs, ws) = grouped[&1].clone();
+        vs.sort();
+        assert_eq!(vs, vec!["x", "z"]);
+        assert_eq!(ws, vec![100]);
+        assert_eq!(grouped[&2], (vec!["y"], vec![]));
+        assert_eq!(grouped[&3], (vec![], vec![300]));
+    }
+
+    #[test]
+    fn sort_by_key_globally_orders() {
+        let c = ctx();
+        let data: Vec<(i64, u32)> = (0..2_000u32).map(|i| (((i * 7919) % 997) as i64, i)).collect();
+        let ds = c.parallelize(data.clone(), 8);
+        let sorted = ds.sort_by_key().collect();
+        assert_eq!(sorted.len(), data.len());
+        // Keys are globally nondecreasing in partition order.
+        for w in sorted.windows(2) {
+            assert!(w[0].0 <= w[1].0, "not sorted: {:?} then {:?}", w[0], w[1]);
+        }
+        // Same multiset.
+        let mut got = sorted;
+        got.sort();
+        let mut want = data;
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sort_by_key_handles_duplicates_and_small_inputs() {
+        let c = ctx();
+        let ds = c.parallelize(vec![(5, 'a'), (5, 'b'), (1, 'c')], 2);
+        let sorted = ds.sort_by_key().collect();
+        assert_eq!(sorted[0].0, 1);
+        assert_eq!(sorted.len(), 3);
+        let empty = c.parallelize(Vec::<(i32, i32)>::new(), 2);
+        assert!(empty.sort_by_key().is_empty());
+    }
+}

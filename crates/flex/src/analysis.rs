@@ -1,0 +1,260 @@
+//! The FLEX sensitivity analysis.
+//!
+//! Recursive rule (elastic sensitivity at distance 0, specialised to the
+//! counting queries this paper compares on):
+//!
+//! ```text
+//! S(Table t)                 = 1
+//! S(Filter p)                = S(p)            -- predicates are opaque
+//! S(Join l r on a = b)       = max( S(l) · mf(b),  S(r) · mf(a) )
+//! S(Count p)                 = S(p)
+//! S(Aggregate …)             = unsupported
+//! ```
+//!
+//! where `mf(c)` is the metadata max frequency of join key `c`. Chained
+//! joins therefore multiply max frequencies — the error-magnification the
+//! paper describes for TPCH16/TPCH21.
+
+use crate::metadata::Metadata;
+use crate::plan::{AggregateKind, ColumnRef, Plan};
+
+/// Why FLEX cannot analyse a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlexUnsupported {
+    /// The plan's root aggregate is not COUNT (SUM/AVG/ML are the paper's
+    /// "possible extensions" that FLEX does not realise).
+    NonCountAggregate(AggregateKind),
+    /// The plan has no aggregate at all (raw row output cannot be
+    /// released under DP by FLEX).
+    NoAggregate,
+    /// A join key has no recorded max-frequency metadata.
+    MissingMetadata(ColumnRef),
+}
+
+impl std::fmt::Display for FlexUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlexUnsupported::NonCountAggregate(kind) => {
+                write!(f, "FLEX supports only COUNT, not {kind}")
+            }
+            FlexUnsupported::NoAggregate => write!(f, "plan has no aggregate to release"),
+            FlexUnsupported::MissingMetadata(c) => {
+                write!(f, "no max-frequency metadata for join key {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlexUnsupported {}
+
+/// Analyses a counting plan, returning FLEX's local-sensitivity bound
+/// (elastic sensitivity at distance 0).
+///
+/// # Errors
+///
+/// Returns [`FlexUnsupported`] for non-count queries or missing metadata —
+/// the "FLEX supports 5 of 9 queries" rows of the paper's Table II.
+pub fn analyze(plan: &Plan, metadata: &Metadata) -> Result<f64, FlexUnsupported> {
+    elastic_sensitivity(plan, metadata, 0)
+}
+
+/// Elastic sensitivity at distance `k`: the local-sensitivity bound for
+/// any dataset at edit distance `k` from the metadata's dataset. At
+/// distance `k`, each join key's max frequency can have grown by `k`
+/// (every edited record could pile onto the most frequent key) —
+/// FLEX's `mf_k = mf + k` rule. This is the ingredient of smooth
+/// sensitivity (see [`crate::smooth`]).
+///
+/// # Errors
+///
+/// Same conditions as [`analyze`].
+pub fn elastic_sensitivity(
+    plan: &Plan,
+    metadata: &Metadata,
+    k: u64,
+) -> Result<f64, FlexUnsupported> {
+    match plan {
+        Plan::Count { input } => relation_sensitivity(input, metadata, k),
+        Plan::Aggregate { kind, .. } => Err(FlexUnsupported::NonCountAggregate(*kind)),
+        // Descend through non-aggregating roots looking for the aggregate.
+        Plan::Filter { input, .. } => elastic_sensitivity(input, metadata, k),
+        Plan::Table { .. } | Plan::Join { .. } => Err(FlexUnsupported::NoAggregate),
+    }
+}
+
+/// How many output rows of `plan` one protected record can influence, at
+/// edit distance `k`.
+fn relation_sensitivity(
+    plan: &Plan,
+    metadata: &Metadata,
+    k: u64,
+) -> Result<f64, FlexUnsupported> {
+    match plan {
+        Plan::Table { .. } => Ok(1.0),
+        Plan::Filter { input, .. } => relation_sensitivity(input, metadata, k),
+        Plan::Count { input } | Plan::Aggregate { input, .. } => {
+            relation_sensitivity(input, metadata, k)
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let mf_left = metadata
+                .max_freq(left_key)
+                .ok_or_else(|| FlexUnsupported::MissingMetadata(left_key.clone()))?
+                + k;
+            let mf_right = metadata
+                .max_freq(right_key)
+                .ok_or_else(|| FlexUnsupported::MissingMetadata(right_key.clone()))?
+                + k;
+            let s_left = relation_sensitivity(left, metadata, k)?;
+            let s_right = relation_sensitivity(right, metadata, k)?;
+            // One record on the left joins with up to mf(right_key) rows
+            // on the right, and vice versa.
+            Ok((s_left * mf_right as f64).max(s_right * mf_left as f64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> Metadata {
+        let mut m = Metadata::new();
+        m.set_max_freq("orders", "orderkey", 1);
+        m.set_max_freq("lineitem", "orderkey", 7);
+        m.set_max_freq("lineitem", "suppkey", 120);
+        m.set_max_freq("supplier", "suppkey", 1);
+        m
+    }
+
+    #[test]
+    fn plain_count_has_unit_sensitivity() {
+        let plan = Plan::count(Plan::table("lineitem"));
+        assert_eq!(analyze(&plan, &meta()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn filters_are_invisible() {
+        let filtered = Plan::count(Plan::filter(
+            Plan::table("lineitem"),
+            "shipdate < '1998-09-01'",
+        ));
+        let unfiltered = Plan::count(Plan::table("lineitem"));
+        assert_eq!(
+            analyze(&filtered, &meta()).unwrap(),
+            analyze(&unfiltered, &meta()).unwrap(),
+            "FLEX cannot exploit filters"
+        );
+    }
+
+    #[test]
+    fn join_multiplies_max_frequencies() {
+        let plan = Plan::count(Plan::join(
+            Plan::table("orders"),
+            Plan::table("lineitem"),
+            ("orders", "orderkey"),
+            ("lineitem", "orderkey"),
+        ));
+        // max(1 · mf(lineitem.orderkey), 1 · mf(orders.orderkey)) = 7.
+        assert_eq!(analyze(&plan, &meta()).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn chained_joins_magnify_error() {
+        let plan = Plan::count(Plan::join(
+            Plan::join(
+                Plan::table("orders"),
+                Plan::table("lineitem"),
+                ("orders", "orderkey"),
+                ("lineitem", "orderkey"),
+            ),
+            Plan::table("supplier"),
+            ("lineitem", "suppkey"),
+            ("supplier", "suppkey"),
+        ));
+        // Inner join: 7. Outer: max(7 · mf(supplier.suppkey)=7,
+        // 1 · mf(lineitem.suppkey)=120) = 120.
+        assert_eq!(analyze(&plan, &meta()).unwrap(), 120.0);
+    }
+
+    #[test]
+    fn non_count_aggregates_are_unsupported() {
+        for kind in [
+            AggregateKind::Sum,
+            AggregateKind::Avg,
+            AggregateKind::MachineLearning,
+        ] {
+            let plan = Plan::aggregate(kind, Plan::table("lineitem"));
+            assert_eq!(
+                analyze(&plan, &meta()),
+                Err(FlexUnsupported::NonCountAggregate(kind))
+            );
+        }
+    }
+
+    #[test]
+    fn plan_without_aggregate_is_rejected() {
+        assert_eq!(
+            analyze(&Plan::table("lineitem"), &meta()),
+            Err(FlexUnsupported::NoAggregate)
+        );
+    }
+
+    #[test]
+    fn missing_metadata_is_reported() {
+        let plan = Plan::count(Plan::join(
+            Plan::table("a"),
+            Plan::table("b"),
+            ("a", "k"),
+            ("b", "k"),
+        ));
+        match analyze(&plan, &Metadata::new()) {
+            Err(FlexUnsupported::MissingMetadata(c)) => assert_eq!(c.table, "a"),
+            other => panic!("expected missing metadata, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elastic_sensitivity_grows_with_distance() {
+        let plan = Plan::count(Plan::join(
+            Plan::table("orders"),
+            Plan::table("lineitem"),
+            ("orders", "orderkey"),
+            ("lineitem", "orderkey"),
+        ));
+        let m = meta();
+        let e0 = elastic_sensitivity(&plan, &m, 0).unwrap();
+        let e5 = elastic_sensitivity(&plan, &m, 5).unwrap();
+        assert_eq!(e0, 7.0);
+        assert_eq!(e5, 12.0, "mf + k on both keys, max rule");
+        assert!(elastic_sensitivity(&plan, &m, 100).unwrap() > e5);
+    }
+
+    #[test]
+    fn elastic_sensitivity_at_zero_is_analyze() {
+        let plan = Plan::count(Plan::table("lineitem"));
+        let m = meta();
+        assert_eq!(
+            elastic_sensitivity(&plan, &m, 0).unwrap(),
+            analyze(&plan, &m).unwrap()
+        );
+    }
+
+    #[test]
+    fn count_above_filter_above_join() {
+        let plan = Plan::count(Plan::filter(
+            Plan::join(
+                Plan::table("orders"),
+                Plan::table("lineitem"),
+                ("orders", "orderkey"),
+                ("lineitem", "orderkey"),
+            ),
+            "l_commitdate < l_receiptdate",
+        ));
+        assert_eq!(analyze(&plan, &meta()).unwrap(), 7.0);
+    }
+}

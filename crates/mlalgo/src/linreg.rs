@@ -1,0 +1,238 @@
+//! Linear Regression by gradient descent, as a Map/Reduce query.
+//!
+//! This is the paper's §III walk-through: the mapper computes an SGD
+//! gradient per record, the reducer sums gradients, and the final model
+//! update is the query output that UPA perturbs. One epoch = one UPA
+//! query; training under DP splits the ε budget across epochs.
+
+use crate::data::LrRecord;
+use dataflow::Dataset;
+use upa_core::query::MapReduceQuery;
+
+/// A linear model (last weight is the bias) and its training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    learning_rate: f64,
+}
+
+/// Accumulator of one epoch: gradient sum plus record count.
+pub type LrAcc = (Vec<f64>, u64);
+
+impl LinearRegression {
+    /// Creates a model with zero weights for `dims` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not a positive finite number.
+    pub fn new(dims: usize, learning_rate: f64) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive"
+        );
+        LinearRegression {
+            weights: vec![0.0; dims + 1],
+            learning_rate,
+        }
+    }
+
+    /// The current weights (bias last).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Overwrites the weights (e.g. with a noisy update from UPA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension changes.
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(weights.len(), self.weights.len(), "dimension mismatch");
+        self.weights = weights;
+    }
+
+    /// Prediction for one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        features
+            .iter()
+            .zip(&self.weights)
+            .map(|(x, w)| x * w)
+            .sum::<f64>()
+            + self.weights[self.weights.len() - 1]
+    }
+
+    /// Mean squared error over a slice.
+    pub fn mse(&self, records: &[LrRecord]) -> f64 {
+        if records.is_empty() {
+            return 0.0;
+        }
+        records
+            .iter()
+            .map(|r| {
+                let e = self.predict(&r.features) - r.target;
+                e * e
+            })
+            .sum::<f64>()
+            / records.len() as f64
+    }
+
+    /// One full-batch gradient epoch as a Map/Reduce query: the output is
+    /// the **updated weight vector** `w − lr · ∇/n` — the value a data
+    /// analyst receives, and therefore the value UPA protects.
+    pub fn step_query(&self, name: impl Into<String>) -> MapReduceQuery<LrRecord, LrAcc, Vec<f64>> {
+        let w = self.weights.clone();
+        let w_fin = self.weights.clone();
+        let lr = self.learning_rate;
+        let dims = self.weights.len();
+        MapReduceQuery::new(
+            name,
+            move |r: &LrRecord| {
+                // Gradient of squared error: (pred − y) · [x, 1].
+                let err = r
+                    .features
+                    .iter()
+                    .zip(&w)
+                    .map(|(x, wi)| x * wi)
+                    .sum::<f64>()
+                    + w[dims - 1]
+                    - r.target;
+                let mut g: Vec<f64> = r.features.iter().map(|x| err * x).collect();
+                g.push(err); // bias gradient
+                (g, 1u64)
+            },
+            |a: &LrAcc, b: &LrAcc| {
+                (
+                    a.0.iter().zip(&b.0).map(|(x, y)| x + y).collect(),
+                    a.1 + b.1,
+                )
+            },
+            move |acc: Option<&LrAcc>| match acc {
+                Some((grad, n)) if *n > 0 => w_fin
+                    .iter()
+                    .zip(grad)
+                    .map(|(wi, g)| wi - lr * g / *n as f64)
+                    .collect(),
+                _ => w_fin.clone(),
+            },
+        )
+        .with_half_key(|r: &LrRecord| {
+            crate::data::point_key(&r.features) ^ r.target.to_bits()
+        })
+    }
+
+    /// One non-private epoch over a dataset (the vanilla Spark baseline);
+    /// returns the updated weights without mutating `self`.
+    pub fn step_plain(&self, data: &Dataset<LrRecord>) -> Vec<f64> {
+        let q = self.step_query("linreg_epoch");
+        let m = q.mapper();
+        let mapped = data.map(move |r| m(r));
+        let acc = mapped.reduce(|a, b| {
+            (
+                a.0.iter().zip(&b.0).map(|(x, y)| x + y).collect(),
+                a.1 + b.1,
+            )
+        });
+        q.finalize(acc.as_ref())
+    }
+
+    /// Trains for `epochs` non-private epochs (reference/testing helper).
+    pub fn fit(&mut self, data: &Dataset<LrRecord>, epochs: usize) {
+        for _ in 0..epochs {
+            let w = self.step_plain(data);
+            self.set_weights(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{generate_regression, LifeScienceConfig};
+    use dataflow::Context;
+
+    fn small_data() -> (Vec<LrRecord>, Vec<f64>) {
+        generate_regression(&LifeScienceConfig {
+            records: 2_000,
+            dims: 3,
+            outlier_fraction: 0.0,
+            ..LifeScienceConfig::default()
+        })
+    }
+
+    #[test]
+    fn training_reduces_mse() {
+        let (records, _w) = small_data();
+        let ctx = Context::with_threads(4);
+        let ds = ctx.parallelize(records.clone(), 4);
+        let mut model = LinearRegression::new(3, 0.05);
+        let before = model.mse(&records);
+        model.fit(&ds, 50);
+        let after = model.mse(&records);
+        assert!(
+            after < before / 10.0,
+            "training must reduce MSE ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn training_recovers_hidden_model() {
+        let (records, true_w) = small_data();
+        let ctx = Context::with_threads(4);
+        let ds = ctx.parallelize(records, 4);
+        let mut model = LinearRegression::new(3, 0.1);
+        model.fit(&ds, 200);
+        for (wi, ti) in model.weights().iter().zip(&true_w) {
+            assert!(
+                (wi - ti).abs() < 0.2,
+                "weights {:?} vs true {:?}",
+                model.weights(),
+                true_w
+            );
+        }
+    }
+
+    #[test]
+    fn step_query_matches_plain_step() {
+        let (records, _w) = small_data();
+        let ctx = Context::with_threads(2);
+        let ds = ctx.parallelize(records.clone(), 4);
+        let model = LinearRegression::new(3, 0.05);
+        let plain = model.step_plain(&ds);
+        let slice = model.step_query("epoch").evaluate_slice(&records);
+        for (a, b) in plain.iter().zip(&slice) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_epoch_keeps_weights() {
+        let model = LinearRegression::new(2, 0.1);
+        let q = model.step_query("epoch");
+        assert_eq!(q.evaluate_slice(&[]), model.weights());
+    }
+
+    #[test]
+    fn neighbouring_datasets_change_the_model() {
+        // The motivation for enforcing iDP on LR (§III): the updated model
+        // differs between neighbouring datasets.
+        let (records, _w) = small_data();
+        let model = LinearRegression::new(3, 0.05);
+        let q = model.step_query("epoch");
+        let full = q.evaluate_slice(&records);
+        let without_last = q.evaluate_slice(&records[..records.len() - 1]);
+        assert_ne!(full, without_last);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn set_weights_rejects_wrong_dims() {
+        let mut m = LinearRegression::new(3, 0.1);
+        m.set_weights(vec![0.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn bad_learning_rate_rejected() {
+        let _ = LinearRegression::new(3, 0.0);
+    }
+}

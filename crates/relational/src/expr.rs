@@ -1,0 +1,386 @@
+//! The expression language: column references, literals, comparisons,
+//! boolean connectives, arithmetic and `IN` lists.
+//!
+//! Expressions are **bound** against a schema once ([`Expr::bind`]),
+//! resolving column names to positional indices and reporting unknown
+//! columns eagerly; the resulting [`BoundExpr`] evaluates per row without
+//! name lookups.
+
+use crate::value::{Row, Schema, Value};
+use crate::RelError;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `%` (integer modulo)
+    Mod,
+}
+
+/// An unbound expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by (possibly suffix-qualified) name.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison of two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic on numeric sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Membership in a literal list.
+    InList(Box<Expr>, Vec<Value>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: Value) -> Expr {
+        Expr::Lit(v)
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <> rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self AND rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs` (integers).
+    pub fn modulo(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mod, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self IN (values…)`.
+    pub fn in_list(self, values: Vec<Value>) -> Expr {
+        Expr::InList(Box::new(self), values)
+    }
+
+    /// Resolves column references against `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelError::UnknownColumn`] for unresolvable names.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundExpr, RelError> {
+        Ok(match self {
+            Expr::Col(name) => BoundExpr::Col(schema.index_of(name).ok_or_else(|| {
+                RelError::UnknownColumn(name.clone(), schema.columns().to_vec())
+            })?),
+            Expr::Lit(v) => BoundExpr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                BoundExpr::Cmp(*op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Expr::And(a, b) => {
+                BoundExpr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Expr::Or(a, b) => {
+                BoundExpr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(schema)?)),
+            Expr::Arith(op, a, b) => {
+                BoundExpr::Arith(*op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Expr::InList(a, values) => {
+                BoundExpr::InList(Box::new(a.bind(schema)?), values.clone())
+            }
+        })
+    }
+}
+
+/// An expression with column references resolved to indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Column by index.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Comparison.
+    Cmp(CmpOp, Box<BoundExpr>, Box<BoundExpr>),
+    /// Conjunction.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Disjunction.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Negation.
+    Not(Box<BoundExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<BoundExpr>, Box<BoundExpr>),
+    /// List membership.
+    InList(Box<BoundExpr>, Vec<Value>),
+}
+
+fn cmp_values(op: CmpOp, a: &Value, b: &Value) -> Result<bool, RelError> {
+    // Numeric comparison when both sides are numeric; string/bool
+    // equality otherwise.
+    if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+        return Ok(match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        });
+    }
+    match (op, a, b) {
+        (CmpOp::Eq, x, y) => Ok(x == y),
+        (CmpOp::Ne, x, y) => Ok(x != y),
+        _ => Err(RelError::TypeMismatch("ordered comparison of non-numeric values")),
+    }
+}
+
+impl BoundExpr {
+    /// Evaluates against one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelError::TypeMismatch`] when operators meet the wrong
+    /// types.
+    pub fn eval(&self, row: &Row) -> Result<Value, RelError> {
+        Ok(match self {
+            BoundExpr::Col(i) => row[*i].clone(),
+            BoundExpr::Lit(v) => v.clone(),
+            BoundExpr::Cmp(op, a, b) => {
+                Value::Bool(cmp_values(*op, &a.eval(row)?, &b.eval(row)?)?)
+            }
+            BoundExpr::And(a, b) => Value::Bool(
+                a.eval(row)?
+                    .as_bool()
+                    .ok_or(RelError::TypeMismatch("AND"))?
+                    && b.eval(row)?.as_bool().ok_or(RelError::TypeMismatch("AND"))?,
+            ),
+            BoundExpr::Or(a, b) => Value::Bool(
+                a.eval(row)?.as_bool().ok_or(RelError::TypeMismatch("OR"))?
+                    || b.eval(row)?.as_bool().ok_or(RelError::TypeMismatch("OR"))?,
+            ),
+            BoundExpr::Not(a) => Value::Bool(
+                !a.eval(row)?.as_bool().ok_or(RelError::TypeMismatch("NOT"))?,
+            ),
+            BoundExpr::Arith(op, a, b) => {
+                let (av, bv) = (a.eval(row)?, b.eval(row)?);
+                match (op, &av, &bv) {
+                    (ArithOp::Mod, Value::Int(x), Value::Int(y)) => {
+                        if *y == 0 {
+                            return Err(RelError::TypeMismatch("modulo by zero"));
+                        }
+                        Value::Int(x % y)
+                    }
+                    (ArithOp::Mod, _, _) => {
+                        return Err(RelError::TypeMismatch("modulo of non-integers"))
+                    }
+                    _ => {
+                        let x = av.as_f64().ok_or(RelError::TypeMismatch("arithmetic"))?;
+                        let y = bv.as_f64().ok_or(RelError::TypeMismatch("arithmetic"))?;
+                        Value::Float(match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Mod => unreachable!("handled above"),
+                        })
+                    }
+                }
+            }
+            BoundExpr::InList(a, values) => {
+                let v = a.eval(row)?;
+                Value::Bool(values.iter().any(|w| match (v.as_f64(), w.as_f64()) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => v == *w,
+                }))
+            }
+        })
+    }
+
+    /// Evaluates as a boolean predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelError::TypeMismatch`] if the expression is not
+    /// boolean-valued.
+    pub fn eval_bool(&self, row: &Row) -> Result<bool, RelError> {
+        self.eval(row)?
+            .as_bool()
+            .ok_or(RelError::TypeMismatch("predicate must be boolean"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("t", &["a", "b", "s"])
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(5), Value::Float(2.5), Value::str("hello")]
+    }
+
+    #[test]
+    fn bind_resolves_and_rejects() {
+        let s = schema();
+        assert!(Expr::col("a").bind(&s).is_ok());
+        assert!(Expr::col("t.b").bind(&s).is_ok());
+        match Expr::col("zz").bind(&s) {
+            Err(RelError::UnknownColumn(c, _)) => assert_eq!(c, "zz"),
+            other => panic!("expected unknown column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_and_boolean_logic() {
+        let s = schema();
+        let e = Expr::col("a")
+            .gt(Expr::lit(Value::Int(3)))
+            .and(Expr::col("b").le(Expr::lit(Value::Float(2.5))))
+            .bind(&s)
+            .unwrap();
+        assert!(e.eval_bool(&row()).unwrap());
+        let e2 = Expr::col("a").lt(Expr::lit(Value::Int(3))).bind(&s).unwrap();
+        assert!(!e2.eval_bool(&row()).unwrap());
+        let e3 = Expr::col("a")
+            .eq(Expr::lit(Value::Int(5)))
+            .or(Expr::lit(Value::Bool(false)))
+            .bind(&s)
+            .unwrap();
+        assert!(e3.eval_bool(&row()).unwrap());
+        let e4 = Expr::col("a").eq(Expr::lit(Value::Int(5))).not().bind(&s).unwrap();
+        assert!(!e4.eval_bool(&row()).unwrap());
+    }
+
+    #[test]
+    fn mixed_numeric_comparison_widens() {
+        let s = schema();
+        // Int column vs float literal.
+        let e = Expr::col("a").ge(Expr::lit(Value::Float(4.5))).bind(&s).unwrap();
+        assert!(e.eval_bool(&row()).unwrap());
+    }
+
+    #[test]
+    fn string_equality_but_not_ordering() {
+        let s = schema();
+        let eq = Expr::col("s").eq(Expr::lit(Value::str("hello"))).bind(&s).unwrap();
+        assert!(eq.eval_bool(&row()).unwrap());
+        let lt = Expr::col("s").lt(Expr::lit(Value::str("z"))).bind(&s).unwrap();
+        assert!(lt.eval_bool(&row()).is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_modulo() {
+        let s = schema();
+        let e = Expr::col("a").mul(Expr::col("b")).bind(&s).unwrap();
+        assert_eq!(e.eval(&row()).unwrap(), Value::Float(12.5));
+        let m = Expr::col("a").modulo(Expr::lit(Value::Int(3))).bind(&s).unwrap();
+        assert_eq!(m.eval(&row()).unwrap(), Value::Int(2));
+        let bad = Expr::col("s").add(Expr::lit(Value::Int(1))).bind(&s).unwrap();
+        assert!(bad.eval(&row()).is_err());
+        let div0 = Expr::col("a").modulo(Expr::lit(Value::Int(0))).bind(&s).unwrap();
+        assert!(div0.eval(&row()).is_err());
+    }
+
+    #[test]
+    fn in_list_membership() {
+        let s = schema();
+        let e = Expr::col("a")
+            .in_list(vec![Value::Int(1), Value::Int(5)])
+            .bind(&s)
+            .unwrap();
+        assert!(e.eval_bool(&row()).unwrap());
+        let e2 = Expr::col("a").in_list(vec![Value::Int(2)]).bind(&s).unwrap();
+        assert!(!e2.eval_bool(&row()).unwrap());
+    }
+
+    #[test]
+    fn non_boolean_predicate_is_rejected() {
+        let s = schema();
+        let e = Expr::col("a").bind(&s).unwrap();
+        assert!(e.eval_bool(&row()).is_err());
+    }
+}

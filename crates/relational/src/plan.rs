@@ -1,0 +1,249 @@
+//! Logical query plans, with conversion to the FLEX analysis IR.
+
+use crate::expr::Expr;
+use crate::value::Value;
+
+/// Aggregates the executor supports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(expr)`.
+    Sum(Expr),
+}
+
+/// A logical relational plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a catalog table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Keep rows satisfying the predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// Equi-join on one column pair.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join column on the left schema.
+        left_key: String,
+        /// Join column on the right schema.
+        right_key: String,
+    },
+    /// Keep only the named columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Columns to keep (qualified or unambiguous suffix names).
+        columns: Vec<String>,
+    },
+    /// Reduce to a scalar.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The aggregate to compute.
+        agg: Aggregate,
+    },
+    /// One aggregate value per distinct key (SQL `GROUP BY`).
+    GroupBy {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping column.
+        key: String,
+        /// Aggregate computed per group.
+        agg: Aggregate,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan builder.
+    pub fn scan(table: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+        }
+    }
+
+    /// Filter builder.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Join builder.
+    pub fn join(
+        self,
+        right: LogicalPlan,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_key: left_key.into(),
+            right_key: right_key.into(),
+        }
+    }
+
+    /// Projection builder.
+    pub fn project(self, columns: &[&str]) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// `COUNT(*)` builder.
+    pub fn count(self) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            agg: Aggregate::CountStar,
+        }
+    }
+
+    /// `SUM(expr)` builder.
+    pub fn sum(self, expr: Expr) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            agg: Aggregate::Sum(expr),
+        }
+    }
+
+    /// `GROUP BY key` builder.
+    pub fn group_by(self, key: impl Into<String>, agg: Aggregate) -> LogicalPlan {
+        LogicalPlan::GroupBy {
+            input: Box::new(self),
+            key: key.into(),
+            agg,
+        }
+    }
+
+    /// Converts to the operator-composition plan FLEX analyses. The
+    /// conversion is *lossy by design*: predicates become opaque
+    /// descriptions and SUM becomes the unsupported aggregate — exactly
+    /// the information loss that makes the static baseline inaccurate.
+    pub fn to_flex(&self) -> upa_flex::Plan {
+        match self {
+            LogicalPlan::Scan { table } => upa_flex::Plan::table(table.clone()),
+            LogicalPlan::Filter { input, predicate } => {
+                upa_flex::Plan::filter(input.to_flex(), format!("{predicate:?}"))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => upa_flex::Plan::join(
+                left.to_flex(),
+                right.to_flex(),
+                split_column(left_key),
+                split_column(right_key),
+            ),
+            // Projection is invisible to sensitivity analysis.
+            LogicalPlan::Project { input, .. } => input.to_flex(),
+            LogicalPlan::Aggregate { input, agg }
+            // A grouped count has the same per-record influence bound as
+            // the ungrouped count (one record lands in one group), so
+            // FLEX analyses the same operator composition.
+            | LogicalPlan::GroupBy { input, agg, .. } => match agg {
+                Aggregate::CountStar => upa_flex::Plan::count(input.to_flex()),
+                Aggregate::Sum(_) => upa_flex::Plan::aggregate(
+                    upa_flex::plan::AggregateKind::Sum,
+                    input.to_flex(),
+                ),
+            },
+        }
+    }
+}
+
+/// Splits a qualified `table.column` name into FLEX's `(table, column)`
+/// reference; unqualified names get an empty table.
+fn split_column(name: &str) -> upa_flex::ColumnRef {
+    match name.split_once('.') {
+        Some((t, c)) => upa_flex::ColumnRef::new(t, c),
+        None => upa_flex::ColumnRef::new("", name),
+    }
+}
+
+/// Convenience literal constructors used by plan builders.
+pub fn int(i: i64) -> Expr {
+    Expr::lit(Value::Int(i))
+}
+
+/// Float literal.
+pub fn float(f: f64) -> Expr {
+    Expr::lit(Value::Float(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q4ish() -> LogicalPlan {
+        LogicalPlan::scan("orders")
+            .join(LogicalPlan::scan("lineitem"), "orders.orderkey", "lineitem.orderkey")
+            .filter(Expr::col("orders.orderdate").lt(int(100)))
+            .count()
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = q4ish();
+        match &p {
+            LogicalPlan::Aggregate { agg, .. } => assert_eq!(*agg, Aggregate::CountStar),
+            other => panic!("expected aggregate root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_flex_preserves_operator_structure() {
+        let flex = q4ish().to_flex();
+        assert_eq!(flex.join_count(), 1);
+        assert_eq!(flex.filter_count(), 1);
+        let mut meta = upa_flex::Metadata::new();
+        meta.set_max_freq("orders", "orderkey", 1);
+        meta.set_max_freq("lineitem", "orderkey", 9);
+        assert_eq!(upa_flex::analyze(&flex, &meta).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn to_flex_marks_sum_unsupported() {
+        let p = LogicalPlan::scan("lineitem").sum(Expr::col("price"));
+        assert!(upa_flex::analyze(&p.to_flex(), &upa_flex::Metadata::new()).is_err());
+    }
+
+    #[test]
+    fn projection_is_transparent_to_flex() {
+        let p = LogicalPlan::scan("t").project(&["a"]).count();
+        assert_eq!(upa_flex::analyze(&p.to_flex(), &upa_flex::Metadata::new()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn split_column_handles_unqualified() {
+        let c = split_column("orderkey");
+        assert_eq!(c.table, "");
+        assert_eq!(c.column, "orderkey");
+    }
+
+    #[test]
+    fn group_by_builder_and_flex_shape() {
+        let p = LogicalPlan::scan("t").group_by("t.k", Aggregate::CountStar);
+        match &p {
+            LogicalPlan::GroupBy { key, .. } => assert_eq!(key, "t.k"),
+            other => panic!("expected group-by, got {other:?}"),
+        }
+        assert_eq!(
+            upa_flex::analyze(&p.to_flex(), &upa_flex::Metadata::new()).unwrap(),
+            1.0
+        );
+    }
+}

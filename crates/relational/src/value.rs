@@ -1,0 +1,256 @@
+//! Dynamic values, rows, schemas and relations.
+
+use dataflow::{Context, Dataset};
+
+/// One cell of a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer (also used for keys and dates).
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Interned string.
+    Str(std::sync::Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(std::sync::Arc::from(s.as_ref()))
+    }
+
+    /// Numeric view (ints widen to float); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A hashable key view for joins (floats are rejected — equality on
+    /// floats is not a sound join condition).
+    pub fn join_key(&self) -> Option<JoinKey> {
+        match self {
+            Value::Int(i) => Some(JoinKey::Int(*i)),
+            Value::Bool(b) => Some(JoinKey::Bool(*b)),
+            Value::Str(s) => Some(JoinKey::Str(std::sync::Arc::clone(s))),
+            Value::Float(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Hashable join key (no floats).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinKey {
+    /// Integer key.
+    Int(i64),
+    /// Boolean key.
+    Bool(bool),
+    /// String key.
+    Str(std::sync::Arc<str>),
+}
+
+/// A row is a vector of cells, positionally matching its schema.
+pub type Row = Vec<Value>;
+
+/// Column names of a relation. Names are qualified as `table.column` at
+/// scan time so that join outputs keep unambiguous names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// A schema whose columns are qualified with `table.`.
+    pub fn new(table: &str, columns: &[&str]) -> Schema {
+        Schema {
+            columns: columns.iter().map(|c| format!("{table}.{c}")).collect(),
+        }
+    }
+
+    /// A schema from already-qualified column names.
+    pub fn from_qualified(columns: Vec<String>) -> Schema {
+        Schema { columns }
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column; accepts either a fully qualified name or an
+    /// unambiguous suffix (`"orderkey"` matching `"orders.orderkey"`).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c == name) {
+            return Some(i);
+        }
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ends_with(&format!(".{name}")))
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// Concatenates two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+}
+
+/// A schema-carrying dataset of rows.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    data: Dataset<Row>,
+}
+
+impl Relation {
+    /// Builds a named relation by loading rows into the engine. The
+    /// relation's name is taken from the first column's qualifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from the schema.
+    pub fn from_rows(ctx: &Context, schema: Schema, rows: Vec<Row>, partitions: usize) -> Relation {
+        assert!(
+            rows.iter().all(|r| r.len() == schema.len()),
+            "row arity must match the schema"
+        );
+        let name = schema
+            .columns()
+            .first()
+            .and_then(|c| c.split('.').next())
+            .unwrap_or("anonymous")
+            .to_string();
+        Relation {
+            name,
+            schema,
+            data: ctx.parallelize(rows, partitions),
+        }
+    }
+
+    /// Wraps an existing dataset (executor internal).
+    pub(crate) fn from_dataset(name: String, schema: Schema, data: Dataset<Row>) -> Relation {
+        Relation { name, schema, data }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The row dataset.
+    pub fn data(&self) -> &Dataset<Row> {
+        &self.data
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert_eq!(Value::str("x").to_string(), "x");
+    }
+
+    #[test]
+    fn join_keys_reject_floats() {
+        assert!(Value::Int(1).join_key().is_some());
+        assert!(Value::str("k").join_key().is_some());
+        assert!(Value::Float(1.0).join_key().is_none());
+        assert_eq!(Value::Int(5).join_key(), Value::Int(5).join_key());
+    }
+
+    #[test]
+    fn schema_lookup_by_suffix_and_qualified() {
+        let s = Schema::new("orders", &["orderkey", "custkey"]);
+        assert_eq!(s.index_of("orders.orderkey"), Some(0));
+        assert_eq!(s.index_of("custkey"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        // Ambiguous suffix resolves to none.
+        let joined = s.concat(&Schema::new("lineitem", &["orderkey"]));
+        assert_eq!(joined.index_of("orderkey"), None);
+        assert_eq!(joined.index_of("lineitem.orderkey"), Some(2));
+        assert_eq!(joined.len(), 3);
+    }
+
+    #[test]
+    fn relation_checks_arity() {
+        let ctx = Context::with_threads(1);
+        let schema = Schema::new("t", &["a"]);
+        let r = Relation::from_rows(&ctx, schema, vec![vec![Value::Int(1)]], 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.name(), "t");
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn relation_rejects_bad_rows() {
+        let ctx = Context::with_threads(1);
+        let schema = Schema::new("t", &["a", "b"]);
+        let _ = Relation::from_rows(&ctx, schema, vec![vec![Value::Int(1)]], 1);
+    }
+}

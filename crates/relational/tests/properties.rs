@@ -1,0 +1,110 @@
+//! Property-based tests of the relational executor.
+
+use dataflow::Context;
+use proptest::prelude::*;
+use upa_relational::exec::Catalog;
+use upa_relational::expr::Expr;
+use upa_relational::plan::{int, LogicalPlan};
+use upa_relational::value::{Relation, Row, Schema, Value};
+
+fn catalog_from(rows: Vec<(i64, i64)>, partitions: usize) -> (Context, Catalog) {
+    let ctx = Context::with_threads(2);
+    let mut c = Catalog::new();
+    let data: Vec<Row> = rows
+        .into_iter()
+        .map(|(k, v)| vec![Value::Int(k), Value::Int(v)])
+        .collect();
+    c.register(Relation::from_rows(
+        &ctx,
+        Schema::new("t", &["k", "v"]),
+        data,
+        partitions,
+    ));
+    (ctx, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// COUNT after a filter equals the direct count of matching rows.
+    #[test]
+    fn filter_count_matches_reference(
+        rows in prop::collection::vec((0i64..20, -50i64..50), 0..200),
+        threshold in -50i64..50,
+        partitions in 1usize..6,
+    ) {
+        let want = rows.iter().filter(|(_, v)| *v >= threshold).count() as f64;
+        let (_ctx, c) = catalog_from(rows, partitions);
+        let plan = LogicalPlan::scan("t")
+            .filter(Expr::col("v").ge(int(threshold)))
+            .count();
+        prop_assert_eq!(c.execute(&plan).unwrap().as_scalar().unwrap(), want);
+    }
+
+    /// SUM over a filter equals the reference sum.
+    #[test]
+    fn filtered_sum_matches_reference(
+        rows in prop::collection::vec((0i64..20, -50i64..50), 1..200),
+        threshold in -50i64..50,
+    ) {
+        let want: i64 = rows.iter().filter(|(k, _)| *k < threshold).map(|(_, v)| v).sum();
+        let (_ctx, c) = catalog_from(rows, 3);
+        let plan = LogicalPlan::scan("t")
+            .filter(Expr::col("k").lt(int(threshold)))
+            .sum(Expr::col("v"));
+        let got = c.execute(&plan).unwrap().as_scalar().unwrap();
+        prop_assert!((got - want as f64).abs() < 1e-9);
+    }
+
+    /// Self-join cardinality equals the sum of squared key frequencies.
+    #[test]
+    fn self_join_counts_key_frequencies(
+        rows in prop::collection::vec((0i64..8, 0i64..5), 0..80),
+    ) {
+        let mut freq = std::collections::HashMap::new();
+        for (k, _) in &rows {
+            *freq.entry(*k).or_insert(0u64) += 1;
+        }
+        let want: u64 = freq.values().map(|c| c * c).sum();
+        let (_ctx, c) = catalog_from(rows, 3);
+        let plan = LogicalPlan::scan("t")
+            .join(LogicalPlan::scan("t"), "t.k", "t.k")
+            .count();
+        prop_assert_eq!(
+            c.execute(&plan).unwrap().as_scalar().unwrap(),
+            want as f64
+        );
+    }
+
+    /// Projection never changes the row count and keeps only the asked-for
+    /// columns.
+    #[test]
+    fn projection_preserves_cardinality(
+        rows in prop::collection::vec((0i64..20, -50i64..50), 0..100),
+    ) {
+        let n = rows.len();
+        let (_ctx, c) = catalog_from(rows, 2);
+        let plan = LogicalPlan::scan("t").project(&["v"]);
+        let out = c.execute(&plan).unwrap();
+        let rel = out.as_rows().unwrap();
+        prop_assert_eq!(rel.len(), n);
+        prop_assert_eq!(rel.schema().len(), 1);
+    }
+
+    /// Execution results are independent of the partitioning.
+    #[test]
+    fn results_are_partition_invariant(
+        rows in prop::collection::vec((0i64..10, -20i64..20), 1..100),
+        p1 in 1usize..6,
+        p2 in 1usize..6,
+    ) {
+        let plan = LogicalPlan::scan("t")
+            .filter(Expr::col("v").gt(int(0)))
+            .sum(Expr::col("v").mul(Expr::col("k")));
+        let (_c1, cat1) = catalog_from(rows.clone(), p1);
+        let (_c2, cat2) = catalog_from(rows, p2);
+        let a = cat1.execute(&plan).unwrap().as_scalar().unwrap();
+        let b = cat2.execute(&plan).unwrap().as_scalar().unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+}

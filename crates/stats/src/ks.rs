@@ -1,0 +1,192 @@
+//! Kolmogorov–Smirnov goodness-of-fit statistic and a fixed-width
+//! histogram.
+//!
+//! The paper's §VI-C explains UPA's residual inaccuracy by how well the
+//! neighbour-output distribution matches the fitted normal ("the output
+//! values … may not perfectly follow a normal distribution"). The KS
+//! statistic quantifies that: the Figure 3 harness reports it per query,
+//! and it correlates with the observed coverage loss.
+
+use crate::normal::Normal;
+use crate::StatsError;
+
+/// The Kolmogorov–Smirnov statistic `sup_x |F_emp(x) − F(x)|` between a
+/// sample and a reference normal distribution.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for an empty sample.
+///
+/// ```
+/// use upa_stats::{ks::ks_statistic, Normal};
+/// let n = Normal::new(0.0, 1.0).unwrap();
+/// // A sample drawn far from N(0, 1) has a large KS distance.
+/// let d = ks_statistic(&[10.0, 11.0, 12.0], &n).unwrap();
+/// assert!(d > 0.99);
+/// ```
+pub fn ks_statistic(samples: &[f64], reference: &Normal) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, x) in sorted.iter().enumerate() {
+        let cdf = reference.cdf(*x);
+        // Empirical CDF jumps from i/n to (i+1)/n at x; check both sides.
+        let below = i as f64 / n;
+        let above = (i + 1) as f64 / n;
+        d = d.max((cdf - below).abs()).max((above - cdf).abs());
+    }
+    Ok(d)
+}
+
+/// KS distance between a sample and its own MLE normal fit — the
+/// "how normal is this distribution" number reported by the Figure 3
+/// harness.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for an empty sample and propagates
+/// fit errors.
+pub fn ks_vs_normal_fit(samples: &[f64]) -> Result<f64, StatsError> {
+    let fit = Normal::mle(samples)?;
+    if fit.std_dev() == 0.0 {
+        // A point mass is matched exactly by its degenerate fit.
+        return Ok(0.0);
+    }
+    ks_statistic(samples, &fit)
+}
+
+/// A fixed-width histogram over `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `samples` with `bins` equal-width bins
+    /// spanning the sample range (single-valued samples produce one full
+    /// bin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0u64; bins];
+        if samples.is_empty() {
+            return Histogram {
+                min: 0.0,
+                max: 0.0,
+                counts,
+            };
+        }
+        let width = (max - min).max(f64::MIN_POSITIVE);
+        for &x in samples {
+            let idx = (((x - min) / width) * bins as f64) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+        Histogram { min, max, counts }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The sampled range `(min, max)`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// A one-line sparkline rendering (for terminal reports).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        self.counts
+            .iter()
+            .map(|&c| {
+                if max == 0 {
+                    LEVELS[0]
+                } else {
+                    LEVELS[((c as f64 / max as f64) * 7.0).round() as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ks_is_small_for_normal_samples() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..5_000).map(|_| n.sample(&mut rng)).collect();
+        let d = ks_vs_normal_fit(&samples).unwrap();
+        // For 5000 genuinely normal samples the KS statistic is ~0.01.
+        assert!(d < 0.03, "KS {d} too large for a normal sample");
+    }
+
+    #[test]
+    fn ks_is_large_for_bimodal_samples() {
+        // A ±1 two-point distribution — the count query's neighbour
+        // outputs — is badly non-normal.
+        let samples: Vec<f64> = (0..1_000)
+            .map(|i| if i % 2 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let d = ks_vs_normal_fit(&samples).unwrap();
+        assert!(d > 0.2, "bimodal sample should have a large KS, got {d}");
+    }
+
+    #[test]
+    fn ks_handles_degenerate_samples() {
+        assert_eq!(ks_vs_normal_fit(&[5.0; 50]).unwrap(), 0.0);
+        assert!(ks_vs_normal_fit(&[]).is_err());
+    }
+
+    #[test]
+    fn ks_statistic_bounds() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let d = ks_statistic(&[0.0], &n).unwrap();
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn histogram_counts_and_range() {
+        // Bins are half-open [lo, mid), [mid, hi]: 0.0 and 0.4 fall in
+        // the first, 0.6 and 1.0 in the second.
+        let h = Histogram::from_samples(&[0.0, 0.4, 0.6, 1.0], 2);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.range(), (0.0, 1.0));
+        assert_eq!(h.counts(), &[2, 2]);
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let h = Histogram::from_samples(&[7.0; 10], 4);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.counts().iter().copied().max(), Some(10));
+    }
+
+    #[test]
+    fn sparkline_has_one_char_per_bin() {
+        let h = Histogram::from_samples(&[0.0, 1.0, 2.0, 3.0], 8);
+        assert_eq!(h.sparkline().chars().count(), 8);
+    }
+}

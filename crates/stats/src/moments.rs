@@ -1,0 +1,196 @@
+//! Numerically stable online moments (Welford's algorithm).
+//!
+//! Used by the benchmark harness to summarise neighbour-output
+//! distributions (Figure 3) and by the engine's metrics to aggregate task
+//! timings without retaining every observation.
+
+/// Online mean/variance/min/max accumulator.
+///
+/// ```
+/// use upa_stats::OnlineMoments;
+/// let mut m = OnlineMoments::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 4);
+/// assert!((m.mean() - 2.5).abs() < 1e-12);
+/// assert_eq!(m.min(), Some(1.0));
+/// assert_eq!(m.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford); the
+    /// merge is the reason the accumulator itself is a commutative,
+    /// associative reducer and can run inside the dataflow engine.
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`1/n` normaliser, matching the MLE fit); 0 when
+    /// fewer than two observations have been pushed.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl FromIterator<f64> for OnlineMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = OnlineMoments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl Extend<f64> for OnlineMoments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator() {
+        let m = OnlineMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let m: OnlineMoments = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((m.mean() - mean).abs() < 1e-9);
+        assert!((m.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let (a, b) = data.split_at(123);
+        let ma: OnlineMoments = a.iter().copied().collect();
+        let mb: OnlineMoments = b.iter().copied().collect();
+        let mut merged = ma;
+        merged.merge(&mb);
+        let seq: OnlineMoments = data.iter().copied().collect();
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-9);
+        assert!((merged.variance() - seq.variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), seq.min());
+        assert_eq!(merged.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let m: OnlineMoments = [1.0, 2.0].into_iter().collect();
+        let mut lhs = m;
+        lhs.merge(&OnlineMoments::new());
+        assert_eq!(lhs, m);
+        let mut rhs = OnlineMoments::new();
+        rhs.merge(&m);
+        assert_eq!(rhs, m);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let ma: OnlineMoments = [1.0, 5.0, 9.0].into_iter().collect();
+        let mb: OnlineMoments = [-2.0, 0.5].into_iter().collect();
+        let mut ab = ma;
+        ab.merge(&mb);
+        let mut ba = mb;
+        ba.merge(&ma);
+        assert!((ab.mean() - ba.mean()).abs() < 1e-12);
+        assert!((ab.variance() - ba.variance()).abs() < 1e-12);
+        assert_eq!(ab.count(), ba.count());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error metrics used by the paper's accuracy evaluation (Figure 2a).
+//!
+//! The paper reports the Root Mean Square Error between the sensitivity
+//! values inferred by UPA (or FLEX) and the ground-truth local sensitivity
+//! computed by brute force, expressed relative to the ground truth ("UPA
+//! incurred on average 3.81% RMSE").
+
+use crate::StatsError;
+
+/// Root mean square error between `estimates` and `truths`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if the slices are empty and
+/// [`StatsError::InvalidParameter`] if their lengths differ.
+///
+/// ```
+/// use upa_stats::rmse::rmse;
+/// let e = rmse(&[1.0, 2.0], &[1.0, 4.0]).unwrap();
+/// assert!((e - (2.0f64).sqrt() * (2.0f64).sqrt() / (2.0f64).sqrt()).abs() < 1e-9);
+/// ```
+pub fn rmse(estimates: &[f64], truths: &[f64]) -> Result<f64, StatsError> {
+    if estimates.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if estimates.len() != truths.len() {
+        return Err(StatsError::InvalidParameter("length mismatch"));
+    }
+    let sum_sq: f64 = estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum();
+    Ok((sum_sq / estimates.len() as f64).sqrt())
+}
+
+/// Relative RMSE: RMSE normalised by the root-mean-square of the ground
+/// truth. This is the "% RMSE" figure the paper quotes (3.81% average for
+/// UPA). Falls back to the absolute RMSE when the truth is identically
+/// zero.
+///
+/// # Errors
+///
+/// Same as [`rmse`].
+pub fn relative_rmse(estimates: &[f64], truths: &[f64]) -> Result<f64, StatsError> {
+    let abs = rmse(estimates, truths)?;
+    let truth_rms =
+        (truths.iter().map(|t| t * t).sum::<f64>() / truths.len() as f64).sqrt();
+    if truth_rms == 0.0 {
+        Ok(abs)
+    } else {
+        Ok(abs / truth_rms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_for_equal_inputs() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&xs, &xs).unwrap(), 0.0);
+        assert_eq!(relative_rmse(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // errors: 1, -1 -> mean square 1 -> rmse 1.
+        let e = rmse(&[2.0, 2.0], &[1.0, 3.0]).unwrap();
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_normalises_by_truth_magnitude() {
+        // 10% error on each of two large truths.
+        let e = relative_rmse(&[110.0, 220.0], &[100.0, 200.0]).unwrap();
+        assert!((e - 0.1).abs() < 1e-12, "got {e}");
+    }
+
+    #[test]
+    fn relative_falls_back_when_truth_is_zero() {
+        let e = relative_rmse(&[0.5, -0.5], &[0.0, 0.0]).unwrap();
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(rmse(&[], &[]), Err(StatsError::EmptySample));
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

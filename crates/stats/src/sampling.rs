@@ -1,0 +1,272 @@
+//! Sampling primitives for the Partition-and-Sample phase and the data
+//! generators.
+//!
+//! * [`sample_indices`] — uniform sampling of `n` distinct indices without
+//!   replacement (Robert Floyd's algorithm), used by UPA to pick the `n`
+//!   differing records `S` from the input dataset;
+//! * [`Reservoir`] — single-pass reservoir sampling (Algorithm R), used
+//!   when the input arrives as a stream of partitions;
+//! * [`Zipf`] — a bounded Zipf sampler used by the TPC-H generator to give
+//!   join keys the skewed frequency distribution that makes TPCH16/21
+//!   sensitivity hard (outliers in Figure 3).
+
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Uniformly samples `n` distinct indices from `0..len` without
+/// replacement, using Robert Floyd's algorithm (O(n) expected work,
+/// independent of `len`).
+///
+/// If `n >= len`, every index is returned (this mirrors the paper's rule
+/// that for datasets smaller than the sample size, `n` is set to the
+/// dataset size so the *exact* local sensitivity is obtained). The returned
+/// indices are sorted.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let idx = upa_stats::sampling::sample_indices(&mut rng, 100, 10);
+/// assert_eq!(idx.len(), 10);
+/// assert!(idx.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, len: usize, n: usize) -> Vec<usize> {
+    if n >= len {
+        return (0..len).collect();
+    }
+    let mut chosen = HashSet::with_capacity(n);
+    // Floyd's algorithm: for j in len-n .. len, pick t in [0, j]; if taken,
+    // take j instead.
+    for j in (len - n)..len {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut out: Vec<usize> = chosen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Single-pass reservoir sampler (Vitter's Algorithm R).
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut r = upa_stats::sampling::Reservoir::new(3);
+/// for x in 0..100 {
+///     r.offer(x, &mut rng);
+/// }
+/// assert_eq!(r.items().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates a reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers one item to the reservoir.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Bounded Zipf distribution over `1..=n` with exponent `s`.
+///
+/// Sampling is by binary search over a precomputed CDF table, so `sample`
+/// is O(log n) after O(n) setup. The TPC-H generator uses this to create
+/// skewed join-key frequencies.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf: n must be positive");
+        assert!(s.is_finite() && s >= 0.0, "zipf: s must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point drift at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true; kept for API
+    /// completeness alongside [`Zipf::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one value in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let idx = sample_indices(&mut rng, 1000, 100);
+            assert_eq!(idx.len(), 100);
+            let set: HashSet<_> = idx.iter().collect();
+            assert_eq!(set.len(), 100);
+            assert!(idx.iter().all(|&i| i < 1000));
+        }
+    }
+
+    #[test]
+    fn sample_indices_small_population_returns_all() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let idx = sample_indices(&mut rng, 5, 10);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+        let idx = sample_indices(&mut rng, 5, 5);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_indices_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            for i in sample_indices(&mut rng, 20, 2) {
+                counts[i] += 1;
+            }
+        }
+        // Each index expected 2000 times; allow generous tolerance.
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (1700..2300).contains(c),
+                "index {i} drawn {c} times, expected ~2000"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_keeps_capacity_and_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hit = [0usize; 10];
+        for _ in 0..20_000 {
+            let mut r = Reservoir::new(2);
+            for x in 0..10 {
+                r.offer(x, &mut rng);
+            }
+            for &x in r.items() {
+                hit[x] += 1;
+            }
+        }
+        for (i, c) in hit.iter().enumerate() {
+            assert!(
+                (3300..4700).contains(c),
+                "value {i} kept {c} times, expected ~4000"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn reservoir_rejects_zero_capacity() {
+        let _ = Reservoir::<u32>::new(0);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 1 must dominate rank 10 which dominates rank 100.
+        assert!(counts[1] > counts[10] * 3, "{} vs {}", counts[1], counts[10]);
+        assert!(counts[10] > counts[100], "{} vs {}", counts[10], counts[100]);
+        assert_eq!(counts[0], 0, "zipf support starts at 1");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0usize; 5];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, count) in counts.iter().enumerate().skip(1) {
+            assert!(
+                (9_000..11_000).contains(count),
+                "value {k} drawn {count} times"
+            );
+        }
+    }
+}

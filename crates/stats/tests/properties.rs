@@ -1,0 +1,95 @@
+//! Property-based tests of the statistics substrate.
+
+use proptest::prelude::*;
+use upa_stats::erf::{norm_cdf, norm_quantile};
+use upa_stats::ks::ks_statistic;
+use upa_stats::sampling::{sample_indices, Zipf};
+use upa_stats::{Laplace, Normal, OnlineMoments};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The normal quantile is monotone in p and inverts the CDF.
+    #[test]
+    fn quantile_monotone_and_inverse(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let (qlo, qhi) = (norm_quantile(lo), norm_quantile(hi));
+        prop_assert!(qlo <= qhi + 1e-12);
+        prop_assert!((norm_cdf(qlo) - lo).abs() < 1e-5);
+    }
+
+    /// MLE fitting recovers location/scale shifts exactly.
+    #[test]
+    fn mle_is_equivariant(
+        base in prop::collection::vec(-10.0f64..10.0, 2..100),
+        shift in -100.0f64..100.0,
+        scale in 0.1f64..10.0,
+    ) {
+        let fit = Normal::mle(&base).unwrap();
+        let transformed: Vec<f64> = base.iter().map(|x| x * scale + shift).collect();
+        let fit2 = Normal::mle(&transformed).unwrap();
+        prop_assert!((fit2.mean() - (fit.mean() * scale + shift)).abs() < 1e-6 * (1.0 + fit2.mean().abs()));
+        prop_assert!((fit2.std_dev() - fit.std_dev() * scale).abs() < 1e-6 * (1.0 + fit2.std_dev()));
+    }
+
+    /// Laplace CDF is monotone with median at the location.
+    #[test]
+    fn laplace_cdf_properties(loc in -50.0f64..50.0, scale in 0.1f64..20.0, x in -100.0f64..100.0) {
+        let l = Laplace::new(loc, scale).unwrap();
+        prop_assert!((l.cdf(loc) - 0.5).abs() < 1e-12);
+        prop_assert!(l.cdf(x) >= 0.0 && l.cdf(x) <= 1.0);
+        prop_assert!(l.cdf(x + 1.0) >= l.cdf(x));
+    }
+
+    /// Welford moments equal the two-pass computation for any split.
+    #[test]
+    fn moments_merge_any_split(
+        values in prop::collection::vec(-1000.0f64..1000.0, 1..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((values.len() as f64) * split_frac) as usize;
+        let (a, b) = values.split_at(split.min(values.len()));
+        let ma: OnlineMoments = a.iter().copied().collect();
+        let mb: OnlineMoments = b.iter().copied().collect();
+        let mut merged = ma;
+        merged.merge(&mb);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        prop_assert!((merged.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((merged.variance() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// Sampled indices are distinct, sorted, in range, of the right count.
+    #[test]
+    fn sample_indices_invariants(len in 1usize..2000, n in 0usize..2500, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let idx = sample_indices(&mut rng, len, n);
+        prop_assert_eq!(idx.len(), n.min(len));
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(idx.iter().all(|&i| i < len));
+    }
+
+    /// Zipf samples stay in the support for any exponent.
+    #[test]
+    fn zipf_support(n in 1usize..500, s in 0.0f64..3.0, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = z.sample(&mut rng);
+            prop_assert!(v >= 1 && v <= n);
+        }
+    }
+
+    /// The KS statistic is within [0, 1] and zero-ish for the fitted CDF
+    /// of constant samples.
+    #[test]
+    fn ks_bounds(values in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+        let fit = Normal::mle(&values).unwrap();
+        if fit.std_dev() > 0.0 {
+            let d = ks_statistic(&values, &fit).unwrap();
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! TPC-H-style workload for the UPA reproduction.
+//!
+//! The paper evaluates UPA on seven SparkSQL TPC-H queries over 114–133 GB
+//! of TPC-H data (Table II). This crate rebuilds that substrate at
+//! laptop scale:
+//!
+//! * [`rows`] — the TPC-H table row types used by the queries
+//!   (`lineitem`, `orders`, `part`, `supplier`, `partsupp`, `nation`);
+//! * [`gen`] — a **deterministic, seeded generator** with Zipf-skewed join
+//!   keys. Skew matters: the heavy-fan-in suppliers it creates are exactly
+//!   the sensitivity outliers that make TPCH21 the hardest query in the
+//!   paper's Figure 3;
+//! * [`meta`] — per-column max-frequency metadata for the FLEX baseline;
+//! * [`queries`] — the seven queries (Q1, Q4, Q6, Q11, Q13, Q16, Q21),
+//!   each in three forms: a plain dataflow job (the vanilla-Spark
+//!   baseline), a commutative/associative Map/Reduce decomposition for
+//!   UPA, and a relational plan for FLEX.
+//!
+//! The queries keep TPC-H's operator structure (which filters feed which
+//! joins) while simplifying predicates to the generated columns; DESIGN.md
+//! documents the substitution.
+
+pub mod gen;
+pub mod meta;
+pub mod queries;
+pub mod rows;
+pub mod sql;
+
+pub use gen::{Tables, TpchConfig};
+pub use rows::{Lineitem, Nation, Order, Part, PartSupp, Supplier};

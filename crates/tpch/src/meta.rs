@@ -1,0 +1,87 @@
+//! FLEX metadata extraction from generated tables.
+//!
+//! FLEX's model assumes the data curator publishes the maximum frequency
+//! of every join-key column. This module computes those frequencies for
+//! the generated database — the same numbers FLEX's analysis would be
+//! given in production.
+
+use crate::gen::Tables;
+use upa_flex::Metadata;
+
+/// Builds per-column max-frequency metadata for every join key the seven
+/// queries use.
+pub fn build_metadata(tables: &Tables) -> Metadata {
+    let mut m = Metadata::new();
+    m.record_keys("lineitem", "orderkey", tables.lineitem.iter().map(|l| l.orderkey));
+    m.record_keys("lineitem", "suppkey", tables.lineitem.iter().map(|l| l.suppkey));
+    m.record_keys("lineitem", "partkey", tables.lineitem.iter().map(|l| l.partkey));
+    m.record_keys("orders", "orderkey", tables.orders.iter().map(|o| o.orderkey));
+    m.record_keys("orders", "custkey", tables.orders.iter().map(|o| o.custkey));
+    m.record_keys("part", "partkey", tables.part.iter().map(|p| p.partkey));
+    m.record_keys("supplier", "suppkey", tables.supplier.iter().map(|s| s.suppkey));
+    m.record_keys("supplier", "nationkey", tables.supplier.iter().map(|s| s.nationkey));
+    m.record_keys("partsupp", "partkey", tables.partsupp.iter().map(|p| p.partkey));
+    m.record_keys("partsupp", "suppkey", tables.partsupp.iter().map(|p| p.suppkey));
+    m.record_keys("nation", "nationkey", tables.nation.iter().map(|n| n.nationkey));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TpchConfig;
+    use upa_flex::ColumnRef;
+
+    #[test]
+    fn metadata_covers_all_join_keys() {
+        let tables = Tables::generate(&TpchConfig {
+            orders: 500,
+            ..TpchConfig::default()
+        });
+        let m = build_metadata(&tables);
+        for (t, c) in [
+            ("lineitem", "orderkey"),
+            ("lineitem", "suppkey"),
+            ("orders", "orderkey"),
+            ("part", "partkey"),
+            ("supplier", "suppkey"),
+            ("partsupp", "partkey"),
+            ("partsupp", "suppkey"),
+            ("nation", "nationkey"),
+        ] {
+            assert!(
+                m.max_freq(&ColumnRef::new(t, c)).is_some(),
+                "missing metadata for {t}.{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn primary_keys_have_frequency_one() {
+        let tables = Tables::generate(&TpchConfig {
+            orders: 500,
+            ..TpchConfig::default()
+        });
+        let m = build_metadata(&tables);
+        assert_eq!(m.max_freq(&ColumnRef::new("orders", "orderkey")), Some(1));
+        assert_eq!(m.max_freq(&ColumnRef::new("supplier", "suppkey")), Some(1));
+        assert_eq!(m.max_freq(&ColumnRef::new("part", "partkey")), Some(1));
+    }
+
+    #[test]
+    fn skewed_foreign_keys_have_high_frequency() {
+        let tables = Tables::generate(&TpchConfig {
+            orders: 2_000,
+            ..TpchConfig::default()
+        });
+        let m = build_metadata(&tables);
+        let supp_mf = m
+            .max_freq(&ColumnRef::new("lineitem", "suppkey"))
+            .expect("recorded");
+        let avg = tables.lineitem.len() as u64 / tables.supplier.len() as u64;
+        assert!(
+            supp_mf > 3 * avg,
+            "Zipf skew should inflate the max frequency (mf {supp_mf}, avg {avg})"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! TPC-H table row types.
+//!
+//! Columns are restricted to the ones the seven evaluated queries touch.
+//! Dates are stored as day numbers counted from 1992-01-01 (the TPC-H
+//! epoch); see [`DAYS_PER_YEAR`] for range helpers.
+
+/// Days per (TPC-H, simplified) year; dates span seven years from the
+/// epoch, as in the official generator.
+pub const DAYS_PER_YEAR: u32 = 365;
+
+/// Total span of generated dates (1992-01-01 .. 1998-12-31).
+pub const DATE_RANGE: u32 = 7 * DAYS_PER_YEAR;
+
+/// One `lineitem` row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lineitem {
+    /// Key of the owning order.
+    pub orderkey: u64,
+    /// Key of the part shipped.
+    pub partkey: u64,
+    /// Key of the supplier shipping it.
+    pub suppkey: u64,
+    /// Quantity shipped.
+    pub quantity: f64,
+    /// Extended price.
+    pub extendedprice: f64,
+    /// Discount in `[0, 0.10]`.
+    pub discount: f64,
+    /// Tax in `[0, 0.08]`.
+    pub tax: f64,
+    /// Ship date (days since epoch).
+    pub shipdate: u32,
+    /// Commit date (days since epoch).
+    pub commitdate: u32,
+    /// Receipt date (days since epoch).
+    pub receiptdate: u32,
+}
+
+/// One `orders` row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Order {
+    /// Order key.
+    pub orderkey: u64,
+    /// Customer key.
+    pub custkey: u64,
+    /// Status: `'F'` (finished), `'O'` (open) or `'P'` (pending).
+    pub orderstatus: u8,
+    /// Total price.
+    pub totalprice: f64,
+    /// Order date (days since epoch).
+    pub orderdate: u32,
+    /// Priority 1 (urgent) .. 5 (low).
+    pub orderpriority: u8,
+}
+
+/// One `part` row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Part {
+    /// Part key.
+    pub partkey: u64,
+    /// Brand id (1..=25).
+    pub brand: u8,
+    /// Type id (1..=150).
+    pub typ: u8,
+    /// Size (1..=50).
+    pub size: u8,
+}
+
+/// One `supplier` row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Supplier {
+    /// Supplier key.
+    pub suppkey: u64,
+    /// Nation key (0..25).
+    pub nationkey: u8,
+    /// Account balance.
+    pub acctbal: f64,
+    /// Whether the supplier's comment flags customer complaints
+    /// (Q16 excludes such suppliers).
+    pub complaint: bool,
+}
+
+/// One `partsupp` row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartSupp {
+    /// Part key.
+    pub partkey: u64,
+    /// Supplier key.
+    pub suppkey: u64,
+    /// Available quantity.
+    pub availqty: u32,
+    /// Supply cost per unit.
+    pub supplycost: f64,
+}
+
+/// One `nation` row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nation {
+    /// Nation key (0..25).
+    pub nationkey: u8,
+    /// Region key (0..5).
+    pub regionkey: u8,
+}
+
+/// `orderstatus` value for finished orders (Q21 filters on it).
+pub const STATUS_F: u8 = b'F';
+/// `orderstatus` value for open orders.
+pub const STATUS_O: u8 = b'O';
+/// `orderstatus` value for pending orders.
+pub const STATUS_P: u8 = b'P';
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_copy_and_comparable() {
+        let l = Lineitem {
+            orderkey: 1,
+            partkey: 2,
+            suppkey: 3,
+            quantity: 4.0,
+            extendedprice: 5.0,
+            discount: 0.05,
+            tax: 0.02,
+            shipdate: 10,
+            commitdate: 20,
+            receiptdate: 30,
+        };
+        let l2 = l; // Copy
+        assert_eq!(l, l2);
+        let n = Nation {
+            nationkey: 1,
+            regionkey: 0,
+        };
+        assert_eq!(n, n);
+    }
+
+    #[test]
+    fn date_constants_are_consistent() {
+        assert_eq!(DATE_RANGE, 2555);
+        let statuses = [STATUS_F, STATUS_O, STATUS_P];
+        let distinct: std::collections::HashSet<_> = statuses.into_iter().collect();
+        assert_eq!(distinct.len(), statuses.len());
+    }
+}

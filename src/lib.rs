@@ -1,0 +1,19 @@
+//! Umbrella crate for the UPA reproduction workspace.
+//!
+//! Re-exports the public crates so that examples and integration tests
+//! can use a single dependency, and hosts the [`suite`] module that wires
+//! all nine evaluated queries (seven TPC-H + KMeans + Linear Regression)
+//! into one uniform harness for the benchmark binaries.
+//!
+//! See `README.md` for an overview and `DESIGN.md` for the system
+//! inventory.
+
+pub mod suite;
+
+pub use dataflow;
+pub use upa_core;
+pub use upa_flex;
+pub use upa_mlalgo;
+pub use upa_relational;
+pub use upa_stats;
+pub use upa_tpch;

@@ -1,0 +1,591 @@
+//! The nine-query evaluation suite (paper Table II), behind one uniform
+//! interface.
+//!
+//! Each [`EvalQuery`] exposes the four executions the experiments need:
+//!
+//! * `run_plain` — the vanilla dataflow job (the Figure 2(b) baseline);
+//! * `run_upa` — the full UPA pipeline;
+//! * `ground_truth` — exact local sensitivity by brute force (the
+//!   Figure 2(a)/3 reference);
+//! * `flex_sensitivity` — the FLEX static bound, or the unsupported error
+//!   for the four non-count queries.
+//!
+//! Outputs are uniformly `Vec<f64>` (scalar queries have one component)
+//! so the harness can treat counting, arithmetic and ML queries alike.
+
+use dataflow::{Context, Data, Dataset, PairOps};
+use upa_core::brute::{exact_local_sensitivity, GroundTruth};
+use upa_core::domain::EmpiricalSampler;
+use upa_core::join::JoinAggregate;
+use upa_core::pipeline::{Upa, UpaResult};
+use upa_core::query::MapReduceQuery;
+use upa_core::UpaError;
+use upa_flex::{analyze, FlexUnsupported, Metadata, Plan};
+use upa_mlalgo::data::{generate_points, generate_regression, LifeScienceConfig};
+use upa_mlalgo::kmeans::Point;
+use upa_mlalgo::{KMeans, LinearRegression, LrRecord};
+use upa_tpch::gen::TpchDatasets;
+use upa_tpch::meta::build_metadata;
+use upa_tpch::queries as tq;
+use upa_tpch::{Lineitem, Order, Tables, TpchConfig};
+
+/// Workload scale of one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalScale {
+    /// Number of TPC-H orders (other tables derive from it).
+    pub orders: usize,
+    /// Number of ML records (points / regression rows).
+    pub ml_records: usize,
+    /// Partitions per dataset.
+    pub partitions: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for EvalScale {
+    fn default() -> Self {
+        EvalScale {
+            orders: 5_000,
+            ml_records: 10_000,
+            partitions: 8,
+            seed: 0xE7A1,
+        }
+    }
+}
+
+/// Generated workload: tables, datasets, metadata, ML data.
+pub struct EvalData {
+    /// Engine handle.
+    pub ctx: Context,
+    /// Generated TPC-H tables.
+    pub tables: Tables,
+    /// The tables loaded into datasets.
+    pub datasets: TpchDatasets,
+    /// FLEX metadata computed from the tables.
+    pub metadata: Metadata,
+    /// KMeans points.
+    pub points: Vec<Point>,
+    /// KMeans points as a dataset.
+    pub points_ds: Dataset<Point>,
+    /// Regression records.
+    pub lr_records: Vec<LrRecord>,
+    /// Regression records as a dataset.
+    pub lr_ds: Dataset<LrRecord>,
+    /// The scale this data was generated at.
+    pub scale: EvalScale,
+}
+
+impl EvalData {
+    /// Generates the full workload at `scale` on `ctx`.
+    pub fn generate(ctx: &Context, scale: EvalScale) -> EvalData {
+        let tables = Tables::generate(&TpchConfig {
+            orders: scale.orders,
+            seed: scale.seed,
+            ..TpchConfig::default()
+        });
+        let datasets = TpchDatasets::load(ctx, &tables, scale.partitions);
+        let metadata = build_metadata(&tables);
+        let ml_config = LifeScienceConfig {
+            records: scale.ml_records,
+            dims: 4,
+            clusters: 3,
+            outlier_fraction: 0.01,
+            seed: scale.seed ^ 0x5CD0,
+        };
+        let points = generate_points(&ml_config);
+        let points_ds = ctx.parallelize(points.clone(), scale.partitions);
+        let (lr_records, _true_w) = generate_regression(&ml_config);
+        let lr_ds = ctx.parallelize(lr_records.clone(), scale.partitions);
+        EvalData {
+            ctx: ctx.clone(),
+            tables,
+            datasets,
+            metadata,
+            points,
+            points_ds,
+            lr_records,
+            lr_ds,
+            scale,
+        }
+    }
+}
+
+/// One evaluated query, uniformly over `Vec<f64>` outputs.
+pub trait EvalQuery: Send + Sync {
+    /// Name as the paper prints it.
+    fn name(&self) -> &'static str;
+    /// Table II "Query Type".
+    fn kind(&self) -> &'static str;
+    /// The table whose records iDP protects.
+    fn protected(&self) -> &'static str;
+    /// Whether FLEX supports the query.
+    fn flex_supported(&self) -> bool;
+    /// Vanilla dataflow execution.
+    fn run_plain(&self, data: &EvalData) -> Vec<f64>;
+    /// Full UPA execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`UpaError`] from the pipeline.
+    fn run_upa(&self, upa: &mut Upa, data: &EvalData) -> Result<UpaResult<Vec<f64>>, UpaError>;
+    /// Exact local sensitivity by brute force (all removals plus
+    /// `domain_samples` sampled additions).
+    fn ground_truth(&self, data: &EvalData, domain_samples: usize, seed: u64) -> GroundTruth<Vec<f64>>;
+    /// FLEX's static bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexUnsupported`] for the four non-count queries.
+    fn flex_sensitivity(&self, data: &EvalData) -> Result<f64, FlexUnsupported>;
+}
+
+/// Lifts a scalar query to the suite's uniform `Vec<f64>` output.
+fn vectorize<T: Data>(q: &MapReduceQuery<T, f64, f64>) -> MapReduceQuery<T, f64, Vec<f64>> {
+    let qm = q.clone();
+    let qr = q.clone();
+    let qf = q.clone();
+    let mut v = MapReduceQuery::new(
+        q.name().to_string(),
+        move |t: &T| qm.map(t),
+        move |a: &f64, b: &f64| qr.reduce(a, b),
+        move |acc: Option<&f64>| vec![qf.finalize(acc)],
+    );
+    if let Some(hk) = q.half_key() {
+        let hk = std::sync::Arc::clone(hk);
+        v = v.with_half_key(move |t: &T| hk(t));
+    }
+    v
+}
+
+/// A scalar query over one protected table (Q1, Q6, Q11, Q16, Q21).
+struct ScalarQuery<T> {
+    name: &'static str,
+    kind: &'static str,
+    protected_name: &'static str,
+    query: MapReduceQuery<T, f64, Vec<f64>>,
+    rows: Vec<T>,
+    dataset: Dataset<T>,
+    flex_plan: Plan,
+    flex_ok: bool,
+}
+
+impl<T: Data> EvalQuery for ScalarQuery<T> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+    fn protected(&self) -> &'static str {
+        self.protected_name
+    }
+    fn flex_supported(&self) -> bool {
+        self.flex_ok
+    }
+
+    fn run_plain(&self, _data: &EvalData) -> Vec<f64> {
+        let m = self.query.mapper();
+        let acc = self.dataset.map(move |t| m(t)).reduce(|a, b| a + b);
+        self.query.finalize(acc.as_ref())
+    }
+
+    fn run_upa(&self, upa: &mut Upa, _data: &EvalData) -> Result<UpaResult<Vec<f64>>, UpaError> {
+        let domain = EmpiricalSampler::new(self.rows.clone());
+        upa.run(&self.dataset, &self.query, &domain)
+    }
+
+    fn ground_truth(
+        &self,
+        _data: &EvalData,
+        domain_samples: usize,
+        seed: u64,
+    ) -> GroundTruth<Vec<f64>> {
+        let domain = EmpiricalSampler::new(self.rows.clone());
+        exact_local_sensitivity(&self.rows, &self.query, &domain, domain_samples, seed)
+    }
+
+    fn flex_sensitivity(&self, data: &EvalData) -> Result<f64, FlexUnsupported> {
+        analyze(&self.flex_plan, &data.metadata)
+    }
+}
+
+/// A join-count query executed through `joinDP` (Q4, Q13).
+struct JoinQuery {
+    name: &'static str,
+    broadcast_query: MapReduceQuery<Order, f64, Vec<f64>>,
+    agg: JoinAggregate<u64, Order, Lineitem, f64, Vec<f64>>,
+    pred: fn(&Order, &Lineitem) -> bool,
+    orders_rows: Vec<Order>,
+    orders_keyed: Dataset<(u64, Order)>,
+    lineitem_keyed: Dataset<(u64, Lineitem)>,
+    flex_plan: Plan,
+}
+
+impl EvalQuery for JoinQuery {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn kind(&self) -> &'static str {
+        "Count"
+    }
+    fn protected(&self) -> &'static str {
+        "orders"
+    }
+    fn flex_supported(&self) -> bool {
+        true
+    }
+
+    fn run_plain(&self, _data: &EvalData) -> Vec<f64> {
+        let pred = self.pred;
+        let count = self
+            .orders_keyed
+            .join(&self.lineitem_keyed)
+            .filter(move |(_, (o, l))| pred(o, l))
+            .count();
+        vec![count as f64]
+    }
+
+    fn run_upa(&self, upa: &mut Upa, _data: &EvalData) -> Result<UpaResult<Vec<f64>>, UpaError> {
+        let keyed_rows: Vec<(u64, Order)> =
+            self.orders_rows.iter().map(|o| (o.orderkey, *o)).collect();
+        let domain = EmpiricalSampler::new(keyed_rows);
+        upa.run_join(&self.orders_keyed, &self.lineitem_keyed, &self.agg, &domain)
+    }
+
+    fn ground_truth(
+        &self,
+        _data: &EvalData,
+        domain_samples: usize,
+        seed: u64,
+    ) -> GroundTruth<Vec<f64>> {
+        let domain = EmpiricalSampler::new(self.orders_rows.clone());
+        exact_local_sensitivity(
+            &self.orders_rows,
+            &self.broadcast_query,
+            &domain,
+            domain_samples,
+            seed,
+        )
+    }
+
+    fn flex_sensitivity(&self, data: &EvalData) -> Result<f64, FlexUnsupported> {
+        analyze(&self.flex_plan, &data.metadata)
+    }
+}
+
+/// KMeans (one Lloyd iteration from a warmed-up model).
+struct KmQuery {
+    query: MapReduceQuery<Point, upa_mlalgo::kmeans::KmAcc, Vec<f64>>,
+    model: KMeans,
+    points: Vec<Point>,
+    dataset: Dataset<Point>,
+}
+
+impl EvalQuery for KmQuery {
+    fn name(&self) -> &'static str {
+        "KMeans"
+    }
+    fn kind(&self) -> &'static str {
+        "Machine Learning"
+    }
+    fn protected(&self) -> &'static str {
+        "ds1.10"
+    }
+    fn flex_supported(&self) -> bool {
+        false
+    }
+
+    fn run_plain(&self, _data: &EvalData) -> Vec<f64> {
+        self.model.step_plain(&self.dataset)
+    }
+
+    fn run_upa(&self, upa: &mut Upa, _data: &EvalData) -> Result<UpaResult<Vec<f64>>, UpaError> {
+        let domain = EmpiricalSampler::new(self.points.clone());
+        upa.run(&self.dataset, &self.query, &domain)
+    }
+
+    fn ground_truth(
+        &self,
+        _data: &EvalData,
+        domain_samples: usize,
+        seed: u64,
+    ) -> GroundTruth<Vec<f64>> {
+        let domain = EmpiricalSampler::new(self.points.clone());
+        exact_local_sensitivity(&self.points, &self.query, &domain, domain_samples, seed)
+    }
+
+    fn flex_sensitivity(&self, data: &EvalData) -> Result<f64, FlexUnsupported> {
+        analyze(&upa_mlalgo::ml_flex_plan("ds1.10"), &data.metadata)
+    }
+}
+
+/// Linear Regression (one SGD epoch from a warmed-up model).
+struct LrQuery {
+    query: MapReduceQuery<LrRecord, upa_mlalgo::linreg::LrAcc, Vec<f64>>,
+    model: LinearRegression,
+    records: Vec<LrRecord>,
+    dataset: Dataset<LrRecord>,
+}
+
+impl EvalQuery for LrQuery {
+    fn name(&self) -> &'static str {
+        "LinearRegression"
+    }
+    fn kind(&self) -> &'static str {
+        "Machine Learning"
+    }
+    fn protected(&self) -> &'static str {
+        "ds1.10"
+    }
+    fn flex_supported(&self) -> bool {
+        false
+    }
+
+    fn run_plain(&self, _data: &EvalData) -> Vec<f64> {
+        self.model.step_plain(&self.dataset)
+    }
+
+    fn run_upa(&self, upa: &mut Upa, _data: &EvalData) -> Result<UpaResult<Vec<f64>>, UpaError> {
+        let domain = EmpiricalSampler::new(self.records.clone());
+        upa.run(&self.dataset, &self.query, &domain)
+    }
+
+    fn ground_truth(
+        &self,
+        _data: &EvalData,
+        domain_samples: usize,
+        seed: u64,
+    ) -> GroundTruth<Vec<f64>> {
+        let domain = EmpiricalSampler::new(self.records.clone());
+        exact_local_sensitivity(&self.records, &self.query, &domain, domain_samples, seed)
+    }
+
+    fn flex_sensitivity(&self, data: &EvalData) -> Result<f64, FlexUnsupported> {
+        analyze(&upa_mlalgo::ml_flex_plan("ds1.10"), &data.metadata)
+    }
+}
+
+/// Builds all nine evaluated queries over `data`, in the paper's
+/// Figure 2 order (the five FLEX-supported queries first).
+pub fn build_queries(data: &EvalData) -> Vec<Box<dyn EvalQuery>> {
+    let mut queries: Vec<Box<dyn EvalQuery>> = Vec::with_capacity(9);
+
+    let q1 = tq::Q1::new(&data.tables);
+    queries.push(Box::new(ScalarQuery {
+        name: "TPCH1",
+        kind: "Count",
+        protected_name: "lineitem",
+        query: vectorize(q1.query()),
+        rows: data.tables.lineitem.clone(),
+        dataset: data.datasets.lineitem.clone(),
+        flex_plan: tq::Q1::flex_plan(),
+        flex_ok: true,
+    }));
+
+    let (orders_keyed, lineitem_keyed) = tq::Q4::keyed(&data.datasets);
+    let q4 = tq::Q4::new(&data.tables);
+    queries.push(Box::new(JoinQuery {
+        name: "TPCH4",
+        broadcast_query: vectorize(q4.query()),
+        agg: JoinAggregate::new(
+            "TPCH4",
+            |_k: &u64, o: &Order, l: &Lineitem| tq::q4_qualifies(o, l).then_some(1.0),
+            |a, b| a + b,
+            |acc: Option<&f64>| vec![acc.copied().unwrap_or(0.0)],
+        ),
+        pred: tq::q4_qualifies,
+        orders_rows: data.tables.orders.clone(),
+        orders_keyed: orders_keyed.clone(),
+        lineitem_keyed: lineitem_keyed.clone(),
+        flex_plan: tq::Q4::flex_plan(),
+    }));
+
+    let q13 = tq::Q13::new(&data.tables);
+    queries.push(Box::new(JoinQuery {
+        name: "TPCH13",
+        broadcast_query: vectorize(q13.query()),
+        agg: JoinAggregate::new(
+            "TPCH13",
+            |_k: &u64, o: &Order, l: &Lineitem| tq::q13_qualifies(o, l).then_some(1.0),
+            |a, b| a + b,
+            |acc: Option<&f64>| vec![acc.copied().unwrap_or(0.0)],
+        ),
+        pred: tq::q13_qualifies,
+        orders_rows: data.tables.orders.clone(),
+        orders_keyed,
+        lineitem_keyed,
+        flex_plan: tq::Q13::flex_plan(),
+    }));
+
+    let q16 = tq::Q16::new(&data.tables);
+    queries.push(Box::new(ScalarQuery {
+        name: "TPCH16",
+        kind: "Count",
+        protected_name: "partsupp",
+        query: vectorize(q16.query()),
+        rows: data.tables.partsupp.clone(),
+        dataset: data.datasets.partsupp.clone(),
+        flex_plan: tq::Q16::flex_plan(),
+        flex_ok: true,
+    }));
+
+    let q21 = tq::Q21::new(&data.tables);
+    queries.push(Box::new(ScalarQuery {
+        name: "TPCH21",
+        kind: "Count",
+        protected_name: "supplier",
+        query: vectorize(q21.query()),
+        rows: data.tables.supplier.clone(),
+        dataset: data.datasets.supplier.clone(),
+        flex_plan: tq::Q21::flex_plan(),
+        flex_ok: true,
+    }));
+
+    // KMeans: warm the model with two plain Lloyd iterations so the
+    // evaluated query is a realistic mid-training step.
+    let mut km = KMeans::init_from_points(&data.points, 3);
+    km.fit(&data.points_ds, 2);
+    queries.push(Box::new(KmQuery {
+        query: km.step_query("KMeans"),
+        model: km,
+        points: data.points.clone(),
+        dataset: data.points_ds.clone(),
+    }));
+
+    // Linear Regression: warm with three plain epochs.
+    let dims = data.lr_records[0].features.len();
+    let mut lr = LinearRegression::new(dims, 0.05);
+    lr.fit(&data.lr_ds, 3);
+    queries.push(Box::new(LrQuery {
+        query: lr.step_query("LinearRegression"),
+        model: lr,
+        records: data.lr_records.clone(),
+        dataset: data.lr_ds.clone(),
+    }));
+
+    let q6 = tq::Q6::new(&data.tables);
+    queries.push(Box::new(ScalarQuery {
+        name: "TPCH6",
+        kind: "Arithmetic",
+        protected_name: "lineitem",
+        query: vectorize(q6.query()),
+        rows: data.tables.lineitem.clone(),
+        dataset: data.datasets.lineitem.clone(),
+        flex_plan: tq::Q6::flex_plan(),
+        flex_ok: false,
+    }));
+
+    let q11 = tq::Q11::new(&data.tables);
+    queries.push(Box::new(ScalarQuery {
+        name: "TPCH11",
+        kind: "Arithmetic",
+        protected_name: "partsupp",
+        query: vectorize(q11.query()),
+        rows: data.tables.partsupp.clone(),
+        dataset: data.datasets.partsupp.clone(),
+        flex_plan: tq::Q11::flex_plan(),
+        flex_ok: false,
+    }));
+
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upa_core::UpaConfig;
+
+    fn tiny_data() -> EvalData {
+        let ctx = Context::with_threads(4);
+        EvalData::generate(
+            &ctx,
+            EvalScale {
+                orders: 400,
+                ml_records: 1_500,
+                partitions: 4,
+                seed: 11,
+            },
+        )
+    }
+
+    #[test]
+    fn suite_has_nine_queries_in_paper_order() {
+        let data = tiny_data();
+        let queries = build_queries(&data);
+        let names: Vec<&str> = queries.iter().map(|q| q.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "TPCH1",
+                "TPCH4",
+                "TPCH13",
+                "TPCH16",
+                "TPCH21",
+                "KMeans",
+                "LinearRegression",
+                "TPCH6",
+                "TPCH11"
+            ]
+        );
+        assert_eq!(queries.iter().filter(|q| q.flex_supported()).count(), 5);
+    }
+
+    #[test]
+    fn upa_raw_output_matches_plain_for_every_query() {
+        let data = tiny_data();
+        let queries = build_queries(&data);
+        let mut upa = Upa::new(
+            data.ctx.clone(),
+            UpaConfig {
+                sample_size: 40,
+                add_noise: false,
+                ..UpaConfig::default()
+            },
+        );
+        for q in &queries {
+            let plain = q.run_plain(&data);
+            let result = q.run_upa(&mut upa, &data).unwrap();
+            assert_eq!(plain.len(), result.raw.len(), "{}", q.name());
+            for (a, b) in plain.iter().zip(&result.raw) {
+                assert!(
+                    (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                    "{}: plain {a} vs upa raw {b}",
+                    q.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flex_supports_exactly_five() {
+        let data = tiny_data();
+        let queries = build_queries(&data);
+        for q in &queries {
+            assert_eq!(
+                q.flex_sensitivity(&data).is_ok(),
+                q.flex_supported(),
+                "{}",
+                q.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_has_one_removal_per_protected_record() {
+        let data = tiny_data();
+        let queries = build_queries(&data);
+        for q in &queries {
+            let gt = q.ground_truth(&data, 10, 1);
+            let expected = match q.protected() {
+                "lineitem" => data.tables.lineitem.len(),
+                "orders" => data.tables.orders.len(),
+                "partsupp" => data.tables.partsupp.len(),
+                "supplier" => data.tables.supplier.len(),
+                "ds1.10" => data.scale.ml_records,
+                other => panic!("unknown protected table {other}"),
+            };
+            assert_eq!(gt.removal_outputs.len(), expected, "{}", q.name());
+            assert!(gt.local_sensitivity >= 0.0);
+        }
+    }
+}

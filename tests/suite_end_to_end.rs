@@ -1,0 +1,138 @@
+//! End-to-end run of the full nine-query evaluation suite (Table II)
+//! with noise enabled — the integration surface the benchmark binaries
+//! build on.
+
+use dataflow::Context;
+use upa_repro::suite::{build_queries, EvalData, EvalScale};
+use upa_repro::upa_core::{Upa, UpaConfig, UpaError};
+use upa_repro::upa_stats::rmse::relative_rmse;
+
+fn small_scale() -> EvalScale {
+    EvalScale {
+        orders: 600,
+        ml_records: 2_000,
+        partitions: 4,
+        seed: 3,
+    }
+}
+
+#[test]
+fn all_nine_queries_release_noisy_outputs() {
+    let ctx = Context::with_threads(4);
+    let data = EvalData::generate(&ctx, small_scale());
+    let queries = build_queries(&data);
+    assert_eq!(queries.len(), 9);
+    let mut upa = Upa::new(
+        ctx.clone(),
+        UpaConfig {
+            sample_size: 60,
+            epsilon: 0.1,
+            ..UpaConfig::default()
+        },
+    );
+    for q in &queries {
+        let result = q.run_upa(&mut upa, &data).unwrap_or_else(|e| {
+            panic!("{} failed: {e}", q.name());
+        });
+        assert!(
+            result.released.iter().all(|v| v.is_finite()),
+            "{}: non-finite release",
+            q.name()
+        );
+        assert!(
+            result.sensitivity.iter().all(|s| *s >= 0.0 && s.is_finite()),
+            "{}: bad sensitivity",
+            q.name()
+        );
+        // Noise is on: the released value differs from the enforced one
+        // in at least one component unless sensitivity is exactly zero.
+        if result.sensitivity.iter().any(|s| *s > 0.0) {
+            assert_ne!(result.released, result.enforced, "{}", q.name());
+        }
+    }
+    // One history entry per query.
+    assert_eq!(upa.enforcer().history_len(), 9);
+}
+
+#[test]
+fn upa_sensitivity_tracks_ground_truth_for_count_queries() {
+    let ctx = Context::with_threads(4);
+    let data = EvalData::generate(&ctx, small_scale());
+    let queries = build_queries(&data);
+    let mut upa_estimates = Vec::new();
+    let mut truths = Vec::new();
+    for q in &queries {
+        // Large sample so the estimate is dominated by the fit, not
+        // sampling error (the paper's n=1000 regime).
+        let mut upa = Upa::new(
+            ctx.clone(),
+            UpaConfig {
+                sample_size: 1_000,
+                add_noise: false,
+                ..UpaConfig::default()
+            },
+        );
+        let result = q.run_upa(&mut upa, &data).unwrap();
+        let gt = q.ground_truth(&data, 200, 17);
+        upa_estimates.push(result.sensitivity.iter().copied().fold(0.0, f64::max));
+        truths.push(gt.local_sensitivity);
+    }
+    // Aggregate relative RMSE over the suite must be small: UPA's
+    // Figure 2(a) reports ~3.8% on the paper's setup; allow a generous
+    // factor for the tiny test scale.
+    let err = relative_rmse(&upa_estimates, &truths).unwrap();
+    assert!(
+        err < 1.0,
+        "suite-wide relative RMSE {err} out of band\nestimates {upa_estimates:?}\ntruths {truths:?}"
+    );
+}
+
+#[test]
+fn flex_bounds_are_conservative_where_supported() {
+    let ctx = Context::with_threads(4);
+    let data = EvalData::generate(&ctx, small_scale());
+    let queries = build_queries(&data);
+    for q in &queries {
+        match q.flex_sensitivity(&data) {
+            Ok(flex) => {
+                let gt = q.ground_truth(&data, 100, 23);
+                // FLEX's worst-case bound must upper-bound the true local
+                // sensitivity (its soundness property).
+                assert!(
+                    flex >= gt.local_sensitivity - 1e-9,
+                    "{}: FLEX {flex} below ground truth {}",
+                    q.name(),
+                    gt.local_sensitivity
+                );
+            }
+            Err(_) => assert!(!q.flex_supported(), "{}", q.name()),
+        }
+    }
+}
+
+#[test]
+fn budget_spans_multiple_suite_queries() {
+    let ctx = Context::with_threads(4);
+    let data = EvalData::generate(&ctx, small_scale());
+    let queries = build_queries(&data);
+    let mut upa = Upa::new(
+        ctx.clone(),
+        UpaConfig {
+            sample_size: 40,
+            epsilon: 0.1,
+            ..UpaConfig::default()
+        },
+    )
+    .with_budget(0.45);
+    let mut ok = 0;
+    let mut exhausted = 0;
+    for q in queries.iter() {
+        match q.run_upa(&mut upa, &data) {
+            Ok(_) => ok += 1,
+            Err(UpaError::BudgetExhausted { .. }) => exhausted += 1,
+            Err(e) => panic!("{}: {e}", q.name()),
+        }
+    }
+    assert_eq!(ok, 4, "0.45 budget funds exactly four ε=0.1 queries");
+    assert_eq!(exhausted, 5);
+}
