@@ -57,5 +57,10 @@ fn bench_partitioning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_narrow_ops, bench_shuffle_ops, bench_partitioning);
+criterion_group!(
+    benches,
+    bench_narrow_ops,
+    bench_shuffle_ops,
+    bench_partitioning
+);
 criterion_main!(benches);

@@ -60,7 +60,9 @@ fn bench_execute(c: &mut Criterion) {
     group.bench_function("filter_count", |b| {
         b.iter(|| cat.execute(&filter_count).expect("runs"))
     });
-    group.bench_function("join_sum", |b| b.iter(|| cat.execute(&join_sum).expect("runs")));
+    group.bench_function("join_sum", |b| {
+        b.iter(|| cat.execute(&join_sum).expect("runs"))
+    });
     group.finish();
 }
 

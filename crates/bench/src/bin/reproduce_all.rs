@@ -15,4 +15,6 @@ fn main() {
     upa_bench::experiments::fig4a(&cfg);
     println!();
     upa_bench::experiments::fig4b(&cfg);
+    println!();
+    upa_bench::experiments::stage_audit(&cfg);
 }

@@ -1,0 +1,6 @@
+//! Per-query stage-level audit; see `upa_bench::experiments::stage_audit`.
+
+fn main() {
+    let cfg = upa_bench::ExpConfig::from_env();
+    upa_bench::experiments::stage_audit(&cfg);
+}

@@ -375,8 +375,10 @@ pub fn fig3(cfg: &ExpConfig) {
         ]);
     }
     t.print();
-    println!("
-(large KS = strongly non-normal neighbour outputs, the paper's");
+    println!(
+        "
+(large KS = strongly non-normal neighbour outputs, the paper's"
+    );
     println!(" §VI-C explanation for residual inaccuracy; TPCH21's outliers show");
     println!(" as a heavy-tailed sparkline)");
 }
@@ -406,11 +408,7 @@ pub fn fig4a(cfg: &ExpConfig) {
             ..*cfg
         };
         let (ctx, data, queries) = setup_with_scan(&scaled, cfg.scan_cost_ns);
-        let mut cells = vec![format!(
-            "{}x ({} lineitems)",
-            f,
-            data.tables.lineitem.len()
-        )];
+        let mut cells = vec![format!("{}x ({} lineitems)", f, data.tables.lineitem.len())];
         for name in &selected {
             let q = queries
                 .iter()
@@ -427,6 +425,65 @@ pub fn fig4a(cfg: &ExpConfig) {
     }
     t.print();
     println!("\n(each column should trend downward as the scale factor grows)");
+}
+
+// ---------------------------------------------------------------------------
+// Stage-level audit (observability layer)
+// ---------------------------------------------------------------------------
+
+/// Stage-level audit: runs every suite query once and reports where
+/// Algorithm 1 spends its time, from each release's [`QueryAudit`]
+/// (`upa_core::QueryAudit`). The full audits are also written as a JSON
+/// array to `BENCH_STAGES.json` (override the path with
+/// `UPA_BENCH_STAGES_OUT`) for downstream tooling.
+pub fn stage_audit(cfg: &ExpConfig) {
+    let (ctx, data, queries) = setup(cfg);
+    println!("== Stage-level audit: per-phase wall-clock of Algorithm 1 ==");
+    println!("(all times in ms; prefix stages prepare/*, suffix stages release/*)\n");
+
+    let stages = [
+        "partition",
+        "sample",
+        "map",
+        "reduce",
+        "neighbours",
+        "mle_fit",
+        "enforce",
+        "clamp",
+        "noise",
+    ];
+    let mut t = Table::new(&{
+        let mut h = vec!["Query", "total"];
+        h.extend(stages);
+        h
+    });
+    let mut jsons = Vec::new();
+    for q in &queries {
+        let mut upa = upa_for(&ctx, 1_000, cfg.seed + 3_100, true);
+        q.run_upa(&mut upa, &data).expect("query runs");
+        let audit = upa
+            .last_audit()
+            .expect("every successful release leaves an audit")
+            .clone();
+        let mut cells = vec![
+            q.name().to_string(),
+            format!("{:.2}", audit.total_nanos as f64 / 1e6),
+        ];
+        for s in &stages {
+            cells.push(format!("{:.2}", audit.stage_nanos(s) as f64 / 1e6));
+        }
+        t.row(cells);
+        jsons.push(audit.to_json());
+    }
+    t.print();
+
+    let path =
+        std::env::var("UPA_BENCH_STAGES_OUT").unwrap_or_else(|_| "BENCH_STAGES.json".to_string());
+    let payload = format!("[{}]\n", jsons.join(",\n"));
+    match std::fs::write(&path, payload) {
+        Ok(()) => println!("\nwrote {} query audits to {path}", jsons.len()),
+        Err(e) => eprintln!("\ncannot write {path}: {e}"),
+    }
 }
 
 // ---------------------------------------------------------------------------

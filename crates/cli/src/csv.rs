@@ -157,10 +157,7 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert_eq!(parse(""), Err(CsvError::Empty));
-        assert!(matches!(
-            parse("a,b\n1\n"),
-            Err(CsvError::ArityMismatch(_))
-        ));
+        assert!(matches!(parse("a,b\n1\n"), Err(CsvError::ArityMismatch(_))));
         assert_eq!(parse("a\n\"oops\n"), Err(CsvError::UnterminatedQuote));
     }
 

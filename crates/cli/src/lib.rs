@@ -15,7 +15,7 @@ pub mod sql;
 use dataflow::Context;
 use upa_core::domain::EmpiricalSampler;
 use upa_core::query::MapReduceQuery;
-use upa_core::{Upa, UpaConfig, UpaResult};
+use upa_core::{QueryAudit, Upa, UpaConfig, UpaResult};
 
 /// The aggregate to release.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +60,9 @@ pub struct Args {
     /// Single-table SQL statement to release instead of
     /// `--column`/`--query` (e.g. `SELECT COUNT(*) FROM data WHERE age >= 18`).
     pub sql: Option<String>,
+    /// Print the per-query audit (stage timings, enforcer decisions,
+    /// engine counters) after the release, `EXPLAIN ANALYZE`-style.
+    pub stats: bool,
 }
 
 impl Default for Args {
@@ -73,6 +76,7 @@ impl Default for Args {
             seed: 0xC11,
             threads: 0,
             sql: None,
+            stats: false,
         }
     }
 }
@@ -81,12 +85,16 @@ impl Default for Args {
 pub const USAGE: &str = "\
 usage: upa-cli --input FILE.csv --column NAME --query count|sum|mean
                [--epsilon E] [--sample-size N] [--seed S] [--threads T]
+               [--stats]
        upa-cli --input FILE.csv --sql 'SELECT COUNT(*) FROM data WHERE ...'
                [--epsilon E] [--sample-size N] [--seed S] [--threads T]
+               [--stats]
 
 Releases a differentially private aggregate of a CSV file — either one
 numeric column, or a single-table SQL COUNT/SUM (the CSV is the table
-`data`) — with sensitivity inferred automatically by UPA (DSN 2020).";
+`data`) — with sensitivity inferred automatically by UPA (DSN 2020).
+--stats additionally prints the query audit: per-stage wall-clock of
+Algorithm 1, RANGE ENFORCER decisions and engine shuffle counters.";
 
 impl Args {
     /// Parses flags from an iterator of arguments (without the program
@@ -127,6 +135,7 @@ impl Args {
                         .map_err(|_| "--threads must be an integer".to_string())?
                 }
                 "--sql" => args.sql = Some(need(&mut it, "--sql")?),
+                "--stats" => args.stats = true,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
             }
@@ -170,12 +179,16 @@ fn build_query(kind: QueryKind) -> MapReduceQuery<f64, (f64, f64), f64> {
     .with_half_key(|x: &f64| x.to_bits())
 }
 
-/// Runs the aggregate over already-extracted values.
+/// Runs the aggregate over already-extracted values, returning the
+/// release together with its [`QueryAudit`].
 ///
 /// # Errors
 ///
 /// Propagates pipeline errors as strings (empty input etc.).
-pub fn run_values(values: Vec<f64>, args: &Args) -> Result<UpaResult<f64>, String> {
+pub fn run_values_audited(
+    values: Vec<f64>,
+    args: &Args,
+) -> Result<(UpaResult<f64>, Option<QueryAudit>), String> {
     let ctx = if args.threads == 0 {
         Context::default()
     } else {
@@ -193,7 +206,20 @@ pub fn run_values(values: Vec<f64>, args: &Args) -> Result<UpaResult<f64>, Strin
     let dataset = ctx.parallelize_default(values.clone());
     let domain = EmpiricalSampler::new(values);
     let query = build_query(args.query);
-    upa.run(&dataset, &query, &domain).map_err(|e| e.to_string())
+    let result = upa
+        .run(&dataset, &query, &domain)
+        .map_err(|e| e.to_string())?;
+    let audit = upa.last_audit().cloned();
+    Ok((result, audit))
+}
+
+/// Runs the aggregate over already-extracted values.
+///
+/// # Errors
+///
+/// Propagates pipeline errors as strings (empty input etc.).
+pub fn run_values(values: Vec<f64>, args: &Args) -> Result<UpaResult<f64>, String> {
+    Ok(run_values_audited(values, args)?.0)
 }
 
 /// Full CLI flow: read the file, extract the column, release.
@@ -214,35 +240,45 @@ pub fn run(args: &Args) -> Result<UpaResult<f64>, String> {
     let values = if args.query == QueryKind::Count && args.column.is_empty() {
         vec![0.0; doc.rows.len()]
     } else {
-        doc.numeric_column(&args.column).map_err(|e| e.to_string())?
+        doc.numeric_column(&args.column)
+            .map_err(|e| e.to_string())?
     };
     run_values(values, args)
 }
 
-/// Runs the full flow, supporting grouped SQL output.
+/// Runs the full flow, supporting grouped SQL output. The returned
+/// [`Release`] carries the audit of the underlying pipeline run, printed
+/// by the binary when `--stats` is set.
 ///
 /// # Errors
 ///
 /// Returns a printable message for I/O, CSV, SQL or pipeline failures.
-pub fn run_release(args: &Args) -> Result<Output, String> {
+pub fn run_release(args: &Args) -> Result<Release, String> {
     let text = std::fs::read_to_string(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input))?;
     let doc = csv::parse(&text).map_err(|e| e.to_string())?;
     if let Some(statement) = &args.sql {
-        return Ok(match sql::run_sql_release(&doc, statement, args)? {
+        let (release, audit) = sql::run_sql_release(&doc, statement, args)?;
+        let output = match release {
             sql::SqlRelease::Scalar(result, _exact) => Output::Scalar(*result),
             sql::SqlRelease::Grouped { labels, result } => Output::Grouped {
                 labels,
                 result: *result,
             },
-        });
+        };
+        return Ok(Release { output, audit });
     }
     let values = if args.query == QueryKind::Count && args.column.is_empty() {
         vec![0.0; doc.rows.len()]
     } else {
-        doc.numeric_column(&args.column).map_err(|e| e.to_string())?
+        doc.numeric_column(&args.column)
+            .map_err(|e| e.to_string())?
     };
-    Ok(Output::Scalar(run_values(values, args)?))
+    let (result, audit) = run_values_audited(values, args)?;
+    Ok(Release {
+        output: Output::Scalar(result),
+        audit,
+    })
 }
 
 /// A rendered-ready release: scalar or grouped.
@@ -257,6 +293,15 @@ pub enum Output {
         /// The per-group release.
         result: UpaResult<Vec<f64>>,
     },
+}
+
+/// The full CLI release: the printable output plus the pipeline audit.
+#[derive(Debug, Clone)]
+pub struct Release {
+    /// The value(s) to print.
+    pub output: Output,
+    /// The audit of the pipeline run that produced them.
+    pub audit: Option<QueryAudit>,
 }
 
 /// Formats any release for the terminal.
@@ -315,6 +360,9 @@ mod tests {
         assert_eq!(a.sample_size, 64);
         assert_eq!(a.seed, 9);
         assert_eq!(a.threads, 2);
+        assert!(!a.stats);
+        let b = Args::parse(argv("--input f.csv --stats")).unwrap();
+        assert!(b.stats);
     }
 
     #[test]
@@ -381,6 +429,12 @@ mod tests {
         let text = render(&r, &args);
         assert!(text.contains("released"));
         assert!(text.contains("sensitivity"));
+        // The full release path carries the audit for --stats.
+        let release = run_release(&args).unwrap();
+        let audit = release.audit.expect("release has an audit");
+        assert_eq!(audit.query, "mean");
+        assert!(audit.stage_nanos("sample") > 0);
+        assert!(audit.render().contains("stages:"));
     }
 
     #[test]

@@ -9,7 +9,15 @@ fn main() {
         }
     };
     match upa_cli::run_release(&args) {
-        Ok(output) => println!("{}", upa_cli::render_output(&output, &args)),
+        Ok(release) => {
+            println!("{}", upa_cli::render_output(&release.output, &args));
+            if args.stats {
+                match &release.audit {
+                    Some(audit) => println!("\n{}", audit.render()),
+                    None => eprintln!("(no audit recorded for this release)"),
+                }
+            }
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(1);

@@ -11,7 +11,7 @@ use crate::csv::CsvDocument;
 use dataflow::Context;
 use upa_core::domain::EmpiricalSampler;
 use upa_core::query::MapReduceQuery;
-use upa_core::{Upa, UpaConfig, UpaResult};
+use upa_core::{QueryAudit, Upa, UpaConfig, UpaResult};
 use upa_relational::expr::BoundExpr;
 use upa_relational::plan::{Aggregate, LogicalPlan};
 use upa_relational::value::{JoinKey, Relation, Row, Schema, Value};
@@ -117,7 +117,9 @@ pub fn plan_to_query(
         _ => return Err("only single-table queries can be released under DP".into()),
     };
     if scan != TABLE {
-        return Err(format!("unknown table '{scan}' (the CSV is registered as '{TABLE}')"));
+        return Err(format!(
+            "unknown table '{scan}' (the CSV is registered as '{TABLE}')"
+        ));
     }
     let bound_pred: Option<BoundExpr> = match predicate {
         Some(p) => Some(p.bind(schema).map_err(|e| e.to_string())?),
@@ -226,9 +228,7 @@ fn group_plan_to_query(
                     if let Some(&b) = index_of.get(&k) {
                         out[b] = match &value_expr {
                             None => 1.0,
-                            Some(e) => {
-                                e.eval(row).ok().and_then(|v| v.as_f64()).unwrap_or(0.0)
-                            }
+                            Some(e) => e.eval(row).ok().and_then(|v| v.as_f64()).unwrap_or(0.0),
                         };
                     }
                 }
@@ -243,6 +243,7 @@ fn group_plan_to_query(
 }
 
 /// Full SQL flow: type the CSV, parse the statement, release under DP.
+/// Also returns the audit of the pipeline run, for `--stats`.
 ///
 /// # Errors
 ///
@@ -251,7 +252,7 @@ pub fn run_sql_release(
     doc: &CsvDocument,
     sql: &str,
     args: &crate::Args,
-) -> Result<SqlRelease, String> {
+) -> Result<(SqlRelease, Option<QueryAudit>), String> {
     let plan = upa_relational::parse_sql(sql).map_err(|e| e.to_string())?;
     let schema = schema_of(doc);
     let rows = typed_rows(doc);
@@ -288,10 +289,14 @@ pub fn run_sql_release(
         let result = upa
             .run(&dataset, &query, &domain)
             .map_err(|e| e.to_string())?;
-        return Ok(SqlRelease::Grouped {
-            labels,
-            result: Box::new(result),
-        });
+        let audit = upa.last_audit().cloned();
+        return Ok((
+            SqlRelease::Grouped {
+                labels,
+                result: Box::new(result),
+            },
+            audit,
+        ));
     }
 
     let query = plan_to_query(&plan, &schema)?;
@@ -310,7 +315,8 @@ pub fn run_sql_release(
         .run(&dataset, &query, &domain)
         .map_err(|e| e.to_string())?;
     debug_assert!((result.raw - exact).abs() <= 1e-6 * exact.abs().max(1.0));
-    Ok(SqlRelease::Scalar(Box::new(result), exact))
+    let audit = upa.last_audit().cloned();
+    Ok((SqlRelease::Scalar(Box::new(result), exact), audit))
 }
 
 /// Backwards-compatible scalar entry point.
@@ -324,7 +330,7 @@ pub fn run_sql(
     sql: &str,
     args: &crate::Args,
 ) -> Result<(UpaResult<f64>, f64), String> {
-    match run_sql_release(doc, sql, args)? {
+    match run_sql_release(doc, sql, args)?.0 {
         SqlRelease::Scalar(result, exact) => Ok((*result, exact)),
         SqlRelease::Grouped { .. } => {
             Err("GROUP BY statements produce grouped output; use run_sql_release".into())
@@ -406,21 +412,22 @@ mod tests {
         assert_eq!(result.raw, 2_000.0);
     }
 
-
     #[test]
     fn grouped_count_release() {
         let d = doc();
-        let release = run_sql_release(
-            &d,
-            "SELECT city, COUNT(*) FROM data GROUP BY city",
-            &args(),
-        )
-        .unwrap();
+        let (release, audit) =
+            run_sql_release(&d, "SELECT city, COUNT(*) FROM data GROUP BY city", &args()).unwrap();
+        let audit = audit.expect("grouped release has an audit");
+        assert_eq!(audit.query, "sql_group_by");
+        assert!(audit.stage_nanos("enforce") > 0);
         match release {
             SqlRelease::Grouped { labels, result } => {
                 assert_eq!(labels.len(), 2);
                 let york = labels.iter().position(|l| l == "york").expect("york group");
-                let leeds = labels.iter().position(|l| l == "leeds").expect("leeds group");
+                let leeds = labels
+                    .iter()
+                    .position(|l| l == "leeds")
+                    .expect("leeds group");
                 let want_york = (0..2_000).filter(|i| i % 3 == 0).count() as f64;
                 assert_eq!(result.raw[york], want_york);
                 assert_eq!(result.raw[leeds], 2_000.0 - want_york);
@@ -436,7 +443,7 @@ mod tests {
     #[test]
     fn grouped_sum_with_filter() {
         let d = doc();
-        let release = run_sql_release(
+        let (release, _audit) = run_sql_release(
             &d,
             "SELECT city, SUM(income) FROM data WHERE age >= 10 GROUP BY city",
             &args(),
@@ -458,9 +465,11 @@ mod tests {
     #[test]
     fn scalar_entry_point_rejects_group_by() {
         let d = doc();
-        assert!(run_sql(&d, "SELECT city, COUNT(*) FROM data GROUP BY city", &args())
-            .unwrap_err()
-            .contains("grouped output"));
+        assert!(
+            run_sql(&d, "SELECT city, COUNT(*) FROM data GROUP BY city", &args())
+                .unwrap_err()
+                .contains("grouped output")
+        );
     }
 
     #[test]
@@ -476,9 +485,11 @@ mod tests {
         )
         .unwrap_err()
         .contains("single-table"));
-        assert!(run_sql(&d, "SELECT COUNT(*) FROM data WHERE nope = 1", &args())
-            .unwrap_err()
-            .contains("unknown column"));
+        assert!(
+            run_sql(&d, "SELECT COUNT(*) FROM data WHERE nope = 1", &args())
+                .unwrap_err()
+                .contains("unknown column")
+        );
         assert!(run_sql(&d, "not sql at all", &args())
             .unwrap_err()
             .contains("parse error"));

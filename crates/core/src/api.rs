@@ -16,6 +16,12 @@
 //! | `reduceByKeyDP`      | [`DpReadKv::reduce_by_key_dp`]              |
 //! | `dpobjectKV` + `joinDP` | [`DpSession::dpread_kv`] + [`DpReadKv::join_dp`] |
 //!
+//! `dpread` takes the record-domain sampler up front — mirroring the
+//! paper, where the domain `D` is a property of the protected table, not
+//! of any particular reduction over it — so every terminal operator
+//! (`reduce_dp`, `reduce_by_key_dp`, `join_dp`) needs only its
+//! query-specific arguments.
+//!
 //! # Example
 //!
 //! ```
@@ -27,16 +33,20 @@
 //! let ctx = Context::with_threads(2);
 //! let data: Vec<f64> = (0..3_000).map(|i| (i % 9) as f64).collect();
 //! let ds = ctx.parallelize(data.clone(), 4);
+//! let domain = EmpiricalSampler::new(data);
 //!
 //! let mut session = DpSession::new(ctx, UpaConfig { sample_size: 100, ..UpaConfig::default() });
 //! let result = session
-//!     .dpread(&ds)
+//!     .dpread(&ds, &domain)
 //!     .map_dp("sum", |x: &f64| *x)
-//!     .reduce_dp(|a, b| a + b, &EmpiricalSampler::new(data))
+//!     .reduce_dp(|a, b| a + b)
 //!     .unwrap();
 //! assert!(result.sensitivity[0] > 0.0);
+//! // Every successful release leaves an audit behind.
+//! assert!(session.last_audit().is_some());
 //! ```
 
+use crate::audit::QueryAudit;
 use crate::domain::DomainSampler;
 use crate::error::UpaError;
 use crate::join::JoinAggregate;
@@ -78,25 +88,46 @@ impl DpSession {
         self.upa
     }
 
-    /// `dpread[T](RDD[T])`: marks a dataset for DP processing. Sampling
-    /// itself happens lazily when the terminal `reduceDP` runs, so that
-    /// the sample is fresh per query (as in Algorithm 1).
-    pub fn dpread<'s, T: Data>(&'s mut self, data: &Dataset<T>) -> DpRead<'s, T> {
+    /// The audit of the most recent successful release (see
+    /// [`Upa::last_audit`]).
+    pub fn last_audit(&self) -> Option<&QueryAudit> {
+        self.upa.last_audit()
+    }
+
+    /// Audits of every successful release through this session's engine,
+    /// oldest first.
+    pub fn audits(&self) -> &[QueryAudit] {
+        self.upa.audits()
+    }
+
+    /// `dpread[T](RDD[T])`: marks a dataset for DP processing, with
+    /// `domain` sampling the record domain `D \ x` the paper's *added*
+    /// neighbours are drawn from. Sampling itself happens lazily when the
+    /// terminal `reduceDP` runs, so that the sample is fresh per query
+    /// (as in Algorithm 1).
+    pub fn dpread<'s, T: Data>(
+        &'s mut self,
+        data: &Dataset<T>,
+        domain: &'s dyn DomainSampler<T>,
+    ) -> DpRead<'s, T> {
         DpRead {
             session: self,
             data: data.clone(),
+            domain,
         }
     }
 
     /// `dpobjectKV`: marks a key-value dataset (the protected side of a
-    /// join) for DP processing.
+    /// join) for DP processing, with `domain` sampling its record domain.
     pub fn dpread_kv<'s, K: Data, V: Data>(
         &'s mut self,
         data: &Dataset<(K, V)>,
+        domain: &'s dyn DomainSampler<(K, V)>,
     ) -> DpReadKv<'s, K, V> {
         DpReadKv {
             session: self,
             data: data.clone(),
+            domain,
         }
     }
 }
@@ -105,6 +136,7 @@ impl DpSession {
 pub struct DpRead<'s, T> {
     session: &'s mut DpSession,
     data: Dataset<T>,
+    domain: &'s dyn DomainSampler<T>,
 }
 
 impl<'s, T: Data> DpRead<'s, T> {
@@ -119,6 +151,7 @@ impl<'s, T: Data> DpRead<'s, T> {
             data: self.data,
             name: name.into(),
             map: Arc::new(map),
+            domain: self.domain,
         }
     }
 }
@@ -129,6 +162,7 @@ pub struct DpObject<'s, T, Acc> {
     data: Dataset<T>,
     name: String,
     map: Arc<dyn Fn(&T) -> Acc + Send + Sync>,
+    domain: &'s dyn DomainSampler<T>,
 }
 
 impl<T: Data, Acc: Data> DpObject<'_, T, Acc> {
@@ -143,7 +177,6 @@ impl<T: Data, Acc: Data> DpObject<'_, T, Acc> {
     pub fn reduce_dp(
         self,
         reduce: impl Fn(&Acc, &Acc) -> Acc + Send + Sync + 'static,
-        domain: &dyn DomainSampler<T>,
     ) -> Result<UpaResult<Acc>, UpaError>
     where
         Acc: DpOutput,
@@ -158,7 +191,7 @@ impl<T: Data, Acc: Data> DpObject<'_, T, Acc> {
                     .unwrap_or_else(|| Acc::from_components(vec![0.0]))
             },
         );
-        self.session.upa.run(&self.data, &query, domain)
+        self.session.upa.run(&self.data, &query, self.domain)
     }
 
     /// `reduceDP` with an output projection (`finalize`), for queries
@@ -172,11 +205,10 @@ impl<T: Data, Acc: Data> DpObject<'_, T, Acc> {
         self,
         reduce: impl Fn(&Acc, &Acc) -> Acc + Send + Sync + 'static,
         finalize: impl Fn(Option<&Acc>) -> Out + Send + Sync + 'static,
-        domain: &dyn DomainSampler<T>,
     ) -> Result<UpaResult<Out>, UpaError> {
         let map = Arc::clone(&self.map);
         let query = MapReduceQuery::new(self.name.clone(), move |t: &T| map(t), reduce, finalize);
-        self.session.upa.run(&self.data, &query, domain)
+        self.session.upa.run(&self.data, &query, self.domain)
     }
 }
 
@@ -184,6 +216,7 @@ impl<T: Data, Acc: Data> DpObject<'_, T, Acc> {
 pub struct DpReadKv<'s, K, V> {
     session: &'s mut DpSession,
     data: Dataset<(K, V)>,
+    domain: &'s dyn DomainSampler<(K, V)>,
 }
 
 impl<K, V> DpReadKv<'_, K, V>
@@ -198,8 +231,9 @@ where
     /// protected). Values are projected to `f64` by `value_of` and summed
     /// per key.
     ///
-    /// Returns the key order alongside the vector release: component `i`
-    /// of the result is the aggregate for `keys[i]`.
+    /// Returns a [`KeyedResult`] pairing the sorted key order with the
+    /// vector release: component `i` of the underlying result is the
+    /// aggregate for key `i`.
     ///
     /// # Errors
     ///
@@ -207,18 +241,13 @@ where
     pub fn reduce_by_key_dp(
         self,
         value_of: impl Fn(&V) -> f64 + Send + Sync + 'static,
-        domain: &dyn DomainSampler<(K, V)>,
-    ) -> Result<(Vec<K>, UpaResult<Vec<f64>>), UpaError>
+    ) -> Result<KeyedResult<K>, UpaError>
     where
         K: std::hash::Hash + Ord,
     {
         // Public key domain: the distinct keys, in sorted order for
         // deterministic output components.
-        let mut keys: Vec<K> = self
-            .data
-            .map(|(k, _)| k.clone())
-            .distinct()
-            .collect();
+        let mut keys: Vec<K> = self.data.map(|(k, _)| k.clone()).distinct().collect();
         keys.sort();
         let index_of: std::collections::HashMap<K, usize> = keys
             .iter()
@@ -241,11 +270,9 @@ where
             |a: &Vec<f64>, b: &Vec<f64>| a.iter().zip(b).map(|(x, y)| x + y).collect(),
             move |acc: Option<&Vec<f64>>| acc.cloned().unwrap_or_else(|| vec![0.0; bins]),
         )
-        .with_half_key(move |(k, _v): &(K, V)| {
-            index_for_key.get(k).copied().unwrap_or(0) as u64
-        });
-        let result = self.session.upa.run(&self.data, &query, domain)?;
-        Ok((keys, result))
+        .with_half_key(move |(k, _v): &(K, V)| index_for_key.get(k).copied().unwrap_or(0) as u64);
+        let result = self.session.upa.run(&self.data, &query, self.domain)?;
+        Ok(KeyedResult { keys, result })
     }
 
     /// `joinDP(dpobjectKV[K, W])`: joins with another table and runs a
@@ -258,19 +285,73 @@ where
         self,
         other: &Dataset<(K, W)>,
         agg: &JoinAggregate<K, V, W, A, Out>,
-        domain: &dyn DomainSampler<(K, V)>,
     ) -> Result<UpaResult<Out>, UpaError>
     where
         W: Data,
         A: Data,
         Out: DpOutput,
     {
-        self.session.upa.run_join(&self.data, other, agg, domain)
+        self.session
+            .upa
+            .run_join(&self.data, other, agg, self.domain)
     }
 }
 
 /// Alias so the paper's name for the KV object appears in the API.
 pub type DpObjectKv<'s, K, V> = DpReadKv<'s, K, V>;
+
+/// The release of a `reduceByKeyDP` query: per-key noisy aggregates,
+/// addressable by key as well as by component index.
+///
+/// Keys are in sorted order; component `i` of the underlying
+/// [`UpaResult`] (released value, sensitivity, range) belongs to
+/// `keys()[i]`.
+#[derive(Debug, Clone)]
+pub struct KeyedResult<K> {
+    keys: Vec<K>,
+    result: UpaResult<Vec<f64>>,
+}
+
+impl<K: Ord> KeyedResult<K> {
+    /// The released (noisy) aggregate for `key`, or `None` for a key that
+    /// was not in the observed key set.
+    pub fn get(&self, key: &K) -> Option<f64> {
+        let i = self.keys.binary_search(key).ok()?;
+        self.result.released.get(i).copied()
+    }
+
+    /// The keys, in sorted order.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// Iterates `(key, released aggregate)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, f64)> {
+        self.keys.iter().zip(self.result.released.iter().copied())
+    }
+
+    /// The underlying vector release: raw/enforced/released values,
+    /// per-component sensitivity and range.
+    pub fn result(&self) -> &UpaResult<Vec<f64>> {
+        &self.result
+    }
+
+    /// Consumes the wrapper, returning the key order and the underlying
+    /// result.
+    pub fn into_parts(self) -> (Vec<K>, UpaResult<Vec<f64>>) {
+        (self.keys, self.result)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the key set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -295,12 +376,16 @@ mod tests {
         let (ctx, mut s) = session(50);
         let data: Vec<f64> = (0..1_000).map(|i| (i % 5) as f64).collect();
         let ds = ctx.parallelize(data.clone(), 4);
+        let domain = EmpiricalSampler::new(data);
         let result = s
-            .dpread(&ds)
+            .dpread(&ds, &domain)
             .map_dp("count", |_x: &f64| 1.0)
-            .reduce_dp(|a, b| a + b, &EmpiricalSampler::new(data))
+            .reduce_dp(|a, b| a + b)
             .unwrap();
         assert_eq!(result.raw, 1_000.0);
+        let audit = s.last_audit().expect("release leaves an audit");
+        assert_eq!(audit.query, "count");
+        assert!(audit.stage_nanos("sample") > 0);
     }
 
     #[test]
@@ -308,14 +393,14 @@ mod tests {
         let (ctx, mut s) = session(50);
         let data: Vec<f64> = (0..1_000).map(|i| (i % 5) as f64).collect();
         let ds = ctx.parallelize(data.clone(), 4);
+        let domain = EmpiricalSampler::new(data);
         // Mean via (sum, count) accumulator.
         let result = s
-            .dpread(&ds)
+            .dpread(&ds, &domain)
             .map_dp("mean", |x: &f64| vec![*x, 1.0])
             .reduce_dp_with(
                 |a: &Vec<f64>, b: &Vec<f64>| vec![a[0] + b[0], a[1] + b[1]],
                 |acc: Option<&Vec<f64>>| acc.map(|a| a[0] / a[1]).unwrap_or(0.0),
-                &EmpiricalSampler::new(data),
             )
             .unwrap();
         assert!((result.raw - 2.0).abs() < 1e-9);
@@ -328,12 +413,13 @@ mod tests {
         let right: Vec<(u32, u32)> = (0..80).map(|i| (i % 8, i)).collect();
         let l = ctx.parallelize(left.clone(), 4);
         let r = ctx.parallelize(right, 2);
+        let domain = EmpiricalSampler::new(left);
         let agg = JoinAggregate::count("join_count", |_, _, _| true);
-        let result = s
-            .dpread_kv(&l)
-            .join_dp(&r, &agg, &EmpiricalSampler::new(left))
-            .unwrap();
+        let result = s.dpread_kv(&l, &domain).join_dp(&r, &agg).unwrap();
         assert_eq!(result.raw, 400.0 * 10.0);
+        let audit = s.last_audit().expect("join release leaves an audit");
+        assert!(audit.stage_nanos("join_remainder") > 0);
+        assert!(audit.stage_nanos("join_differing") > 0);
     }
 
     #[test]
@@ -343,16 +429,17 @@ mod tests {
         let ds = ctx.parallelize(data.clone(), 4);
         let domain = EmpiricalSampler::new(data);
         let _ = s
-            .dpread(&ds)
+            .dpread(&ds, &domain)
             .map_dp("count", |_x: &f64| 1.0)
-            .reduce_dp(|a, b| a + b, &domain)
+            .reduce_dp(|a, b| a + b)
             .unwrap();
         let _ = s
-            .dpread(&ds)
+            .dpread(&ds, &domain)
             .map_dp("count", |_x: &f64| 1.0)
-            .reduce_dp(|a, b| a + b, &domain)
+            .reduce_dp(|a, b| a + b)
             .unwrap();
         assert_eq!(s.upa().enforcer().history_len(), 2);
+        assert_eq!(s.audits().len(), 2);
     }
 
     #[test]
@@ -361,11 +448,12 @@ mod tests {
         // Word-count-style workload over four keys.
         let pairs: Vec<(u8, f64)> = (0..2_000u32).map(|i| ((i % 4) as u8, 1.0)).collect();
         let ds = ctx.parallelize(pairs.clone(), 4);
-        let (keys, result) = s
-            .dpread_kv(&ds)
-            .reduce_by_key_dp(|v| *v, &EmpiricalSampler::new(pairs))
-            .unwrap();
-        assert_eq!(keys, vec![0, 1, 2, 3]);
+        let domain = EmpiricalSampler::new(pairs);
+        let keyed = s.dpread_kv(&ds, &domain).reduce_by_key_dp(|v| *v).unwrap();
+        assert_eq!(keyed.keys(), &[0, 1, 2, 3]);
+        assert_eq!(keyed.len(), 4);
+        assert!(!keyed.is_empty());
+        let result = keyed.result();
         assert_eq!(result.raw, vec![500.0; 4]);
         // Removing one record changes one key's count by 1.
         for s in &result.empirical_sensitivity {
@@ -374,5 +462,14 @@ mod tests {
         // The session helper disables noise, so the release is the
         // enforced value.
         assert_eq!(result.released, result.enforced);
+        // Keyed access agrees with positional access.
+        assert_eq!(keyed.get(&2), Some(result.released[2]));
+        assert_eq!(keyed.get(&9), None);
+        let collected: Vec<(u8, f64)> = keyed.iter().map(|(k, v)| (*k, v)).collect();
+        assert_eq!(collected.len(), 4);
+        assert_eq!(collected[0].0, 0);
+        let (keys, result) = keyed.into_parts();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+        assert_eq!(result.raw, vec![500.0; 4]);
     }
 }

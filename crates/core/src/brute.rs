@@ -56,7 +56,11 @@ impl<Out: DpOutput> GroundTruth<Out> {
     pub fn neighbour_extremes(&self) -> Vec<(f64, f64)> {
         let dims = self.output.components().len();
         let mut extremes = vec![(f64::INFINITY, f64::NEG_INFINITY); dims];
-        for o in self.removal_outputs.iter().chain(self.addition_outputs.iter()) {
+        for o in self
+            .removal_outputs
+            .iter()
+            .chain(self.addition_outputs.iter())
+        {
             for (c, v) in o.components().into_iter().enumerate() {
                 if c < dims {
                     extremes[c].0 = extremes[c].0.min(v);
@@ -177,7 +181,11 @@ mod tests {
         for (a, b) in fast.removal_outputs.iter().zip(slow.removal_outputs.iter()) {
             assert!((a - b).abs() < 1e-9);
         }
-        for (a, b) in fast.addition_outputs.iter().zip(slow.addition_outputs.iter()) {
+        for (a, b) in fast
+            .addition_outputs
+            .iter()
+            .zip(slow.addition_outputs.iter())
+        {
             assert!((a - b).abs() < 1e-9);
         }
         assert!((fast.local_sensitivity - slow.local_sensitivity).abs() < 1e-9);

@@ -92,7 +92,10 @@ mod tests {
         let mut b = BudgetAccountant::new(0.5);
         b.try_spend(0.4).unwrap();
         assert!(b.try_spend(0.2).is_err());
-        assert!((b.spent() - 0.4).abs() < 1e-12, "failed spend must not charge");
+        assert!(
+            (b.spent() - 0.4).abs() < 1e-12,
+            "failed spend must not charge"
+        );
         assert!(b.try_spend(0.1).is_ok(), "a fitting charge still succeeds");
     }
 

@@ -45,6 +45,30 @@ impl Default for UpaConfig {
 }
 
 impl UpaConfig {
+    /// Starts a validating builder seeded with the paper's defaults.
+    ///
+    /// Unlike struct-update syntax, [`UpaConfigBuilder::build`] rejects
+    /// invalid settings (`sample_size == 0`, non-positive or non-finite
+    /// ε, percentile bounds outside `0 < lo < hi < 1`, `group_size == 0`)
+    /// with [`crate::UpaError::InvalidConfig`] instead of letting them
+    /// reach the pipeline.
+    ///
+    /// ```
+    /// use upa_core::UpaConfig;
+    /// let config = UpaConfig::builder()
+    ///     .sample_size(200)
+    ///     .epsilon(0.5)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.sample_size, 200);
+    /// assert!(UpaConfig::builder().epsilon(-1.0).build().is_err());
+    /// ```
+    pub fn builder() -> UpaConfigBuilder {
+        UpaConfigBuilder {
+            config: UpaConfig::default(),
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -66,6 +90,63 @@ impl UpaConfig {
             return Err(crate::UpaError::InvalidConfig("group_size"));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`UpaConfig`] returned by [`UpaConfig::builder`]; `build`
+/// validates before handing the configuration out.
+#[derive(Debug, Clone)]
+pub struct UpaConfigBuilder {
+    config: UpaConfig,
+}
+
+impl UpaConfigBuilder {
+    /// Sets the number of sampled differing records `n`.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the per-query privacy budget ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the percentile pair defining the inferred output range.
+    pub fn percentiles(mut self, lo: f64, hi: f64) -> Self {
+        self.config.percentiles = (lo, hi);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Enables or disables the final Laplace noise. The release is not
+    /// differentially private with noise disabled.
+    pub fn add_noise(mut self, add_noise: bool) -> Self {
+        self.config.add_noise = add_noise;
+        self
+    }
+
+    /// Sets the group size `g` for group-level privacy.
+    pub fn group_size(mut self, g: usize) -> Self {
+        self.config.group_size = g;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::UpaError::InvalidConfig`] naming the first invalid
+    /// field.
+    pub fn build(self) -> Result<UpaConfig, crate::UpaError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -102,5 +183,47 @@ mod tests {
         c.percentiles = (0.01, 0.99);
         c.group_size = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_applies_settings_and_validates() {
+        let c = UpaConfig::builder()
+            .sample_size(250)
+            .epsilon(0.5)
+            .percentiles(0.05, 0.95)
+            .seed(7)
+            .add_noise(false)
+            .group_size(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.sample_size, 250);
+        assert_eq!(c.epsilon, 0.5);
+        assert_eq!(c.percentiles, (0.05, 0.95));
+        assert_eq!(c.seed, 7);
+        assert!(!c.add_noise);
+        assert_eq!(c.group_size, 2);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_settings() {
+        use crate::UpaError;
+        for (builder, field) in [
+            (UpaConfig::builder().sample_size(0), "sample_size"),
+            (UpaConfig::builder().epsilon(0.0), "epsilon"),
+            (UpaConfig::builder().epsilon(f64::NAN), "epsilon"),
+            (UpaConfig::builder().percentiles(0.99, 0.01), "percentiles"),
+            (UpaConfig::builder().percentiles(0.0, 0.99), "percentiles"),
+            (UpaConfig::builder().group_size(0), "group_size"),
+        ] {
+            match builder.build() {
+                Err(UpaError::InvalidConfig(f)) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig({field}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(UpaConfig::builder().build().unwrap(), UpaConfig::default());
     }
 }

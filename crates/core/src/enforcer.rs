@@ -21,6 +21,7 @@
 //!    neighbouring outputs can differ by more than `max(Ô_f) − min(Ô_f)`.
 
 use crate::output::OutputRange;
+use dataflow::SpanRecorder;
 use rand::rngs::StdRng;
 
 /// The per-query record RANGE ENFORCER keeps: the query's output on each
@@ -109,35 +110,57 @@ impl RangeEnforcer {
         range: &OutputRange,
         rng: &mut StdRng,
     ) -> EnforceOutcome {
+        self.enforce_traced(state, range, rng, &SpanRecorder::new())
+    }
+
+    /// [`RangeEnforcer::enforce`] with stage timing: the detection loop is
+    /// recorded as an `enforce` span (its record count is the number of
+    /// removed records) and the range constraint as a `clamp` span, nested
+    /// under whatever scope is open on `spans`. The pipeline passes its
+    /// per-query recorder so audits break the enforcer's cost out.
+    pub fn enforce_traced<S: EnforceState>(
+        &mut self,
+        state: &mut S,
+        range: &OutputRange,
+        rng: &mut StdRng,
+        spans: &SpanRecorder,
+    ) -> EnforceOutcome {
         let mut outcome = EnforceOutcome::default();
 
         // Lines 2–15: compare against every previous query; force at least
         // two differing partition outputs.
-        for prior in &self.history {
-            loop {
-                let current = state.partition_outputs();
-                let diff_num = current
-                    .iter()
-                    .zip(prior.partition_outputs.iter())
-                    .filter(|(c, p)| !vec_eq(c, p))
-                    .count();
-                if diff_num >= 2 {
-                    break;
+        {
+            let mut scope = spans.enter("enforce");
+            for prior in &self.history {
+                loop {
+                    let current = state.partition_outputs();
+                    let diff_num = current
+                        .iter()
+                        .zip(prior.partition_outputs.iter())
+                        .filter(|(c, p)| !vec_eq(c, p))
+                        .count();
+                    if diff_num >= 2 {
+                        break;
+                    }
+                    outcome.attack_suspected = true;
+                    if !state.remove_two_records() {
+                        // Sample exhausted; stop separating (outputs are still
+                        // range-clamped below, so the release stays within Ô_f).
+                        break;
+                    }
+                    outcome.removed_records += 2;
                 }
-                outcome.attack_suspected = true;
-                if !state.remove_two_records() {
-                    // Sample exhausted; stop separating (outputs are still
-                    // range-clamped below, so the release stays within Ô_f).
-                    break;
-                }
-                outcome.removed_records += 2;
             }
+            scope.add_records(outcome.removed_records as u64);
         }
 
         // Lines 16–18: constrain the final output into Ô_f.
-        let mut components = state.output_components();
-        outcome.clamped = range.constrain(&mut components, rng);
-        state.set_output_components(components);
+        {
+            let _scope = spans.enter("clamp");
+            let mut components = state.output_components();
+            outcome.clamped = range.constrain(&mut components, rng);
+            state.set_output_components(components);
+        }
 
         // Lines 19–21: record this query's partition outputs.
         self.history.push(QuerySignature {
@@ -288,6 +311,17 @@ mod tests {
         assert!(out.attack_suspected);
         assert_eq!(out.removed_records, 0);
         assert_eq!(enforcer.history_len(), 2);
+    }
+
+    #[test]
+    fn enforce_traced_records_enforce_and_clamp_spans() {
+        let mut enforcer = RangeEnforcer::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut state = SumState::new(vec![1.0], vec![2.0]);
+        let spans = SpanRecorder::new();
+        enforcer.enforce_traced(&mut state, &wide_range(), &mut rng, &spans);
+        assert!(spans.nanos_of("enforce") >= 1);
+        assert!(spans.nanos_of("clamp") >= 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::error::UpaError;
 use crate::output::DpOutput;
 use crate::pipeline::{Upa, UpaResult};
 use crate::query::MapReduceQuery;
-use dataflow::{Data, Dataset, PairOps};
+use dataflow::{Data, Dataset, PairOps, SpanRecorder};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -68,7 +68,9 @@ impl<K, V, W, A, Out> Clone for JoinAggregate<K, V, W, A, Out> {
 
 impl<K, V, W, A, Out> std::fmt::Debug for JoinAggregate<K, V, W, A, Out> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JoinAggregate").field("name", &self.name).finish()
+        f.debug_struct("JoinAggregate")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -146,58 +148,90 @@ impl Upa {
         A: Data,
         Out: DpOutput,
     {
-        // ---- Phase 1: Partition & Sample --------------------------------
-        let (indices, _physical_halves, _half_split) = self.prepare_sample(protected)?;
-        let n = indices.len();
-        let (sampled, remainder) = protected.split_indices(&indices);
-        let additions = domain.sample_n(&mut self.rng, n);
-        // Logical halves by the hash of the join key: content-defined, so
-        // RANGE ENFORCER's partition fingerprints stay comparable across
-        // neighbouring datasets.
-        let sampled_halves: Vec<usize> =
-            sampled.iter().map(|(k, _)| (stable_hash(k) % 2) as usize).collect();
+        let spans = SpanRecorder::new();
+        let engine_before = self.ctx.metrics();
+        let prepare_scope = spans.enter("prepare");
 
-        // ---- Round 1: remainder join (S′ ⋈ other) ------------------------
+        // ---- Phase 1: Partition & Sample --------------------------------
+        let (indices, sampled, remainder) = {
+            let mut scope = spans.enter("partition");
+            scope.add_records(protected.len() as u64);
+            let (indices, _physical_halves, _half_split) = self.prepare_sample(protected)?;
+            let (sampled, remainder) = protected.split_indices(&indices);
+            (indices, sampled, remainder)
+        };
+        let n = indices.len();
+        let (additions, sampled_halves) = {
+            let mut scope = spans.enter("sample");
+            scope.add_records(2 * n as u64);
+            let additions = domain.sample_n(&mut self.rng, n);
+            // Logical halves by the hash of the join key: content-defined,
+            // so RANGE ENFORCER's partition fingerprints stay comparable
+            // across neighbouring datasets.
+            let sampled_halves: Vec<usize> = sampled
+                .iter()
+                .map(|(k, _)| (stable_hash(k) % 2) as usize)
+                .collect();
+            (additions, sampled_halves)
+        };
+
+        // ---- Phase 2: tag maps (the join path's parallel map) ------------
         // Tag each protected record with its logical half before the
-        // shuffle destroys partition identity.
-        let tagged = remainder
-            .map(move |(k, v)| (k.clone(), (v.clone(), (stable_hash(k) % 2) as u8)));
-        let joined = tagged.join(other);
-        let per_tuple = Arc::clone(&agg.per_tuple);
-        let reduce = Arc::clone(&agg.reduce);
-        let half_accs = joined
-            .flat_map(move |(k, ((v, h), w))| per_tuple(k, v, w).map(|a| (*h, a)))
-            .reduce_by_key(move |a, b| reduce(a, b))
-            .collect_as_map();
-        let rem_half: [Option<Option<A>>; 2] = [
-            half_accs.get(&0).cloned().map(Some),
-            half_accs.get(&1).cloned().map(Some),
-        ];
+        // shuffle destroys partition identity, and each differing record
+        // with its sample index.
+        let (tagged, tagged_sample) = {
+            let mut scope = spans.enter("map");
+            scope.add_records(remainder.len() as u64 + 2 * n as u64);
+            let tagged =
+                remainder.map(move |(k, v)| (k.clone(), (v.clone(), (stable_hash(k) % 2) as u8)));
+            let mut tagged_sample: Vec<(K, (usize, V))> = Vec::with_capacity(2 * n);
+            for (i, (k, v)) in sampled.iter().enumerate() {
+                tagged_sample.push((k.clone(), (i, v.clone())));
+            }
+            for (i, (k, v)) in additions.iter().enumerate() {
+                tagged_sample.push((k.clone(), (n + i, v.clone())));
+            }
+            (tagged, tagged_sample)
+        };
+
+        let reduce_scope = spans.enter("reduce");
+        // ---- Round 1: remainder join (S′ ⋈ other) ------------------------
+        let rem_half: [Option<Option<A>>; 2] = {
+            let _scope = spans.enter("join_remainder");
+            let joined = tagged.join(other);
+            let per_tuple = Arc::clone(&agg.per_tuple);
+            let reduce = Arc::clone(&agg.reduce);
+            let half_accs = joined
+                .flat_map(move |(k, ((v, h), w))| per_tuple(k, v, w).map(|a| (*h, a)))
+                .reduce_by_key(move |a, b| reduce(a, b))
+                .collect_as_map();
+            [
+                half_accs.get(&0).cloned().map(Some),
+                half_accs.get(&1).cloned().map(Some),
+            ]
+        };
 
         // ---- Round 2: differing join (S ∪ additions) ⋈ other -------------
         // Index-tagged so each sampled record's influence (its joined
         // tuples' aggregate) is recovered after the shuffle.
-        let mut tagged_sample: Vec<(K, (usize, V))> = Vec::with_capacity(2 * n);
-        for (i, (k, v)) in sampled.iter().enumerate() {
-            tagged_sample.push((k.clone(), (i, v.clone())));
-        }
-        for (i, (k, v)) in additions.iter().enumerate() {
-            tagged_sample.push((k.clone(), (n + i, v.clone())));
-        }
-        let sample_ds = self
-            .ctx
-            .parallelize_default(tagged_sample);
-        let per_tuple = Arc::clone(&agg.per_tuple);
-        let reduce = Arc::clone(&agg.reduce);
-        let influences: HashMap<usize, A> = sample_ds
-            .join(other)
-            .flat_map(move |(k, ((i, v), w))| per_tuple(k, v, w).map(|a| (*i, a)))
-            .reduce_by_key(move |a, b| reduce(a, b))
-            .collect_as_map();
-        let mapped_sampled: Vec<Option<A>> =
-            (0..n).map(|i| influences.get(&i).cloned()).collect();
-        let mapped_additions: Vec<Option<A>> =
-            (0..n).map(|i| influences.get(&(n + i)).cloned()).collect();
+        let (mapped_sampled, mapped_additions) = {
+            let _scope = spans.enter("join_differing");
+            let sample_ds = self.ctx.parallelize_default(tagged_sample);
+            let per_tuple = Arc::clone(&agg.per_tuple);
+            let reduce = Arc::clone(&agg.reduce);
+            let influences: HashMap<usize, A> = sample_ds
+                .join(other)
+                .flat_map(move |(k, ((i, v), w))| per_tuple(k, v, w).map(|a| (*i, a)))
+                .reduce_by_key(move |a, b| reduce(a, b))
+                .collect_as_map();
+            let mapped_sampled: Vec<Option<A>> =
+                (0..n).map(|i| influences.get(&i).cloned()).collect();
+            let mapped_additions: Vec<Option<A>> =
+                (0..n).map(|i| influences.get(&(n + i)).cloned()).collect();
+            (mapped_sampled, mapped_additions)
+        };
+        drop(reduce_scope);
+        drop(prepare_scope);
 
         // ---- Phases 3–4: shared with the scalar pipeline -----------------
         let reduce = Arc::clone(&agg.reduce);
@@ -218,6 +252,8 @@ impl Upa {
             mapped_additions,
             sampled_halves,
             rem_half,
+            spans.spans(),
+            self.ctx.metrics().since(&engine_before),
         )
     }
 }

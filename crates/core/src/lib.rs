@@ -49,6 +49,7 @@
 //! ```
 
 pub mod api;
+pub mod audit;
 pub mod brute;
 pub mod budget;
 pub mod domain;
@@ -60,7 +61,8 @@ pub mod output;
 pub mod pipeline;
 pub mod query;
 
-pub use config::UpaConfig;
+pub use audit::QueryAudit;
+pub use config::{UpaConfig, UpaConfigBuilder};
 pub use error::UpaError;
 pub use output::DpOutput;
 pub use pipeline::{PreparedQuery, Upa, UpaResult};

@@ -134,8 +134,7 @@ mod tests {
         let data: Vec<f64> = vec![0.0; 5_000];
         let ds = ctx.parallelize(data, 4);
         // Analyst knows counts lie in [0, 10_000].
-        let mut mech =
-            ManualRangeMechanism::new(OutputRange::new(vec![(0.0, 10_000.0)]), 1.0, 1);
+        let mut mech = ManualRangeMechanism::new(OutputRange::new(vec![(0.0, 10_000.0)]), 1.0, 1);
         let r = mech.run(&ds, &count_query()).unwrap();
         assert_eq!(r.raw, 5_000.0);
         assert_eq!(r.clamped, 5_000.0);
@@ -161,11 +160,8 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let ctx = Context::with_threads(2);
         let ds = ctx.parallelize(vec![1.0], 1);
-        let mut mech = ManualRangeMechanism::new(
-            OutputRange::new(vec![(0.0, 1.0), (0.0, 1.0)]),
-            1.0,
-            3,
-        );
+        let mut mech =
+            ManualRangeMechanism::new(OutputRange::new(vec![(0.0, 1.0), (0.0, 1.0)]), 1.0, 3);
         assert!(mech.run(&ds, &count_query()).is_err());
     }
 

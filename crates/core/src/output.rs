@@ -105,11 +105,7 @@ impl OutputRange {
     /// Clamps each out-of-range component to a uniformly random point
     /// inside its bound (Algorithm 2, lines 17–18); in-range components
     /// are left untouched. Returns whether any component was replaced.
-    pub fn constrain<R: rand::Rng + ?Sized>(
-        &self,
-        components: &mut [f64],
-        rng: &mut R,
-    ) -> bool {
+    pub fn constrain<R: rand::Rng + ?Sized>(&self, components: &mut [f64], rng: &mut R) -> bool {
         assert_eq!(components.len(), self.bounds.len(), "dimension mismatch");
         let mut clamped = false;
         for (x, (lo, hi)) in components.iter_mut().zip(self.bounds.iter()) {

@@ -18,6 +18,7 @@
 //!    neighbour outputs, P1–P99 range, RANGE ENFORCER (Algorithm 2),
 //!    range clamping, Laplace release.
 
+use crate::audit::QueryAudit;
 use crate::budget::BudgetAccountant;
 use crate::config::UpaConfig;
 use crate::domain::DomainSampler;
@@ -25,7 +26,7 @@ use crate::enforcer::{EnforceOutcome, EnforceState, RangeEnforcer};
 use crate::error::UpaError;
 use crate::output::{DpOutput, OutputRange};
 use crate::query::MapReduceQuery;
-use dataflow::{Context, Data, Dataset, PairOps};
+use dataflow::{Context, Data, Dataset, MetricsSnapshot, PairOps, SpanRecorder, StageSpan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use upa_stats::sampling::sample_indices;
@@ -92,6 +93,7 @@ pub struct Upa {
     pub(crate) enforcer: RangeEnforcer,
     pub(crate) budget: Option<BudgetAccountant>,
     pub(crate) rng: StdRng,
+    pub(crate) audits: Vec<QueryAudit>,
 }
 
 impl std::fmt::Debug for Upa {
@@ -113,6 +115,7 @@ impl Upa {
             enforcer: RangeEnforcer::new(),
             budget: None,
             rng: StdRng::seed_from_u64(seed),
+            audits: Vec::new(),
         }
     }
 
@@ -141,6 +144,21 @@ impl Upa {
     /// Remaining privacy budget, if an accountant is attached.
     pub fn remaining_budget(&self) -> Option<f64> {
         self.budget.as_ref().map(|b| b.remaining())
+    }
+
+    /// The audit record of the most recent successful release.
+    pub fn last_audit(&self) -> Option<&QueryAudit> {
+        self.audits.last()
+    }
+
+    /// Audit records of every successful release, in release order.
+    pub fn audits(&self) -> &[QueryAudit] {
+        &self.audits
+    }
+
+    /// Drops all recorded audits (long-lived sessions and benchmarks).
+    pub fn clear_audits(&mut self) {
+        self.audits.clear();
     }
 
     /// Runs a query end to end under iDP.
@@ -189,54 +207,80 @@ impl Upa {
         Acc: Data,
         Out: DpOutput,
     {
+        let spans = SpanRecorder::new();
+        let engine_before = self.ctx.metrics();
+        let prepare_scope = spans.enter("prepare");
+
         // ---- Phase 1: Partition & Sample -------------------------------
-        let (indices, physical_halves, half_split) = self.prepare_sample(data)?;
+        let (indices, sampled, remainder, physical_halves, half_split) = {
+            let mut scope = spans.enter("partition");
+            scope.add_records(data.len() as u64);
+            let (indices, physical_halves, half_split) = self.prepare_sample(data)?;
+            let (sampled, remainder) = data.split_indices(&indices);
+            (indices, sampled, remainder, physical_halves, half_split)
+        };
         let n = indices.len();
-        let (sampled, remainder) = data.split_indices(&indices);
-        let additions = domain.sample_n(&mut self.rng, n);
-        // Logical halves: by stable record key when the query provides
-        // one (content-defined, robust across neighbouring datasets), by
-        // physical partition index otherwise.
-        let sampled_halves: Vec<usize> = match query.half_key() {
-            Some(hk) => sampled.iter().map(|t| (hk(t) % 2) as usize).collect(),
-            None => physical_halves,
+        let (additions, sampled_halves) = {
+            let mut scope = spans.enter("sample");
+            scope.add_records(2 * n as u64);
+            let additions = domain.sample_n(&mut self.rng, n);
+            // Logical halves: by stable record key when the query provides
+            // one (content-defined, robust across neighbouring datasets),
+            // by physical partition index otherwise.
+            let sampled_halves: Vec<usize> = match query.half_key() {
+                Some(hk) => sampled.iter().map(|t| (hk(t) % 2) as usize).collect(),
+                None => physical_halves,
+            };
+            (additions, sampled_halves)
         };
 
         // ---- Phase 2: Parallel Map --------------------------------------
         let mapper = query.mapper();
-        let mapped_sampled: Vec<Acc> = sampled.iter().map(|t| query.map(t)).collect();
-        let mapped_additions: Vec<Acc> = additions.iter().map(|t| query.map(t)).collect();
+        let (mapped_sampled, mapped_additions) = {
+            let mut scope = spans.enter("map");
+            scope.add_records(2 * n as u64);
+            let mapped_sampled: Vec<Acc> = sampled.iter().map(|t| query.map(t)).collect();
+            let mapped_additions: Vec<Acc> = additions.iter().map(|t| query.map(t)).collect();
+            (mapped_sampled, mapped_additions)
+        };
 
         // ---- Phase 3: Union-Preserving Reduce ---------------------------
         // Reduce the remainder per logical half through a real shuffle:
         // this is `ReduceByPar` (Algorithm 1, line 7) and carries RANGE
         // ENFORCER's record-exchange cost.
-        let reducer = query.reducer();
-        let keyed = match query.half_key() {
-            Some(hk) => {
-                let hk = std::sync::Arc::clone(hk);
-                let m = mapper.clone();
-                remainder.map(move |t| ((hk(t) % 2) as u8, m(t)))
-            }
-            None => {
-                let m = mapper.clone();
-                remainder
-                    .map(move |t| m(t))
-                    .map_with_partition(move |p, acc| (u8::from(p >= half_split), acc.clone()))
-            }
+        let rem_half: [Option<Acc>; 2] = {
+            let mut scope = spans.enter("reduce");
+            scope.add_records(remainder.len() as u64);
+            let reducer = query.reducer();
+            let keyed = match query.half_key() {
+                Some(hk) => {
+                    let hk = std::sync::Arc::clone(hk);
+                    let m = mapper.clone();
+                    remainder.map(move |t| ((hk(t) % 2) as u8, m(t)))
+                }
+                None => {
+                    let m = mapper.clone();
+                    remainder
+                        .map(move |t| m(t))
+                        .map_with_partition(move |p, acc| (u8::from(p >= half_split), acc.clone()))
+                }
+            };
+            let half_map = {
+                let r = reducer.clone();
+                keyed.reduce_by_key(move |a, b| r(a, b)).collect_as_map()
+            };
+            [half_map.get(&0).cloned(), half_map.get(&1).cloned()]
         };
-        let half_map = {
-            let r = reducer.clone();
-            keyed.reduce_by_key(move |a, b| r(a, b)).collect_as_map()
-        };
-        let rem_half: [Option<Acc>; 2] = [half_map.get(&0).cloned(), half_map.get(&1).cloned()];
 
+        drop(prepare_scope);
         Ok(PreparedQuery {
             query: query.clone(),
             mapped_sampled,
             mapped_additions,
             sampled_halves,
             rem_half,
+            spans: spans.spans(),
+            engine: self.ctx.metrics().since(&engine_before),
         })
     }
 
@@ -263,12 +307,17 @@ impl Upa {
             prepared.mapped_additions.clone(),
             prepared.sampled_halves.clone(),
             prepared.rem_half.clone(),
+            prepared.spans.clone(),
+            prepared.engine,
         )
     }
 
     /// Phases 3–4 shared between [`Upa::run`] and the joinDP path
     /// ([`crate::join`]): union-preserving reduce over the sampled
     /// accumulators, sensitivity inference, RANGE ENFORCER and release.
+    /// `prepare_spans`/`prepare_engine` carry the phase-1–3 cost from the
+    /// caller so the recorded [`QueryAudit`] covers the whole query.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish<T, Acc, Out>(
         &mut self,
         query: &MapReduceQuery<T, Acc, Out>,
@@ -276,19 +325,26 @@ impl Upa {
         mapped_additions: Vec<Acc>,
         sampled_halves: Vec<usize>,
         rem_half: [Option<Acc>; 2],
+        prepare_spans: Vec<StageSpan>,
+        prepare_engine: MetricsSnapshot,
     ) -> Result<UpaResult<Out>, UpaError>
     where
         T: Data,
         Acc: Data,
         Out: DpOutput,
     {
-        if let Some(budget) = &mut self.budget {
-            budget.try_spend(self.config.epsilon).map_err(|remaining| {
-                UpaError::BudgetExhausted {
-                    remaining,
-                    requested: self.config.epsilon,
-                }
-            })?;
+        let spans = SpanRecorder::new();
+        let release_scope = spans.enter("release");
+        {
+            let _scope = spans.enter("budget");
+            if let Some(budget) = &mut self.budget {
+                budget.try_spend(self.config.epsilon).map_err(|remaining| {
+                    UpaError::BudgetExhausted {
+                        remaining,
+                        requested: self.config.epsilon,
+                    }
+                })?;
+            }
         }
         let n = mapped_sampled.len();
         // R(M(S′)) — computed once, reused for every neighbour output.
@@ -299,79 +355,91 @@ impl Upa {
         // each neighbour output reflects the joint influence of g
         // records. g = 1 is the paper's iDP setting.
         let g = self.config.group_size;
-        let grouped_sampled: Vec<Acc> = mapped_sampled
-            .chunks(g)
-            .map(|chunk| query.reduce_all(chunk).expect("chunks are non-empty"))
-            .collect();
-        let grouped_additions: Vec<Acc> = mapped_additions
-            .chunks(g)
-            .map(|chunk| query.reduce_all(chunk).expect("chunks are non-empty"))
-            .collect();
-        let groups = grouped_sampled.len();
+        let (raw, removal_outputs, addition_outputs) = {
+            let mut scope = spans.enter("neighbours");
+            scope.add_records(n as u64);
+            let grouped_sampled: Vec<Acc> = mapped_sampled
+                .chunks(g)
+                .map(|chunk| query.reduce_all(chunk).expect("chunks are non-empty"))
+                .collect();
+            let grouped_additions: Vec<Acc> = mapped_additions
+                .chunks(g)
+                .map(|chunk| query.reduce_all(chunk).expect("chunks are non-empty"))
+                .collect();
+            let groups = grouped_sampled.len();
 
-        // Prefix/suffix partial reductions over the grouped sample: the
-        // union-preserving trick. R(S \ group_i) = merge(prefix[i],
-        // suffix[i+1]).
-        let mut prefix: Vec<Option<Acc>> = Vec::with_capacity(groups + 1);
-        prefix.push(None);
-        for acc in &grouped_sampled {
-            let last = prefix.last().expect("push above").clone();
-            prefix.push(query.merge_opt(last, Some(acc.clone())));
-        }
-        let mut suffix: Vec<Option<Acc>> = vec![None; groups + 1];
-        for i in (0..groups).rev() {
-            suffix[i] = query.merge_opt(Some(grouped_sampled[i].clone()), suffix[i + 1].clone());
-        }
-        let r_x = query.merge_opt(r_sprime.clone(), prefix[groups].clone());
-        let raw: Out = query.finalize(r_x.as_ref());
+            // Prefix/suffix partial reductions over the grouped sample: the
+            // union-preserving trick. R(S \ group_i) = merge(prefix[i],
+            // suffix[i+1]).
+            let mut prefix: Vec<Option<Acc>> = Vec::with_capacity(groups + 1);
+            prefix.push(None);
+            for acc in &grouped_sampled {
+                let last = prefix.last().expect("push above").clone();
+                prefix.push(query.merge_opt(last, Some(acc.clone())));
+            }
+            let mut suffix: Vec<Option<Acc>> = vec![None; groups + 1];
+            for i in (0..groups).rev() {
+                suffix[i] =
+                    query.merge_opt(Some(grouped_sampled[i].clone()), suffix[i + 1].clone());
+            }
+            let r_x = query.merge_opt(r_sprime.clone(), prefix[groups].clone());
+            let raw: Out = query.finalize(r_x.as_ref());
 
-        // f(x − groupᵢ): reuse R(M(S′)) + prefix/suffix.
-        let removal_outputs: Vec<Out> = (0..groups)
-            .map(|i| {
-                let without_i =
-                    query.merge_opt(prefix[i].clone(), suffix[i + 1].clone());
-                query.finalize(query.merge_opt(r_sprime.clone(), without_i).as_ref())
-            })
-            .collect();
-        // f(x + group of additions): reuse R(M(x)).
-        let addition_outputs: Vec<Out> = grouped_additions
-            .iter()
-            .map(|acc| query.finalize(query.merge_opt(r_x.clone(), Some(acc.clone())).as_ref()))
-            .collect();
+            // f(x − groupᵢ): reuse R(M(S′)) + prefix/suffix.
+            let removal_outputs: Vec<Out> = (0..groups)
+                .map(|i| {
+                    let without_i = query.merge_opt(prefix[i].clone(), suffix[i + 1].clone());
+                    query.finalize(query.merge_opt(r_sprime.clone(), without_i).as_ref())
+                })
+                .collect();
+            // f(x + group of additions): reuse R(M(x)).
+            let addition_outputs: Vec<Out> = grouped_additions
+                .iter()
+                .map(|acc| query.finalize(query.merge_opt(r_x.clone(), Some(acc.clone())).as_ref()))
+                .collect();
+            (raw, removal_outputs, addition_outputs)
+        };
 
         // ---- Phase 4: iDP Enforcement -----------------------------------
         let raw_components = raw.components();
         let dims = raw_components.len();
         let (p_lo, p_hi) = self.config.percentiles;
-        let mut bounds = Vec::with_capacity(dims);
-        let mut sensitivity = Vec::with_capacity(dims);
-        let mut empirical_sensitivity = Vec::with_capacity(dims);
-        for (c, raw_c) in raw_components.iter().enumerate() {
-            let mut samples: Vec<f64> = Vec::with_capacity(2 * n);
-            for o in removal_outputs.iter().chain(addition_outputs.iter()) {
-                let comps = o.components();
-                if let Some(v) = comps.get(c) {
-                    samples.push(*v);
+        let (bounds, sensitivity, empirical_sensitivity) = {
+            let _scope = spans.enter("mle_fit");
+            let mut bounds = Vec::with_capacity(dims);
+            let mut sensitivity = Vec::with_capacity(dims);
+            let mut empirical_sensitivity = Vec::with_capacity(dims);
+            for (c, raw_c) in raw_components.iter().enumerate() {
+                let mut samples: Vec<f64> = Vec::with_capacity(2 * n);
+                for o in removal_outputs.iter().chain(addition_outputs.iter()) {
+                    let comps = o.components();
+                    if let Some(v) = comps.get(c) {
+                        samples.push(*v);
+                    }
                 }
+                let fit = Normal::mle(&samples)?;
+                // The enforced range is the envelope of the fit's percentile
+                // interval (Algorithm 1, line 19) and the *observed* extremes
+                // of the sampled neighbour outputs — the paper's Figure 3
+                // describes the red lines as the min/max inferred from the
+                // sample, and the envelope guarantees every sampled neighbour
+                // is covered even when the distribution is strongly
+                // non-normal (discrete counts, heavy tails).
+                let sample_min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+                let sample_max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let lo = fit.quantile(p_lo).min(sample_min);
+                let hi = fit.quantile(p_hi).max(sample_max);
+                bounds.push((lo, hi));
+                sensitivity.push(hi - lo);
+                empirical_sensitivity.push(
+                    samples
+                        .iter()
+                        .map(|v| (v - raw_c).abs())
+                        .fold(0.0, f64::max),
+                );
             }
-            let fit = Normal::mle(&samples)?;
-            // The enforced range is the envelope of the fit's percentile
-            // interval (Algorithm 1, line 19) and the *observed* extremes
-            // of the sampled neighbour outputs — the paper's Figure 3
-            // describes the red lines as the min/max inferred from the
-            // sample, and the envelope guarantees every sampled neighbour
-            // is covered even when the distribution is strongly
-            // non-normal (discrete counts, heavy tails).
-            let sample_min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-            let sample_max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let lo = fit.quantile(p_lo).min(sample_min);
-            let hi = fit.quantile(p_hi).max(sample_max);
-            bounds.push((lo, hi));
-            sensitivity.push(hi - lo);
-            empirical_sensitivity.push(
-                samples.iter().map(|v| (v - raw_c).abs()).fold(0.0, f64::max),
-            );
-        }
+            (bounds, sensitivity, empirical_sensitivity)
+        };
         let range = OutputRange::new(bounds);
 
         let mut state = PipelineState {
@@ -382,24 +450,53 @@ impl Upa {
             rem_half,
             output_components: raw_components,
         };
-        let enforce_outcome = self.enforcer.enforce(&mut state, &range, &mut self.rng);
+        let enforce_outcome =
+            self.enforcer
+                .enforce_traced(&mut state, &range, &mut self.rng, &spans);
         let enforced = Out::from_components(state.output_components.clone());
 
-        let released = if self.config.add_noise {
-            let comps = enforced
-                .components()
-                .iter()
-                .zip(sensitivity.iter())
-                .map(|(&v, &s)| {
-                    LaplaceMechanism::new(s.max(0.0), self.config.epsilon)
-                        .expect("validated epsilon and non-negative sensitivity")
-                        .release(v, &mut self.rng)
-                })
-                .collect();
-            Out::from_components(comps)
-        } else {
-            enforced.clone()
+        let released = {
+            let _scope = spans.enter("noise");
+            if self.config.add_noise {
+                let comps = enforced
+                    .components()
+                    .iter()
+                    .zip(sensitivity.iter())
+                    .map(|(&v, &s)| {
+                        LaplaceMechanism::new(s.max(0.0), self.config.epsilon)
+                            .expect("validated epsilon and non-negative sensitivity")
+                            .release(v, &mut self.rng)
+                    })
+                    .collect();
+                Out::from_components(comps)
+            } else {
+                enforced.clone()
+            }
         };
+
+        drop(release_scope);
+        let mut all_spans = prepare_spans;
+        all_spans.extend(spans.spans());
+        let total_nanos = all_spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.nanos)
+            .sum();
+        self.audits.push(QueryAudit {
+            query: query.name().to_string(),
+            epsilon: self.config.epsilon,
+            budget_remaining: self.budget.as_ref().map(|b| b.remaining()),
+            sensitivity: sensitivity.clone(),
+            range: range.bounds.clone(),
+            clamped: enforce_outcome.clamped,
+            attack_detected: enforce_outcome.attack_suspected,
+            removed_records: enforce_outcome.removed_records,
+            sample_size: n,
+            group_size: g,
+            spans: all_spans,
+            engine: prepare_engine,
+            total_nanos,
+        });
 
         Ok(UpaResult {
             released,
@@ -458,6 +555,10 @@ pub struct PreparedQuery<T, Acc, Out> {
     mapped_additions: Vec<Acc>,
     sampled_halves: Vec<usize>,
     rem_half: [Option<Acc>; 2],
+    /// Phase-1–3 stage spans, folded into every release's audit.
+    spans: Vec<StageSpan>,
+    /// Engine counters attributable to the preparation.
+    engine: MetricsSnapshot,
 }
 
 impl<T, Acc, Out> std::fmt::Debug for PreparedQuery<T, Acc, Out> {
@@ -850,5 +951,67 @@ mod tests {
             upa.release(&prepared),
             Err(UpaError::BudgetExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn run_records_audit_with_stage_timings() {
+        let (ctx, mut upa) = small_upa(50);
+        let data: Vec<f64> = (0..1_000).map(|i| (i % 10) as f64).collect();
+        let ds = ctx.parallelize(data.clone(), 4);
+        let query = MapReduceQuery::scalar_sum("count", |_x: &f64| 1.0);
+        let domain = EmpiricalSampler::new(data);
+        let _ = upa.run(&ds, &query, &domain).unwrap();
+        let audit = upa.last_audit().expect("run records an audit");
+        assert_eq!(audit.query, "count");
+        assert_eq!(audit.sample_size, 50);
+        for stage in [
+            "partition",
+            "sample",
+            "map",
+            "reduce",
+            "neighbours",
+            "mle_fit",
+            "enforce",
+            "clamp",
+            "noise",
+        ] {
+            assert!(audit.stage_nanos(stage) > 0, "stage {stage} has zero time");
+        }
+        assert!(audit.engine.stages > 0);
+        assert!(audit.engine.shuffles >= 1);
+        assert!(audit.engine.shuffle_bytes > 0);
+        assert!(audit.total_nanos > 0);
+        let _ = upa.run(&ds, &query, &domain).unwrap();
+        assert_eq!(upa.audits().len(), 2);
+        upa.clear_audits();
+        assert!(upa.last_audit().is_none());
+    }
+
+    #[test]
+    fn release_audits_include_prepare_spans() {
+        let ctx = Context::with_threads(2);
+        let data: Vec<f64> = (0..800).map(|i| (i % 5) as f64).collect();
+        let ds = ctx.parallelize(data.clone(), 4);
+        let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+        let domain = EmpiricalSampler::new(data);
+        let mut upa = Upa::new(
+            ctx,
+            UpaConfig {
+                sample_size: 20,
+                add_noise: true,
+                ..UpaConfig::default()
+            },
+        );
+        let prepared = upa.prepare(&ds, &query, &domain).unwrap();
+        assert!(upa.last_audit().is_none(), "prepare alone releases nothing");
+        let _ = upa.release(&prepared).unwrap();
+        let _ = upa.release(&prepared).unwrap();
+        assert_eq!(upa.audits().len(), 2);
+        for audit in upa.audits() {
+            // Every release's audit carries the (shared) preparation cost.
+            assert!(audit.stage_nanos("sample") > 0);
+            assert!(audit.stage_nanos("reduce") > 0);
+            assert!(audit.stage_nanos("noise") > 0);
+        }
     }
 }

@@ -207,13 +207,8 @@ mod tests {
 
     #[test]
     fn scalar_sum_counts() {
-        let q = MapReduceQuery::scalar_sum("count_even", |x: &i64| {
-            if x % 2 == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let q =
+            MapReduceQuery::scalar_sum("count_even", |x: &i64| if x % 2 == 0 { 1.0 } else { 0.0 });
         let data: Vec<i64> = (0..10).collect();
         assert_eq!(q.evaluate_slice(&data), 5.0);
         assert_eq!(q.evaluate_slice(&[]), 0.0);
@@ -267,9 +262,7 @@ mod tests {
 
     #[test]
     fn histogram_counts_buckets() {
-        let q = MapReduceQuery::histogram("ages", 3, |age: &f64| {
-            Some((*age as usize) / 30)
-        });
+        let q = MapReduceQuery::histogram("ages", 3, |age: &f64| Some((*age as usize) / 30));
         let data = vec![5.0, 25.0, 35.0, 65.0, 95.0];
         // Buckets: [0,30) -> 2, [30,60) -> 1, [60,90) -> 1; 95 maps to
         // bucket 3 which is out of range and dropped.
@@ -279,9 +272,18 @@ mod tests {
 
     #[test]
     fn histogram_none_counts_nowhere() {
-        let q = MapReduceQuery::histogram("opt", 2, |x: &i64| {
-            if *x >= 0 { Some(*x as usize % 2) } else { None }
-        });
+        let q =
+            MapReduceQuery::histogram(
+                "opt",
+                2,
+                |x: &i64| {
+                    if *x >= 0 {
+                        Some(*x as usize % 2)
+                    } else {
+                        None
+                    }
+                },
+            );
         assert_eq!(q.evaluate_slice(&[-5, 0, 1, 2]), vec![2.0, 1.0]);
     }
 

@@ -86,7 +86,10 @@ impl std::fmt::Debug for Context {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Context")
             .field("threads", &self.inner.config.threads)
-            .field("stages_run", &self.inner.stage_counter.load(Ordering::Relaxed))
+            .field(
+                "stages_run",
+                &self.inner.stage_counter.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -271,8 +274,8 @@ impl Context {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
-    pub(crate) fn record_shuffle(&self, records: u64) {
-        self.inner.metrics.record_shuffle(records);
+    pub(crate) fn record_shuffle(&self, records: u64, bytes: u64) {
+        self.inner.metrics.record_shuffle(records, bytes);
     }
 
     /// Number of reduce-side buckets shuffles use.
@@ -394,9 +397,8 @@ mod tests {
         };
         let ctx = Context::new(config);
         let ds = ctx.parallelize((0..64).collect::<Vec<i32>>(), 16);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ds.map(|x| x + 1).collect()
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ds.map(|x| x + 1).collect()));
         assert!(result.is_err(), "95% failure with zero retries must abort");
     }
 }

@@ -107,10 +107,7 @@ impl<T: Data> Dataset<T> {
 
     /// Applies `f` to every record (a narrow, embarrassingly parallel
     /// stage — Spark's `map`).
-    pub fn map<U: Data>(
-        &self,
-        f: impl Fn(&T) -> U + Send + Sync + 'static,
-    ) -> Dataset<U> {
+    pub fn map<U: Data>(&self, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Dataset<U> {
         let f = Arc::new(f);
         let parts = self.ctx.run_stage(
             "map",
@@ -140,10 +137,7 @@ impl<T: Data> Dataset<T> {
     }
 
     /// Applies `f` and flattens the results.
-    pub fn flat_map<U: Data, I>(
-        &self,
-        f: impl Fn(&T) -> I + Send + Sync + 'static,
-    ) -> Dataset<U>
+    pub fn flat_map<U: Data, I>(&self, f: impl Fn(&T) -> I + Send + Sync + 'static) -> Dataset<U>
     where
         I: IntoIterator<Item = U>,
     {
@@ -201,10 +195,7 @@ impl<T: Data> Dataset<T> {
 
     /// Pairs every record with a key (Spark's `keyBy`), enabling the pair
     /// operators in [`crate::pair::PairOps`].
-    pub fn key_by<K: Data>(
-        &self,
-        f: impl Fn(&T) -> K + Send + Sync + 'static,
-    ) -> Dataset<(K, T)> {
+    pub fn key_by<K: Data>(&self, f: impl Fn(&T) -> K + Send + Sync + 'static) -> Dataset<(K, T)> {
         self.map(move |t| (f(t), t.clone()))
     }
 
@@ -218,10 +209,7 @@ impl<T: Data> Dataset<T> {
     pub fn reduce(&self, f: impl Fn(&T, &T) -> T + Send + Sync + 'static) -> Option<T> {
         let f: ReduceFn<T> = Arc::new(f);
         let partials = self.reduce_partitions_with(Arc::clone(&f));
-        partials
-            .into_iter()
-            .flatten()
-            .reduce(|a, b| f(&a, &b))
+        partials.into_iter().flatten().reduce(|a, b| f(&a, &b))
     }
 
     /// Per-partition reduce (the paper's `ReduceByPar`): returns one
@@ -542,10 +530,7 @@ mod tests {
         let ds = ctx().parallelize(vec![1, 2, 3, 4, 5, 6], 3);
         let partials = ds.reduce_partitions(|a, b| a + b);
         assert_eq!(partials.len(), 3);
-        assert_eq!(
-            partials.into_iter().map(|p| p.unwrap()).sum::<i32>(),
-            21
-        );
+        assert_eq!(partials.into_iter().map(|p| p.unwrap()).sum::<i32>(), 21);
     }
 
     #[test]
@@ -640,7 +625,10 @@ mod tests {
 
     #[test]
     fn explain_shows_operator_chain() {
-        let ds = ctx().parallelize(vec![1], 1).map(|x| x + 1).filter(|_| true);
+        let ds = ctx()
+            .parallelize(vec![1], 1)
+            .map(|x| x + 1)
+            .filter(|_| true);
         let plan = ds.explain();
         assert!(plan.starts_with("filter"));
         assert!(plan.contains("map"));

@@ -44,7 +44,7 @@ pub mod pool;
 pub use context::{Config, Context};
 pub use dataset::Dataset;
 pub use error::DataflowError;
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, SpanRecorder, SpanScope, StageSpan};
 pub use pair::PairOps;
 
 /// Marker trait for record types that can flow through the engine.

@@ -71,12 +71,7 @@ impl Lineage {
     /// Total number of operators in the tree (counting shared subtrees once
     /// per occurrence).
     pub fn depth(&self) -> usize {
-        1 + self
-            .parents
-            .iter()
-            .map(|p| p.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.parents.iter().map(|p| p.depth()).max().unwrap_or(0)
     }
 }
 

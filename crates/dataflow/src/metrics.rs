@@ -1,15 +1,22 @@
-//! Engine metrics.
+//! Engine metrics and the span/timer API.
 //!
 //! The paper's performance evaluation (Figures 2(b), 4(a), 4(b)) explains
 //! UPA's overhead in terms of *extra shuffles* — RANGE ENFORCER exchanges
 //! partition records between computers, and `joinDP` shuffles twice where
 //! vanilla Spark shuffles once. To reproduce that analysis the engine
-//! counts every stage, task, retry and shuffle, and the benchmark harness
-//! reports them next to wall-clock numbers.
+//! counts every stage, task, retry, shuffle record and shuffle byte, and
+//! the benchmark harness reports them next to wall-clock numbers.
+//!
+//! On top of the flat counters, [`SpanRecorder`] provides nested,
+//! named stage scopes ([`SpanScope`] RAII guards) with per-stage
+//! wall-clock time and record counts. `upa-core` threads one recorder
+//! through every phase of Algorithm 1 to build its per-query audits.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Shared atomic counters, owned by a [`crate::Context`].
 #[derive(Debug, Default)]
@@ -19,6 +26,7 @@ pub struct Metrics {
     task_retries: AtomicU64,
     shuffles: AtomicU64,
     shuffle_records: AtomicU64,
+    shuffle_bytes: AtomicU64,
     records_processed: AtomicU64,
     stage_nanos: Mutex<HashMap<String, u64>>,
 }
@@ -38,9 +46,10 @@ impl Metrics {
         self.task_retries.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_shuffle(&self, records: u64) {
+    pub(crate) fn record_shuffle(&self, records: u64, bytes: u64) {
         self.shuffles.fetch_add(1, Ordering::Relaxed);
         self.shuffle_records.fetch_add(records, Ordering::Relaxed);
+        self.shuffle_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     pub(crate) fn record_processed(&self, records: u64) {
@@ -88,6 +97,7 @@ impl Metrics {
             task_retries: self.task_retries.load(Ordering::Relaxed),
             shuffles: self.shuffles.load(Ordering::Relaxed),
             shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
             records_processed: self.records_processed.load(Ordering::Relaxed),
         }
     }
@@ -99,6 +109,7 @@ impl Metrics {
         self.task_retries.store(0, Ordering::Relaxed);
         self.shuffles.store(0, Ordering::Relaxed);
         self.shuffle_records.store(0, Ordering::Relaxed);
+        self.shuffle_bytes.store(0, Ordering::Relaxed);
         self.records_processed.store(0, Ordering::Relaxed);
         self.stage_nanos.lock().clear();
     }
@@ -117,20 +128,30 @@ pub struct MetricsSnapshot {
     pub shuffles: u64,
     /// Total records moved across shuffles.
     pub shuffle_records: u64,
+    /// Approximate bytes moved across shuffles (records × in-memory
+    /// record size; heap payloads of variable-size records are not
+    /// chased).
+    pub shuffle_bytes: u64,
     /// Total records processed by narrow stages.
     pub records_processed: u64,
 }
 
 impl MetricsSnapshot {
     /// Difference between two snapshots (`self` taken after `earlier`).
+    ///
+    /// Counters are monotonic between resets, so each field saturates at
+    /// zero rather than underflowing if a reset happened in between.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
-            stages: self.stages - earlier.stages,
-            tasks: self.tasks - earlier.tasks,
-            task_retries: self.task_retries - earlier.task_retries,
-            shuffles: self.shuffles - earlier.shuffles,
-            shuffle_records: self.shuffle_records - earlier.shuffle_records,
-            records_processed: self.records_processed - earlier.records_processed,
+            stages: self.stages.saturating_sub(earlier.stages),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            task_retries: self.task_retries.saturating_sub(earlier.task_retries),
+            shuffles: self.shuffles.saturating_sub(earlier.shuffles),
+            shuffle_records: self.shuffle_records.saturating_sub(earlier.shuffle_records),
+            shuffle_bytes: self.shuffle_bytes.saturating_sub(earlier.shuffle_bytes),
+            records_processed: self
+                .records_processed
+                .saturating_sub(earlier.records_processed),
         }
     }
 }
@@ -139,14 +160,202 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "stages={} tasks={} retries={} shuffles={} shuffle_records={} records={}",
+            "stages={} tasks={} retries={} shuffles={} shuffle_records={} shuffle_bytes={} records={}",
             self.stages,
             self.tasks,
             self.task_retries,
             self.shuffles,
             self.shuffle_records,
+            self.shuffle_bytes,
             self.records_processed
         )
+    }
+}
+
+/// One named, possibly nested, timed stage recorded by a [`SpanRecorder`].
+///
+/// Spans accumulate: entering the same path twice adds to `nanos`,
+/// `records` and `calls` rather than producing a second span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpan {
+    /// Leaf name, e.g. `"sample"`.
+    pub name: String,
+    /// Slash-separated path from the root scope, e.g. `"prepare/sample"`.
+    pub path: String,
+    /// Nesting depth (0 for root scopes).
+    pub depth: usize,
+    /// Cumulative wall-clock nanoseconds spent inside the span. Clamped
+    /// to at least 1 per call so that a recorded stage is never reported
+    /// with a zero timing.
+    pub nanos: u64,
+    /// Records attributed to the span via [`SpanScope::add_records`].
+    pub records: u64,
+    /// Number of times the span was entered.
+    pub calls: u64,
+}
+
+#[derive(Debug, Default)]
+struct SpanState {
+    /// Current path segments of open scopes.
+    stack: Vec<String>,
+    /// First-seen order of span paths.
+    order: Vec<String>,
+    spans: HashMap<String, StageSpan>,
+}
+
+impl SpanState {
+    fn add(&mut self, path: &str, depth: usize, nanos: u64, records: u64, calls: u64) {
+        if let Some(span) = self.spans.get_mut(path) {
+            span.nanos += nanos;
+            span.records += records;
+            span.calls += calls;
+            return;
+        }
+        let name = path.rsplit('/').next().unwrap_or(path).to_string();
+        self.order.push(path.to_string());
+        self.spans.insert(
+            path.to_string(),
+            StageSpan {
+                name,
+                path: path.to_string(),
+                depth,
+                nanos,
+                records,
+                calls,
+            },
+        );
+    }
+}
+
+/// Records a tree of named, timed stage scopes.
+///
+/// Cheap to clone (all clones share state). Scopes are opened with
+/// [`SpanRecorder::enter`] and closed when the returned [`SpanScope`]
+/// guard drops; nesting follows lexical scope. The recorder itself is
+/// thread-safe, but the open-scope *stack* is shared, so nested scopes
+/// should be opened and closed from one thread at a time (UPA's driver
+/// loop; engine tasks report records through their guard instead).
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    inner: Arc<Mutex<SpanState>>,
+}
+
+impl SpanRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// Opens a nested scope named `name` under the currently open scopes.
+    /// The scope closes (and its elapsed time is recorded) when the
+    /// returned guard drops.
+    pub fn enter(&self, name: &str) -> SpanScope {
+        let (path, depth) = {
+            let mut st = self.inner.lock();
+            let depth = st.stack.len();
+            let path = if depth == 0 {
+                name.to_string()
+            } else {
+                format!("{}/{}", st.stack.join("/"), name)
+            };
+            st.stack.push(name.to_string());
+            (path, depth)
+        };
+        SpanScope {
+            inner: Arc::clone(&self.inner),
+            path,
+            depth,
+            records: 0,
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds `records` to the innermost open scope (no-op when no scope
+    /// is open).
+    pub fn add_records(&self, records: u64) {
+        let mut st = self.inner.lock();
+        if st.stack.is_empty() {
+            return;
+        }
+        let path = st.stack.join("/");
+        let depth = st.stack.len() - 1;
+        // Attribute to the open span without counting an extra call.
+        st.add(&path, depth, 0, records, 0);
+    }
+
+    /// All spans recorded so far, in completion order (a span is recorded
+    /// when its scope closes, so children precede their parents).
+    pub fn spans(&self) -> Vec<StageSpan> {
+        let st = self.inner.lock();
+        st.order
+            .iter()
+            .filter_map(|p| st.spans.get(p).cloned())
+            .collect()
+    }
+
+    /// Cumulative nanoseconds of the root (depth-0) spans.
+    pub fn total_nanos(&self) -> u64 {
+        self.inner
+            .lock()
+            .spans
+            .values()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.nanos)
+            .sum()
+    }
+
+    /// Nanoseconds recorded for the first span whose leaf name is `name`,
+    /// or 0 when no such span exists.
+    pub fn nanos_of(&self, name: &str) -> u64 {
+        let st = self.inner.lock();
+        st.order
+            .iter()
+            .filter_map(|p| st.spans.get(p))
+            .find(|s| s.name == name)
+            .map(|s| s.nanos)
+            .unwrap_or(0)
+    }
+
+    /// Discards every recorded span and closes all open scopes.
+    pub fn clear(&self) {
+        let mut st = self.inner.lock();
+        st.stack.clear();
+        st.order.clear();
+        st.spans.clear();
+    }
+}
+
+/// RAII guard for one open span scope; records elapsed time on drop.
+#[must_use = "a span scope records its time when dropped"]
+#[derive(Debug)]
+pub struct SpanScope {
+    inner: Arc<Mutex<SpanState>>,
+    path: String,
+    depth: usize,
+    records: u64,
+    start: Instant,
+}
+
+impl SpanScope {
+    /// Attributes `records` to this span (flushed when the guard drops).
+    pub fn add_records(&mut self, records: u64) {
+        self.records += records;
+    }
+
+    /// The slash-separated path of this scope.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        let nanos = (self.start.elapsed().as_nanos() as u64).max(1);
+        let mut st = self.inner.lock();
+        // Close this scope and any forgotten children (robust against
+        // out-of-order drops).
+        st.stack.truncate(self.depth);
+        st.add(&self.path, self.depth, nanos, self.records, 1);
     }
 }
 
@@ -160,7 +369,7 @@ mod tests {
         m.record_stage(4);
         m.record_stage(2);
         m.record_retry();
-        m.record_shuffle(100);
+        m.record_shuffle(100, 800);
         m.record_processed(50);
         let s = m.snapshot();
         assert_eq!(s.stages, 2);
@@ -168,6 +377,7 @@ mod tests {
         assert_eq!(s.task_retries, 1);
         assert_eq!(s.shuffles, 1);
         assert_eq!(s.shuffle_records, 100);
+        assert_eq!(s.shuffle_bytes, 800);
         assert_eq!(s.records_processed, 50);
     }
 
@@ -177,19 +387,30 @@ mod tests {
         m.record_stage(1);
         let before = m.snapshot();
         m.record_stage(3);
-        m.record_shuffle(10);
+        m.record_shuffle(10, 40);
         let delta = m.snapshot().since(&before);
         assert_eq!(delta.stages, 1);
         assert_eq!(delta.tasks, 3);
         assert_eq!(delta.shuffles, 1);
         assert_eq!(delta.shuffle_records, 10);
+        assert_eq!(delta.shuffle_bytes, 40);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let m = Metrics::new();
+        m.record_stage(2);
+        let before = m.snapshot();
+        m.reset();
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta, MetricsSnapshot::default());
     }
 
     #[test]
     fn reset_zeroes_everything() {
         let m = Metrics::new();
         m.record_stage(1);
-        m.record_shuffle(5);
+        m.record_shuffle(5, 20);
         m.record_stage_time("map", 100);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
@@ -221,11 +442,93 @@ mod tests {
             task_retries: 3,
             shuffles: 4,
             shuffle_records: 5,
-            records_processed: 6,
+            shuffle_bytes: 6,
+            records_processed: 7,
         };
         let text = s.to_string();
-        for field in ["stages=1", "tasks=2", "retries=3", "shuffles=4"] {
+        for field in [
+            "stages=1",
+            "tasks=2",
+            "retries=3",
+            "shuffles=4",
+            "shuffle_bytes=6",
+        ] {
             assert!(text.contains(field), "missing {field} in {text}");
         }
+    }
+
+    #[test]
+    fn spans_nest_and_accumulate() {
+        let rec = SpanRecorder::new();
+        {
+            let _outer = rec.enter("prepare");
+            {
+                let mut inner = rec.enter("sample");
+                inner.add_records(10);
+            }
+            {
+                let mut inner = rec.enter("sample");
+                inner.add_records(5);
+            }
+            let _other = rec.enter("map");
+        }
+        let spans = rec.spans();
+        let paths: Vec<&str> = spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["prepare/sample", "prepare/map", "prepare"]);
+        let sample = &spans[0];
+        assert_eq!(sample.name, "sample");
+        assert_eq!(sample.depth, 1);
+        assert_eq!(sample.calls, 2);
+        assert_eq!(sample.records, 15);
+        assert!(sample.nanos >= 2, "two calls clamp to >= 1ns each");
+        let prepare = spans.iter().find(|s| s.path == "prepare").unwrap();
+        assert_eq!(prepare.depth, 0);
+        assert!(prepare.nanos >= sample.nanos, "parent covers children");
+    }
+
+    #[test]
+    fn recorder_level_records_hit_innermost_open_span() {
+        let rec = SpanRecorder::new();
+        {
+            let _outer = rec.enter("release");
+            {
+                let _inner = rec.enter("noise");
+                rec.add_records(3);
+            }
+        }
+        assert_eq!(
+            rec.spans()
+                .iter()
+                .find(|s| s.path == "release/noise")
+                .unwrap()
+                .records,
+            3
+        );
+        rec.add_records(99); // no open scope: dropped
+        assert!(rec.spans().iter().all(|s| s.records != 99));
+    }
+
+    #[test]
+    fn total_nanos_counts_only_roots() {
+        let rec = SpanRecorder::new();
+        {
+            let _a = rec.enter("a");
+            let _b = rec.enter("b");
+        }
+        let spans = rec.spans();
+        let root: u64 = spans.iter().filter(|s| s.depth == 0).map(|s| s.nanos).sum();
+        assert_eq!(rec.total_nanos(), root);
+        assert!(rec.nanos_of("b") >= 1);
+        assert_eq!(rec.nanos_of("missing"), 0);
+    }
+
+    #[test]
+    fn clear_discards_spans_and_open_scopes() {
+        let rec = SpanRecorder::new();
+        let guard = rec.enter("left-open");
+        rec.clear();
+        assert!(rec.spans().is_empty());
+        drop(guard); // records into a fresh stack; must not panic
+        assert_eq!(rec.spans().len(), 1);
     }
 }

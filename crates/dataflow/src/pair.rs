@@ -39,7 +39,11 @@ pub(crate) fn shuffle_with<K: Data, V: Data, P: Partitioner<K> + 'static>(
     partitioner: Arc<P>,
 ) -> Vec<Arc<Vec<(K, V)>>> {
     let total: u64 = ds.len() as u64;
-    ctx.record_shuffle(total);
+    // Approximate wire size: in-memory record size × records. Heap
+    // payloads of variable-size records are not chased, matching how
+    // Spark reports shuffle bytes from its serialised buffers.
+    let bytes = total * std::mem::size_of::<(K, V)>() as u64;
+    ctx.record_shuffle(total, bytes);
     let scan_ns = ctx.scan_cost_ns();
     // Map side: split each partition into per-bucket runs.
     let bucketed: Vec<Vec<Vec<(K, V)>>> = ctx.run_tasks(
@@ -56,13 +60,17 @@ pub(crate) fn shuffle_with<K: Data, V: Data, P: Partitioner<K> + 'static>(
     );
     // Reduce side: concatenate run `b` of every map output.
     let bucketed = Arc::new(bucketed);
-    ctx.run_tasks("shuffle-read", (0..buckets).collect(), move |_i, b: usize| {
-        let mut merged = Vec::new();
-        for map_out in bucketed.iter() {
-            merged.extend(map_out[b].iter().cloned());
-        }
-        Arc::new(merged)
-    })
+    ctx.run_tasks(
+        "shuffle-read",
+        (0..buckets).collect(),
+        move |_i, b: usize| {
+            let mut merged = Vec::new();
+            for map_out in bucketed.iter() {
+                merged.extend(map_out[b].iter().cloned());
+            }
+            Arc::new(merged)
+        },
+    )
 }
 
 /// Pair-dataset operators, available on any `Dataset<(K, V)>`.
@@ -82,10 +90,7 @@ pub trait PairOps<K, V>: private::Sealed {
 
     /// Left outer hash join: every left record appears once per match, or
     /// once with `None` when unmatched. Shuffles both sides.
-    fn left_outer_join<W: Data>(
-        &self,
-        other: &Dataset<(K, W)>,
-    ) -> Dataset<(K, (V, Option<W>))>;
+    fn left_outer_join<W: Data>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, Option<W>))>;
 
     /// Groups both sides by key (Spark's `cogroup`). Shuffles both sides.
     #[allow(clippy::type_complexity)]
@@ -102,10 +107,7 @@ pub trait PairOps<K, V>: private::Sealed {
     fn count_by_key(&self) -> Dataset<(K, u64)>;
 
     /// Applies `f` to every value, keeping keys (narrow).
-    fn map_values<U: Data>(
-        &self,
-        f: impl Fn(&V) -> U + Send + Sync + 'static,
-    ) -> Dataset<(K, U)>;
+    fn map_values<U: Data>(&self, f: impl Fn(&V) -> U + Send + Sync + 'static) -> Dataset<(K, U)>;
 
     /// The keys, in partition order (narrow).
     fn keys(&self) -> Dataset<K>;
@@ -184,8 +186,7 @@ impl<K: Data + Hash + Eq, V: Data> PairOps<K, V> for Dataset<(K, V)> {
         // keys land in the same bucket index.
         let left = shuffle_by_key(&ctx, self, buckets);
         let right = shuffle_by_key(&ctx, other, buckets);
-        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> =
-            left.into_iter().zip(right).collect();
+        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> = left.into_iter().zip(right).collect();
         let parts = ctx.run_tasks(
             "join",
             inputs,
@@ -215,16 +216,12 @@ impl<K: Data + Hash + Eq, V: Data> PairOps<K, V> for Dataset<(K, V)> {
         )
     }
 
-    fn left_outer_join<W: Data>(
-        &self,
-        other: &Dataset<(K, W)>,
-    ) -> Dataset<(K, (V, Option<W>))> {
+    fn left_outer_join<W: Data>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, Option<W>))> {
         let ctx = self.ctx().clone();
         let buckets = ctx.shuffle_partitions();
         let left = shuffle_by_key(&ctx, self, buckets);
         let right = shuffle_by_key(&ctx, other, buckets);
-        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> =
-            left.into_iter().zip(right).collect();
+        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> = left.into_iter().zip(right).collect();
         let parts = ctx.run_tasks(
             "left_outer_join",
             inputs,
@@ -262,8 +259,7 @@ impl<K: Data + Hash + Eq, V: Data> PairOps<K, V> for Dataset<(K, V)> {
         let buckets = ctx.shuffle_partitions();
         let left = shuffle_by_key(&ctx, self, buckets);
         let right = shuffle_by_key(&ctx, other, buckets);
-        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> =
-            left.into_iter().zip(right).collect();
+        let inputs: Vec<(Bucket<K, V>, Bucket<K, W>)> = left.into_iter().zip(right).collect();
         let parts = ctx.run_tasks(
             "cogroup",
             inputs,
@@ -320,10 +316,7 @@ impl<K: Data + Hash + Eq, V: Data> PairOps<K, V> for Dataset<(K, V)> {
         self.map_values(|_| 1u64).reduce_by_key(|a, b| a + b)
     }
 
-    fn map_values<U: Data>(
-        &self,
-        f: impl Fn(&V) -> U + Send + Sync + 'static,
-    ) -> Dataset<(K, U)> {
+    fn map_values<U: Data>(&self, f: impl Fn(&V) -> U + Send + Sync + 'static) -> Dataset<(K, U)> {
         self.map(move |(k, v)| (k.clone(), f(v)))
     }
 
@@ -390,7 +383,9 @@ mod tests {
     fn join_matches_nested_loop_reference() {
         let c = ctx();
         let left: Vec<(u32, i64)> = (0..200).map(|i| (i % 10, i as i64)).collect();
-        let right: Vec<(u32, char)> = (0..30).map(|i| (i % 15, (b'a' + (i % 26) as u8) as char)).collect();
+        let right: Vec<(u32, char)> = (0..30)
+            .map(|i| (i % 15, (b'a' + (i % 26) as u8) as char))
+            .collect();
         let l = c.parallelize(left.clone(), 5);
         let r = c.parallelize(right.clone(), 3);
         let mut got = l.join(&r).collect();
@@ -442,10 +437,7 @@ mod tests {
         let ds = c.parallelize(vec![(1, 10), (2, 20)], 1);
         assert_eq!(ds.keys().collect(), vec![1, 2]);
         assert_eq!(ds.values().collect(), vec![10, 20]);
-        assert_eq!(
-            ds.map_values(|v| v + 1).collect(),
-            vec![(1, 11), (2, 21)]
-        );
+        assert_eq!(ds.map_values(|v| v + 1).collect(), vec![(1, 11), (2, 21)]);
     }
 
     #[test]
@@ -466,10 +458,7 @@ mod tests {
         let data: Vec<(u8, u32)> = (0..500u32).map(|i| ((i % 7) as u8, i)).collect();
         let ds = c.parallelize(data.clone(), 6);
         let shuffled = shuffle_by_key(&c, &ds, 3);
-        let mut flat: Vec<(u8, u32)> = shuffled
-            .iter()
-            .flat_map(|p| p.iter().cloned())
-            .collect();
+        let mut flat: Vec<(u8, u32)> = shuffled.iter().flat_map(|p| p.iter().cloned()).collect();
         flat.sort();
         let mut want = data;
         want.sort();
@@ -527,7 +516,9 @@ mod tests {
     #[test]
     fn sort_by_key_globally_orders() {
         let c = ctx();
-        let data: Vec<(i64, u32)> = (0..2_000u32).map(|i| (((i * 7919) % 997) as i64, i)).collect();
+        let data: Vec<(i64, u32)> = (0..2_000u32)
+            .map(|i| (((i * 7919) % 997) as i64, i))
+            .collect();
         let ds = c.parallelize(data.clone(), 8);
         let sorted = ds.sort_by_key().collect();
         assert_eq!(sorted.len(), data.len());

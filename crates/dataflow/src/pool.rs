@@ -25,7 +25,9 @@ pub struct ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("size", &self.size).finish()
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .finish()
     }
 }
 
@@ -100,8 +102,7 @@ impl ThreadPool {
             let tx = tx.clone();
             let f = Arc::clone(&f);
             self.execute(move || {
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, input)));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, input)));
                 // The receiver may be gone if the caller already panicked;
                 // ignore the send error in that case.
                 let _ = tx.send((i, result));

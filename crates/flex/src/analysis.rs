@@ -84,11 +84,7 @@ pub fn elastic_sensitivity(
 
 /// How many output rows of `plan` one protected record can influence, at
 /// edit distance `k`.
-fn relation_sensitivity(
-    plan: &Plan,
-    metadata: &Metadata,
-    k: u64,
-) -> Result<f64, FlexUnsupported> {
+fn relation_sensitivity(plan: &Plan, metadata: &Metadata, k: u64) -> Result<f64, FlexUnsupported> {
     match plan {
         Plan::Table { .. } => Ok(1.0),
         Plan::Filter { input, .. } => relation_sensitivity(input, metadata, k),

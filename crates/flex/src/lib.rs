@@ -42,6 +42,6 @@ pub mod plan;
 pub mod smooth;
 
 pub use analysis::{analyze, elastic_sensitivity, FlexUnsupported};
-pub use smooth::{smooth_sensitivity, SmoothMechanism};
 pub use metadata::Metadata;
 pub use plan::{ColumnRef, Plan};
+pub use smooth::{smooth_sensitivity, SmoothMechanism};

@@ -166,11 +166,7 @@ impl Plan {
 /// `explain()` style.
 impl std::fmt::Display for Plan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        fn render(
-            plan: &Plan,
-            depth: usize,
-            f: &mut std::fmt::Formatter<'_>,
-        ) -> std::fmt::Result {
+        fn render(plan: &Plan, depth: usize, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             for _ in 0..depth {
                 write!(f, "  ")?;
             }
@@ -211,12 +207,7 @@ mod tests {
     fn two_join_plan() -> Plan {
         Plan::count(Plan::join(
             Plan::filter(Plan::table("a"), "a.x > 3"),
-            Plan::join(
-                Plan::table("b"),
-                Plan::table("c"),
-                ("b", "k"),
-                ("c", "k"),
-            ),
+            Plan::join(Plan::table("b"), Plan::table("c"), ("b", "k"), ("c", "k")),
             ("a", "k"),
             ("b", "k"),
         ))

@@ -77,7 +77,10 @@ impl SmoothMechanism {
     ///
     /// Panics unless `epsilon > 0` and `0 < delta < 1`.
     pub fn new(epsilon: f64, delta: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive");
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive"
+        );
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
         SmoothMechanism { epsilon, delta }
     }

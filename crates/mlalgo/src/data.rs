@@ -78,7 +78,11 @@ pub fn generate_points(config: &LifeScienceConfig) -> Vec<Vec<f64>> {
         .map(|_| {
             let c = rng.gen_range(0..config.clusters) as f64;
             let outlier = rng.gen_bool(config.outlier_fraction);
-            let scale = if outlier { rng.gen_range(4.0..9.0) } else { 1.0 };
+            let scale = if outlier {
+                rng.gen_range(4.0..9.0)
+            } else {
+                1.0
+            };
             (0..config.dims)
                 .map(|_| (10.0 * c + gaussian(&mut rng)) * scale)
                 .collect()
@@ -93,12 +97,20 @@ pub fn generate_points(config: &LifeScienceConfig) -> Vec<Vec<f64>> {
 /// Returns `(records, true_weights)` where the last weight is the bias.
 pub fn generate_regression(config: &LifeScienceConfig) -> (Vec<LrRecord>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let true_w: Vec<f64> = (0..=config.dims).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let true_w: Vec<f64> = (0..=config.dims)
+        .map(|_| rng.gen_range(-2.0..2.0))
+        .collect();
     let records = (0..config.records)
         .map(|_| {
             let outlier = rng.gen_bool(config.outlier_fraction);
-            let scale = if outlier { rng.gen_range(4.0..9.0) } else { 1.0 };
-            let features: Vec<f64> = (0..config.dims).map(|_| gaussian(&mut rng) * scale).collect();
+            let scale = if outlier {
+                rng.gen_range(4.0..9.0)
+            } else {
+                1.0
+            };
+            let features: Vec<f64> = (0..config.dims)
+                .map(|_| gaussian(&mut rng) * scale)
+                .collect();
             let target = features
                 .iter()
                 .zip(&true_w)
@@ -140,9 +152,7 @@ mod tests {
         // Without outliers every coordinate is within a few sigma of a
         // cluster centre 0, 10 or 20.
         for p in &pts {
-            let near = [0.0, 10.0, 20.0]
-                .iter()
-                .any(|c| (p[0] - c).abs() < 5.0);
+            let near = [0.0, 10.0, 20.0].iter().any(|c| (p[0] - c).abs() < 5.0);
             assert!(near, "point {p:?} belongs to no cluster");
         }
     }
@@ -160,7 +170,10 @@ mod tests {
             .map(|p| p.iter().map(|x| x * x).sum::<f64>().sqrt())
             .fold(0.0, f64::max);
         // Cluster centres cap at ~20·sqrt(d) ≈ 40 without outliers.
-        assert!(max_norm > 100.0, "expected heavy-tailed outliers, max {max_norm}");
+        assert!(
+            max_norm > 100.0,
+            "expected heavy-tailed outliers, max {max_norm}"
+        );
     }
 
     #[test]
@@ -174,13 +187,8 @@ mod tests {
         assert_eq!(w.len(), c.dims + 1);
         // Residuals w.r.t. the hidden model are the 0.1-sigma noise.
         for r in records.iter().take(100) {
-            let pred: f64 = r
-                .features
-                .iter()
-                .zip(&w)
-                .map(|(x, wi)| x * wi)
-                .sum::<f64>()
-                + w[c.dims];
+            let pred: f64 =
+                r.features.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>() + w[c.dims];
             assert!((pred - r.target).abs() < 1.0);
         }
     }

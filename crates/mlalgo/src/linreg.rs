@@ -88,12 +88,7 @@ impl LinearRegression {
             name,
             move |r: &LrRecord| {
                 // Gradient of squared error: (pred − y) · [x, 1].
-                let err = r
-                    .features
-                    .iter()
-                    .zip(&w)
-                    .map(|(x, wi)| x * wi)
-                    .sum::<f64>()
+                let err = r.features.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>()
                     + w[dims - 1]
                     - r.target;
                 let mut g: Vec<f64> = r.features.iter().map(|x| err * x).collect();
@@ -115,9 +110,7 @@ impl LinearRegression {
                 _ => w_fin.clone(),
             },
         )
-        .with_half_key(|r: &LrRecord| {
-            crate::data::point_key(&r.features) ^ r.target.to_bits()
-        })
+        .with_half_key(|r: &LrRecord| crate::data::point_key(&r.features) ^ r.target.to_bits())
     }
 
     /// One non-private epoch over a dataset (the vanilla Spark baseline);

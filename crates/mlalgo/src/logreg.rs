@@ -98,13 +98,7 @@ impl LogisticRegression {
             name,
             move |r: &LrRecord| {
                 let label = if r.target > 0.0 { 1.0 } else { 0.0 };
-                let z = r
-                    .features
-                    .iter()
-                    .zip(&w)
-                    .map(|(x, wi)| x * wi)
-                    .sum::<f64>()
-                    + w[dims - 1];
+                let z = r.features.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>() + w[dims - 1];
                 let err = sigmoid(z) - label; // in (−1, 1): bounded influence
                 let mut g: Vec<f64> = r.features.iter().map(|x| err * x).collect();
                 g.push(err);
@@ -125,9 +119,7 @@ impl LogisticRegression {
                 _ => w_fin.clone(),
             },
         )
-        .with_half_key(|r: &LrRecord| {
-            crate::data::point_key(&r.features) ^ r.target.to_bits()
-        })
+        .with_half_key(|r: &LrRecord| crate::data::point_key(&r.features) ^ r.target.to_bits())
     }
 
     /// One non-private epoch; returns updated weights without mutating

@@ -239,12 +239,8 @@ impl Catalog {
                         }
                     }
                 }
-                let keyed_l = l
-                    .data()
-                    .map(move |row| (key_of(row, li), row.clone()));
-                let keyed_r = r
-                    .data()
-                    .map(move |row| (key_of(row, ri), row.clone()));
+                let keyed_l = l.data().map(move |row| (key_of(row, li), row.clone()));
+                let keyed_r = r.data().map(move |row| (key_of(row, ri), row.clone()));
                 let joined = keyed_l.join(&keyed_r).map(|(_, (lrow, rrow))| {
                     let mut out = lrow.clone();
                     out.extend(rrow.iter().cloned());
@@ -284,13 +280,7 @@ mod tests {
         let mut c = Catalog::new();
         // orders(orderkey, custkey, priority)
         let orders: Vec<Row> = (0..100)
-            .map(|i| {
-                vec![
-                    Value::Int(i),
-                    Value::Int(i % 10),
-                    Value::Int(i % 5 + 1),
-                ]
-            })
+            .map(|i| vec![Value::Int(i), Value::Int(i % 10), Value::Int(i % 5 + 1)])
             .collect();
         c.register(Relation::from_rows(
             ctx,
@@ -439,8 +429,8 @@ mod tests {
     fn group_by_count_matches_reference() {
         let ctx = Context::with_threads(2);
         let c = catalog(&ctx);
-        let plan = LogicalPlan::scan("orders")
-            .group_by("custkey", crate::plan::Aggregate::CountStar);
+        let plan =
+            LogicalPlan::scan("orders").group_by("custkey", crate::plan::Aggregate::CountStar);
         let out = c.execute(&plan).unwrap();
         let rel = out.as_rows().unwrap();
         // 100 orders over 10 customers: 10 groups of 10.
@@ -454,8 +444,10 @@ mod tests {
     fn group_by_sum_matches_reference() {
         let ctx = Context::with_threads(2);
         let c = catalog(&ctx);
-        let plan = LogicalPlan::scan("lineitem")
-            .group_by("lineitem.orderkey", crate::plan::Aggregate::Sum(Expr::col("price")));
+        let plan = LogicalPlan::scan("lineitem").group_by(
+            "lineitem.orderkey",
+            crate::plan::Aggregate::Sum(Expr::col("price")),
+        );
         let out = c.execute(&plan).unwrap();
         let rel = out.as_rows().unwrap();
         assert_eq!(rel.len(), 100, "one group per order");
@@ -472,8 +464,8 @@ mod tests {
     fn group_by_on_float_key_is_rejected() {
         let ctx = Context::with_threads(2);
         let c = catalog(&ctx);
-        let plan = LogicalPlan::scan("lineitem")
-            .group_by("price", crate::plan::Aggregate::CountStar);
+        let plan =
+            LogicalPlan::scan("lineitem").group_by("price", crate::plan::Aggregate::CountStar);
         assert!(matches!(
             c.execute(&plan).unwrap_err(),
             RelError::UnhashableJoinKey(_)

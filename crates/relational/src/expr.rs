@@ -152,26 +152,22 @@ impl Expr {
     /// Returns [`RelError::UnknownColumn`] for unresolvable names.
     pub fn bind(&self, schema: &Schema) -> Result<BoundExpr, RelError> {
         Ok(match self {
-            Expr::Col(name) => BoundExpr::Col(schema.index_of(name).ok_or_else(|| {
-                RelError::UnknownColumn(name.clone(), schema.columns().to_vec())
-            })?),
+            Expr::Col(name) => {
+                BoundExpr::Col(schema.index_of(name).ok_or_else(|| {
+                    RelError::UnknownColumn(name.clone(), schema.columns().to_vec())
+                })?)
+            }
             Expr::Lit(v) => BoundExpr::Lit(v.clone()),
             Expr::Cmp(op, a, b) => {
                 BoundExpr::Cmp(*op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
             }
-            Expr::And(a, b) => {
-                BoundExpr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
-            }
-            Expr::Or(a, b) => {
-                BoundExpr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
-            }
+            Expr::And(a, b) => BoundExpr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
+            Expr::Or(a, b) => BoundExpr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
             Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(schema)?)),
             Expr::Arith(op, a, b) => {
                 BoundExpr::Arith(*op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
             }
-            Expr::InList(a, values) => {
-                BoundExpr::InList(Box::new(a.bind(schema)?), values.clone())
-            }
+            Expr::InList(a, values) => BoundExpr::InList(Box::new(a.bind(schema)?), values.clone()),
         })
     }
 }
@@ -213,7 +209,9 @@ fn cmp_values(op: CmpOp, a: &Value, b: &Value) -> Result<bool, RelError> {
     match (op, a, b) {
         (CmpOp::Eq, x, y) => Ok(x == y),
         (CmpOp::Ne, x, y) => Ok(x != y),
-        _ => Err(RelError::TypeMismatch("ordered comparison of non-numeric values")),
+        _ => Err(RelError::TypeMismatch(
+            "ordered comparison of non-numeric values",
+        )),
     }
 }
 
@@ -228,21 +226,23 @@ impl BoundExpr {
         Ok(match self {
             BoundExpr::Col(i) => row[*i].clone(),
             BoundExpr::Lit(v) => v.clone(),
-            BoundExpr::Cmp(op, a, b) => {
-                Value::Bool(cmp_values(*op, &a.eval(row)?, &b.eval(row)?)?)
-            }
+            BoundExpr::Cmp(op, a, b) => Value::Bool(cmp_values(*op, &a.eval(row)?, &b.eval(row)?)?),
             BoundExpr::And(a, b) => Value::Bool(
                 a.eval(row)?
                     .as_bool()
                     .ok_or(RelError::TypeMismatch("AND"))?
-                    && b.eval(row)?.as_bool().ok_or(RelError::TypeMismatch("AND"))?,
+                    && b.eval(row)?
+                        .as_bool()
+                        .ok_or(RelError::TypeMismatch("AND"))?,
             ),
             BoundExpr::Or(a, b) => Value::Bool(
                 a.eval(row)?.as_bool().ok_or(RelError::TypeMismatch("OR"))?
                     || b.eval(row)?.as_bool().ok_or(RelError::TypeMismatch("OR"))?,
             ),
             BoundExpr::Not(a) => Value::Bool(
-                !a.eval(row)?.as_bool().ok_or(RelError::TypeMismatch("NOT"))?,
+                !a.eval(row)?
+                    .as_bool()
+                    .ok_or(RelError::TypeMismatch("NOT"))?,
             ),
             BoundExpr::Arith(op, a, b) => {
                 let (av, bv) = (a.eval(row)?, b.eval(row)?);
@@ -323,7 +323,10 @@ mod tests {
             .bind(&s)
             .unwrap();
         assert!(e.eval_bool(&row()).unwrap());
-        let e2 = Expr::col("a").lt(Expr::lit(Value::Int(3))).bind(&s).unwrap();
+        let e2 = Expr::col("a")
+            .lt(Expr::lit(Value::Int(3)))
+            .bind(&s)
+            .unwrap();
         assert!(!e2.eval_bool(&row()).unwrap());
         let e3 = Expr::col("a")
             .eq(Expr::lit(Value::Int(5)))
@@ -331,7 +334,11 @@ mod tests {
             .bind(&s)
             .unwrap();
         assert!(e3.eval_bool(&row()).unwrap());
-        let e4 = Expr::col("a").eq(Expr::lit(Value::Int(5))).not().bind(&s).unwrap();
+        let e4 = Expr::col("a")
+            .eq(Expr::lit(Value::Int(5)))
+            .not()
+            .bind(&s)
+            .unwrap();
         assert!(!e4.eval_bool(&row()).unwrap());
     }
 
@@ -339,16 +346,25 @@ mod tests {
     fn mixed_numeric_comparison_widens() {
         let s = schema();
         // Int column vs float literal.
-        let e = Expr::col("a").ge(Expr::lit(Value::Float(4.5))).bind(&s).unwrap();
+        let e = Expr::col("a")
+            .ge(Expr::lit(Value::Float(4.5)))
+            .bind(&s)
+            .unwrap();
         assert!(e.eval_bool(&row()).unwrap());
     }
 
     #[test]
     fn string_equality_but_not_ordering() {
         let s = schema();
-        let eq = Expr::col("s").eq(Expr::lit(Value::str("hello"))).bind(&s).unwrap();
+        let eq = Expr::col("s")
+            .eq(Expr::lit(Value::str("hello")))
+            .bind(&s)
+            .unwrap();
         assert!(eq.eval_bool(&row()).unwrap());
-        let lt = Expr::col("s").lt(Expr::lit(Value::str("z"))).bind(&s).unwrap();
+        let lt = Expr::col("s")
+            .lt(Expr::lit(Value::str("z")))
+            .bind(&s)
+            .unwrap();
         assert!(lt.eval_bool(&row()).is_err());
     }
 
@@ -357,11 +373,20 @@ mod tests {
         let s = schema();
         let e = Expr::col("a").mul(Expr::col("b")).bind(&s).unwrap();
         assert_eq!(e.eval(&row()).unwrap(), Value::Float(12.5));
-        let m = Expr::col("a").modulo(Expr::lit(Value::Int(3))).bind(&s).unwrap();
+        let m = Expr::col("a")
+            .modulo(Expr::lit(Value::Int(3)))
+            .bind(&s)
+            .unwrap();
         assert_eq!(m.eval(&row()).unwrap(), Value::Int(2));
-        let bad = Expr::col("s").add(Expr::lit(Value::Int(1))).bind(&s).unwrap();
+        let bad = Expr::col("s")
+            .add(Expr::lit(Value::Int(1)))
+            .bind(&s)
+            .unwrap();
         assert!(bad.eval(&row()).is_err());
-        let div0 = Expr::col("a").modulo(Expr::lit(Value::Int(0))).bind(&s).unwrap();
+        let div0 = Expr::col("a")
+            .modulo(Expr::lit(Value::Int(0)))
+            .bind(&s)
+            .unwrap();
         assert!(div0.eval(&row()).is_err());
     }
 
@@ -373,7 +398,10 @@ mod tests {
             .bind(&s)
             .unwrap();
         assert!(e.eval_bool(&row()).unwrap());
-        let e2 = Expr::col("a").in_list(vec![Value::Int(2)]).bind(&s).unwrap();
+        let e2 = Expr::col("a")
+            .in_list(vec![Value::Int(2)])
+            .bind(&s)
+            .unwrap();
         assert!(!e2.eval_bool(&row()).unwrap());
     }
 

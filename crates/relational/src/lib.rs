@@ -52,9 +52,9 @@ pub mod sqlparse;
 pub mod value;
 
 pub use exec::Catalog;
-pub use sqlparse::parse_sql;
 pub use expr::Expr;
 pub use plan::LogicalPlan;
+pub use sqlparse::parse_sql;
 pub use value::{Relation, Row, Schema, Value};
 
 /// Errors from planning or executing a relational query.

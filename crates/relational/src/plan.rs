@@ -190,7 +190,11 @@ mod tests {
 
     fn q4ish() -> LogicalPlan {
         LogicalPlan::scan("orders")
-            .join(LogicalPlan::scan("lineitem"), "orders.orderkey", "lineitem.orderkey")
+            .join(
+                LogicalPlan::scan("lineitem"),
+                "orders.orderkey",
+                "lineitem.orderkey",
+            )
             .filter(Expr::col("orders.orderdate").lt(int(100)))
             .count()
     }
@@ -224,7 +228,10 @@ mod tests {
     #[test]
     fn projection_is_transparent_to_flex() {
         let p = LogicalPlan::scan("t").project(&["a"]).count();
-        assert_eq!(upa_flex::analyze(&p.to_flex(), &upa_flex::Metadata::new()).unwrap(), 1.0);
+        assert_eq!(
+            upa_flex::analyze(&p.to_flex(), &upa_flex::Metadata::new()).unwrap(),
+            1.0
+        );
     }
 
     #[test]

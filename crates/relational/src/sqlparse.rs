@@ -43,7 +43,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SQL parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -149,9 +153,7 @@ impl<'a> Lexer<'a> {
                         '+' => "+",
                         '-' => "-",
                         '%' => "%",
-                        other => {
-                            return Err(self.error(format!("unexpected character '{other}'")))
-                        }
+                        other => return Err(self.error(format!("unexpected character '{other}'"))),
                     },
                 };
                 self.pos += sym.len();
@@ -312,9 +314,7 @@ impl Parser {
                 Ok(plan.group_by(key, agg))
             }
             (Some(_), None) => Err(self.error_here("selected a column without GROUP BY")),
-            (None, Some(_)) => {
-                Err(self.error_here("GROUP BY requires the key in the SELECT list"))
-            }
+            (None, Some(_)) => Err(self.error_here("GROUP BY requires the key in the SELECT list")),
         }
     }
 
@@ -485,10 +485,9 @@ mod tests {
 
     #[test]
     fn parses_sum_with_arithmetic() {
-        let plan = parse_sql(
-            "SELECT SUM(extendedprice * discount) FROM lineitem WHERE quantity < 24.0",
-        )
-        .unwrap();
+        let plan =
+            parse_sql("SELECT SUM(extendedprice * discount) FROM lineitem WHERE quantity < 24.0")
+                .unwrap();
         match plan {
             LogicalPlan::Aggregate { .. } => {}
             other => panic!("expected aggregate, got {other:?}"),
@@ -548,10 +547,7 @@ mod tests {
             2,
         ));
         let count = parse_sql("SELECT COUNT(*) FROM t WHERE t.v >= 5.0").unwrap();
-        assert_eq!(
-            catalog.execute(&count).unwrap().as_scalar().unwrap(),
-            50.0
-        );
+        assert_eq!(catalog.execute(&count).unwrap().as_scalar().unwrap(), 50.0);
         let sum = parse_sql("SELECT SUM(v * 2.0) FROM t WHERE k < 10").unwrap();
         assert_eq!(
             catalog.execute(&sum).unwrap().as_scalar().unwrap(),

@@ -44,8 +44,7 @@ pub fn rmse(estimates: &[f64], truths: &[f64]) -> Result<f64, StatsError> {
 /// Same as [`rmse`].
 pub fn relative_rmse(estimates: &[f64], truths: &[f64]) -> Result<f64, StatsError> {
     let abs = rmse(estimates, truths)?;
-    let truth_rms =
-        (truths.iter().map(|t| t * t).sum::<f64>() / truths.len() as f64).sqrt();
+    let truth_rms = (truths.iter().map(|t| t * t).sum::<f64>() / truths.len() as f64).sqrt();
     if truth_rms == 0.0 {
         Ok(abs)
     } else {

@@ -249,8 +249,18 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Rank 1 must dominate rank 10 which dominates rank 100.
-        assert!(counts[1] > counts[10] * 3, "{} vs {}", counts[1], counts[10]);
-        assert!(counts[10] > counts[100], "{} vs {}", counts[10], counts[100]);
+        assert!(
+            counts[1] > counts[10] * 3,
+            "{} vs {}",
+            counts[1],
+            counts[10]
+        );
+        assert!(
+            counts[10] > counts[100],
+            "{} vs {}",
+            counts[10],
+            counts[100]
+        );
         assert_eq!(counts[0], 0, "zipf support starts at 1");
     }
 

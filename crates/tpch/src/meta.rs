@@ -12,17 +12,53 @@ use upa_flex::Metadata;
 /// queries use.
 pub fn build_metadata(tables: &Tables) -> Metadata {
     let mut m = Metadata::new();
-    m.record_keys("lineitem", "orderkey", tables.lineitem.iter().map(|l| l.orderkey));
-    m.record_keys("lineitem", "suppkey", tables.lineitem.iter().map(|l| l.suppkey));
-    m.record_keys("lineitem", "partkey", tables.lineitem.iter().map(|l| l.partkey));
-    m.record_keys("orders", "orderkey", tables.orders.iter().map(|o| o.orderkey));
+    m.record_keys(
+        "lineitem",
+        "orderkey",
+        tables.lineitem.iter().map(|l| l.orderkey),
+    );
+    m.record_keys(
+        "lineitem",
+        "suppkey",
+        tables.lineitem.iter().map(|l| l.suppkey),
+    );
+    m.record_keys(
+        "lineitem",
+        "partkey",
+        tables.lineitem.iter().map(|l| l.partkey),
+    );
+    m.record_keys(
+        "orders",
+        "orderkey",
+        tables.orders.iter().map(|o| o.orderkey),
+    );
     m.record_keys("orders", "custkey", tables.orders.iter().map(|o| o.custkey));
     m.record_keys("part", "partkey", tables.part.iter().map(|p| p.partkey));
-    m.record_keys("supplier", "suppkey", tables.supplier.iter().map(|s| s.suppkey));
-    m.record_keys("supplier", "nationkey", tables.supplier.iter().map(|s| s.nationkey));
-    m.record_keys("partsupp", "partkey", tables.partsupp.iter().map(|p| p.partkey));
-    m.record_keys("partsupp", "suppkey", tables.partsupp.iter().map(|p| p.suppkey));
-    m.record_keys("nation", "nationkey", tables.nation.iter().map(|n| n.nationkey));
+    m.record_keys(
+        "supplier",
+        "suppkey",
+        tables.supplier.iter().map(|s| s.suppkey),
+    );
+    m.record_keys(
+        "supplier",
+        "nationkey",
+        tables.supplier.iter().map(|s| s.nationkey),
+    );
+    m.record_keys(
+        "partsupp",
+        "partkey",
+        tables.partsupp.iter().map(|p| p.partkey),
+    );
+    m.record_keys(
+        "partsupp",
+        "suppkey",
+        tables.partsupp.iter().map(|p| p.suppkey),
+    );
+    m.record_keys(
+        "nation",
+        "nationkey",
+        tables.nation.iter().map(|n| n.nationkey),
+    );
     m
 }
 

@@ -70,13 +70,48 @@ pub struct QueryInfo {
 /// The Table II rows for the seven SQL queries.
 pub fn catalog() -> Vec<QueryInfo> {
     vec![
-        QueryInfo { name: "TPCH1", kind: QueryKind::Count, protected: "lineitem", flex_supported: true },
-        QueryInfo { name: "TPCH4", kind: QueryKind::Count, protected: "orders", flex_supported: true },
-        QueryInfo { name: "TPCH6", kind: QueryKind::Arithmetic, protected: "lineitem", flex_supported: false },
-        QueryInfo { name: "TPCH11", kind: QueryKind::Arithmetic, protected: "partsupp", flex_supported: false },
-        QueryInfo { name: "TPCH13", kind: QueryKind::Count, protected: "orders", flex_supported: true },
-        QueryInfo { name: "TPCH16", kind: QueryKind::Count, protected: "partsupp", flex_supported: true },
-        QueryInfo { name: "TPCH21", kind: QueryKind::Count, protected: "supplier", flex_supported: true },
+        QueryInfo {
+            name: "TPCH1",
+            kind: QueryKind::Count,
+            protected: "lineitem",
+            flex_supported: true,
+        },
+        QueryInfo {
+            name: "TPCH4",
+            kind: QueryKind::Count,
+            protected: "orders",
+            flex_supported: true,
+        },
+        QueryInfo {
+            name: "TPCH6",
+            kind: QueryKind::Arithmetic,
+            protected: "lineitem",
+            flex_supported: false,
+        },
+        QueryInfo {
+            name: "TPCH11",
+            kind: QueryKind::Arithmetic,
+            protected: "partsupp",
+            flex_supported: false,
+        },
+        QueryInfo {
+            name: "TPCH13",
+            kind: QueryKind::Count,
+            protected: "orders",
+            flex_supported: true,
+        },
+        QueryInfo {
+            name: "TPCH16",
+            kind: QueryKind::Count,
+            protected: "partsupp",
+            flex_supported: true,
+        },
+        QueryInfo {
+            name: "TPCH21",
+            kind: QueryKind::Count,
+            protected: "supplier",
+            flex_supported: true,
+        },
     ]
 }
 
@@ -111,8 +146,7 @@ fn suppliers_by_key(tables: &Tables) -> Arc<HashMap<u64, Supplier>> {
 /// Stable half key for lineitem rows (content-defined; see
 /// [`MapReduceQuery::with_half_key`]).
 fn lineitem_half_key(l: &Lineitem) -> u64 {
-    l.orderkey
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    l.orderkey.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (l.suppkey << 17)
         ^ ((l.partkey) << 3)
         ^ l.shipdate as u64
@@ -301,7 +335,10 @@ impl Q6 {
     pub fn flex_plan() -> Plan {
         Plan::aggregate(
             AggregateKind::Sum,
-            Plan::filter(Plan::table("lineitem"), "shipdate window, discount, quantity"),
+            Plan::filter(
+                Plan::table("lineitem"),
+                "shipdate window, discount, quantity",
+            ),
         )
     }
 }
@@ -330,9 +367,7 @@ impl Q11 {
         Q11 {
             query: MapReduceQuery::scalar_sum("TPCH11", move |ps: &PartSupp| {
                 match suppliers.get(&ps.suppkey) {
-                    Some(s) if s.nationkey < Q11_NATION_BOUND => {
-                        ps.supplycost * ps.availqty as f64
-                    }
+                    Some(s) if s.nationkey < Q11_NATION_BOUND => ps.supplycost * ps.availqty as f64,
                     _ => 0.0,
                 }
             })
@@ -477,9 +512,7 @@ impl Q16 {
                 let part_ok = parts.get(&ps.partkey).is_some_and(|p| {
                     p.brand != Q16_BRAND && p.typ % 5 != 0 && Q16_SIZES.contains(&p.size)
                 });
-                let supp_ok = suppliers
-                    .get(&ps.suppkey)
-                    .is_some_and(|s| !s.complaint);
+                let supp_ok = suppliers.get(&ps.suppkey).is_some_and(|s| !s.complaint);
                 if part_ok && supp_ok {
                     1.0
                 } else {
@@ -730,11 +763,7 @@ mod tests {
         assert!(total > 0.0);
         // Per-supplier contributions (the removal influences) must be
         // heavy-tailed: the max dominates the mean.
-        let contributions: Vec<f64> = tables
-            .supplier
-            .iter()
-            .map(|s| q.query().map(s))
-            .collect();
+        let contributions: Vec<f64> = tables.supplier.iter().map(|s| q.query().map(s)).collect();
         let max = contributions.iter().copied().fold(0.0, f64::max);
         let mean = contributions.iter().sum::<f64>() / contributions.len() as f64;
         assert!(

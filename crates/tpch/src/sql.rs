@@ -9,8 +9,8 @@
 
 use crate::gen::Tables;
 use crate::queries::{
-    Q11_NATION_BOUND, Q16_BRAND, Q16_SIZES, Q21_NATION_BOUND, Q4_DATE_HI, Q4_DATE_LO,
-    Q6_DATE_HI, Q6_DATE_LO,
+    Q11_NATION_BOUND, Q16_BRAND, Q16_SIZES, Q21_NATION_BOUND, Q4_DATE_HI, Q4_DATE_LO, Q6_DATE_HI,
+    Q6_DATE_LO,
 };
 use crate::rows::STATUS_F;
 use dataflow::Context;
@@ -77,7 +77,13 @@ pub fn catalog(ctx: &Context, tables: &Tables, partitions: usize) -> Catalog {
         ctx,
         Schema::new(
             "orders",
-            &["orderkey", "custkey", "orderstatus", "orderdate", "orderpriority"],
+            &[
+                "orderkey",
+                "custkey",
+                "orderstatus",
+                "orderdate",
+                "orderpriority",
+            ],
         ),
         orders,
         partitions,
@@ -134,7 +140,10 @@ pub fn catalog(ctx: &Context, tables: &Tables, partitions: usize) -> Catalog {
         .collect();
     c.register(Relation::from_rows(
         ctx,
-        Schema::new("partsupp", &["partkey", "suppkey", "availqty", "supplycost"]),
+        Schema::new(
+            "partsupp",
+            &["partkey", "suppkey", "availqty", "supplycost"],
+        ),
         partsupp,
         partitions,
     ));
@@ -142,7 +151,12 @@ pub fn catalog(ctx: &Context, tables: &Tables, partitions: usize) -> Catalog {
     let nation: Vec<Row> = tables
         .nation
         .iter()
-        .map(|n| vec![Value::Int(n.nationkey as i64), Value::Int(n.regionkey as i64)])
+        .map(|n| {
+            vec![
+                Value::Int(n.nationkey as i64),
+                Value::Int(n.regionkey as i64),
+            ]
+        })
         .collect();
     c.register(Relation::from_rows(
         ctx,
@@ -232,9 +246,10 @@ pub fn q16_plan() -> LogicalPlan {
             Expr::col("part.brand")
                 .ne(int(Q16_BRAND as i64))
                 .and(Expr::col("part.typ").modulo(int(5)).ne(int(0)))
-                .and(Expr::col("part.size").in_list(
-                    Q16_SIZES.iter().map(|s| Value::Int(*s as i64)).collect(),
-                ))
+                .and(
+                    Expr::col("part.size")
+                        .in_list(Q16_SIZES.iter().map(|s| Value::Int(*s as i64)).collect()),
+                )
                 .and(Expr::col("supplier.complaint").eq(Expr::lit(Value::Bool(false)))),
         )
         .count()
@@ -404,8 +419,7 @@ mod tests {
             ("Q21", q21_plan()),
         ];
         for (name, text) in sql_texts() {
-            let parsed = upa_relational::parse_sql(&text)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let parsed = upa_relational::parse_sql(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
             let want_plan = &plans.iter().find(|(n, _)| *n == name).expect("plan").1;
             let got = c.execute(&parsed).unwrap().as_scalar().unwrap();
             let want = c.execute(want_plan).unwrap().as_scalar().unwrap();
@@ -421,11 +435,26 @@ mod tests {
     /// hand-maintained ones on operator structure.
     #[test]
     fn derived_flex_plans_match_handwritten_shapes() {
-        assert_eq!(q1_plan().to_flex().join_count(), tq::Q1::flex_plan().join_count());
-        assert_eq!(q4_plan().to_flex().join_count(), tq::Q4::flex_plan().join_count());
-        assert_eq!(q13_plan().to_flex().join_count(), tq::Q13::flex_plan().join_count());
-        assert_eq!(q16_plan().to_flex().join_count(), tq::Q16::flex_plan().join_count());
-        assert_eq!(q21_plan().to_flex().join_count(), tq::Q21::flex_plan().join_count());
+        assert_eq!(
+            q1_plan().to_flex().join_count(),
+            tq::Q1::flex_plan().join_count()
+        );
+        assert_eq!(
+            q4_plan().to_flex().join_count(),
+            tq::Q4::flex_plan().join_count()
+        );
+        assert_eq!(
+            q13_plan().to_flex().join_count(),
+            tq::Q13::flex_plan().join_count()
+        );
+        assert_eq!(
+            q16_plan().to_flex().join_count(),
+            tq::Q16::flex_plan().join_count()
+        );
+        assert_eq!(
+            q21_plan().to_flex().join_count(),
+            tq::Q21::flex_plan().join_count()
+        );
     }
 
     /// FLEX analysis of the derived plans matches analysis of the

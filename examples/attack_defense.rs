@@ -65,10 +65,15 @@ fn main() {
     let mut without_victim = tables.supplier.clone();
     without_victim.remove(victim_idx);
     let neighbour = ctx.parallelize_default(without_victim);
-    let r2 = upa.run(&neighbour, q21.query(), &domain).expect("query runs");
+    let r2 = upa
+        .run(&neighbour, q21.query(), &domain)
+        .expect("query runs");
     println!(
         "release 2: {:.2} (exact {:.0}, attack suspected: {}, records removed: {})",
-        r2.released, r2.raw, r2.enforce_outcome.attack_suspected, r2.enforce_outcome.removed_records
+        r2.released,
+        r2.raw,
+        r2.enforce_outcome.attack_suspected,
+        r2.enforce_outcome.removed_records
     );
 
     println!(

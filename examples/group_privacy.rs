@@ -26,13 +26,16 @@ fn main() {
     let ctx = Context::default();
     let dataset = ctx.parallelize_default(ages.clone());
     let domain = EmpiricalSampler::new(ages);
-    let query = MapReduceQuery::scalar_sum("minors_count", |age: &f64| {
-        if *age < 18.0 {
-            1.0
-        } else {
-            0.0
-        }
-    })
+    let query = MapReduceQuery::scalar_sum(
+        "minors_count",
+        |age: &f64| {
+            if *age < 18.0 {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    )
     .with_half_key(|age: &f64| age.to_bits());
 
     println!("group size | inferred sensitivity | noise scale (ε = 0.1)");
@@ -66,7 +69,9 @@ fn main() {
     let prepared = upa.prepare(&dataset, &query, &domain).expect("prepares");
     let before = ctx.metrics();
     for i in 1..=3 {
-        let r = upa.release(&prepared).expect("budget covers three releases");
+        let r = upa
+            .release(&prepared)
+            .expect("budget covers three releases");
         println!(
             "  release {i}: {:.2} (remaining budget {:.2})",
             r.released,
@@ -79,6 +84,9 @@ fn main() {
         delta.stages, delta.shuffles
     );
     assert_eq!(delta.stages, 0);
-    assert!(upa.release(&prepared).is_err(), "fourth release exceeds the budget");
+    assert!(
+        upa.release(&prepared).is_err(),
+        "fourth release exceeds the budget"
+    );
     println!("  fourth release correctly refused: budget exhausted");
 }

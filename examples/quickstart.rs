@@ -19,25 +19,27 @@ use upa_repro::upa_core::UpaConfig;
 fn main() {
     // A dataset of ages; the analyst wants the number of adults without
     // learning whether any specific individual is present.
-    let ages: Vec<f64> = (0..100_000)
-        .map(|i| ((i * 37 + 11) % 100) as f64)
-        .collect();
+    let ages: Vec<f64> = (0..100_000).map(|i| ((i * 37 + 11) % 100) as f64).collect();
 
     let ctx = Context::default();
     let dataset = ctx.parallelize_default(ages.clone());
+    // The record domain the paper's added neighbours are drawn from;
+    // attached at `dpread`, like the paper's Table I signature.
+    let domain = EmpiricalSampler::new(ages);
 
-    let mut session = DpSession::new(
-        ctx.clone(),
-        UpaConfig {
-            epsilon: 0.1, // the paper's evaluation budget
-            ..UpaConfig::default()
-        },
-    );
+    let config = UpaConfig::builder()
+        .epsilon(0.1) // the paper's evaluation budget
+        .build()
+        .expect("valid config");
+    let mut session = DpSession::new(ctx.clone(), config);
 
     let result = session
-        .dpread(&dataset)
-        .map_dp("count_adults", |age: &f64| if *age >= 18.0 { 1.0 } else { 0.0 })
-        .reduce_dp(|a, b| a + b, &EmpiricalSampler::new(ages))
+        .dpread(&dataset, &domain)
+        .map_dp(
+            "count_adults",
+            |age: &f64| if *age >= 18.0 { 1.0 } else { 0.0 },
+        )
+        .reduce_dp(|a, b| a + b)
         .expect("query runs");
 
     println!("exact count      : {}", result.raw);
@@ -53,6 +55,11 @@ fn main() {
     );
     println!("sampled records  : {}", result.sample_size);
     println!("engine metrics   : {}", ctx.metrics());
+
+    // Every successful release leaves an EXPLAIN ANALYZE-style audit.
+    if let Some(audit) = session.last_audit() {
+        println!("\n{}", audit.render());
+    }
 
     // A count changes by at most 1 per record, so the inferred local
     // sensitivity (the P1–P99 width of the ±1 neighbour-output sample)

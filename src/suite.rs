@@ -130,7 +130,12 @@ pub trait EvalQuery: Send + Sync {
     fn run_upa(&self, upa: &mut Upa, data: &EvalData) -> Result<UpaResult<Vec<f64>>, UpaError>;
     /// Exact local sensitivity by brute force (all removals plus
     /// `domain_samples` sampled additions).
-    fn ground_truth(&self, data: &EvalData, domain_samples: usize, seed: u64) -> GroundTruth<Vec<f64>>;
+    fn ground_truth(
+        &self,
+        data: &EvalData,
+        domain_samples: usize,
+        seed: u64,
+    ) -> GroundTruth<Vec<f64>>;
     /// FLEX's static bound.
     ///
     /// # Errors

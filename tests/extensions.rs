@@ -115,7 +115,10 @@ fn repeated_analyst_queries_reuse_preparation() {
     releases.sort_by(f64::total_cmp);
     releases.dedup();
     assert_eq!(releases.len(), 5);
-    assert!(upa.release(&prepared).is_err(), "budget exhausted after 5 × 0.1");
+    assert!(
+        upa.release(&prepared).is_err(),
+        "budget exhausted after 5 × 0.1"
+    );
 }
 
 /// DP histogram of order priorities: per-bucket sensitivity is 1, and the
@@ -162,11 +165,7 @@ fn manual_baseline_is_much_noisier_than_upa() {
     let ds = ctx.parallelize(t.lineitem.clone(), 4);
     let epsilon = 0.1;
     // The analyst's safe global declaration: counts up to ten million.
-    let mut manual = ManualRangeMechanism::new(
-        OutputRange::new(vec![(0.0, 1.0e7)]),
-        epsilon,
-        11,
-    );
+    let mut manual = ManualRangeMechanism::new(OutputRange::new(vec![(0.0, 1.0e7)]), epsilon, 11);
     let manual_release = manual.run(&ds, q.query()).unwrap();
     let mut upa = Upa::new(
         ctx.clone(),

@@ -72,8 +72,8 @@ fn empirical_epsilon_ratio_bound_for_count() {
     let data = dataset_values(2_000);
     let mut neighbour = data.clone();
     neighbour.pop();
-    let query = MapReduceQuery::scalar_sum("count", |_x: &f64| 1.0)
-        .with_half_key(|x: &f64| x.to_bits());
+    let query =
+        MapReduceQuery::scalar_sum("count", |_x: &f64| 1.0).with_half_key(|x: &f64| x.to_bits());
     let domain = EmpiricalSampler::new(data.clone());
     let epsilon = 0.5;
     let runs = 400;
@@ -125,7 +125,10 @@ fn empirical_epsilon_ratio_bound_for_count() {
             }
         }
     }
-    assert!(checked >= 2, "need at least two populated bins, got {checked}");
+    assert!(
+        checked >= 2,
+        "need at least two populated bins, got {checked}"
+    );
 }
 
 /// The inferred sensitivity is an upper bound on the *post-enforcement*

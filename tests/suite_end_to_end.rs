@@ -40,7 +40,10 @@ fn all_nine_queries_release_noisy_outputs() {
             q.name()
         );
         assert!(
-            result.sensitivity.iter().all(|s| *s >= 0.0 && s.is_finite()),
+            result
+                .sensitivity
+                .iter()
+                .all(|s| *s >= 0.0 && s.is_finite()),
             "{}: bad sensitivity",
             q.name()
         );

@@ -7,8 +7,8 @@
 //! neighbouring dataset. These properties drive randomised datasets,
 //! partitionings and reducers through both paths.
 
-use dataflow::{Context, Config};
 use dataflow::fault::FaultInjector;
+use dataflow::{Config, Context};
 use proptest::prelude::*;
 use upa_repro::upa_core::domain::EmpiricalSampler;
 use upa_repro::upa_core::query::MapReduceQuery;
@@ -165,8 +165,8 @@ proptest! {
 #[test]
 fn upa_pipeline_survives_fault_injection() {
     let values: Vec<f64> = (0..2_000).map(|i| (i % 31) as f64).collect();
-    let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x)
-        .with_half_key(|x: &f64| x.to_bits());
+    let query =
+        MapReduceQuery::scalar_sum("sum", |x: &f64| *x).with_half_key(|x: &f64| x.to_bits());
     let domain = EmpiricalSampler::new(values.clone());
 
     let clean_ctx = Context::with_threads(4);
@@ -187,5 +187,8 @@ fn upa_pipeline_survives_fault_injection() {
         .unwrap();
     assert_eq!(a.raw, b.raw);
     assert_eq!(a.sensitivity, b.sensitivity);
-    assert!(faulty_ctx.metrics().task_retries > 0, "faults must have fired");
+    assert!(
+        faulty_ctx.metrics().task_retries > 0,
+        "faults must have fired"
+    );
 }
