@@ -1,0 +1,9 @@
+//! Hot-path perf microbenchmark: map-side combining, stage fusion and
+//! the pool-parallel phase-4 release. Writes `BENCH_PERF.json` (override
+//! the path with `UPA_BENCH_PERF_OUT`); scale via `UPA_BENCH_*` env vars.
+
+fn main() {
+    let cfg = upa_bench::ExpConfig::from_env();
+    println!("configuration: {cfg:?}\n");
+    upa_bench::experiments::perf_hotpath(&cfg);
+}

@@ -17,4 +17,6 @@ fn main() {
     upa_bench::experiments::fig4b(&cfg);
     println!();
     upa_bench::experiments::stage_audit(&cfg);
+    println!();
+    upa_bench::experiments::perf_hotpath(&cfg);
 }

@@ -487,6 +487,152 @@ pub fn stage_audit(cfg: &ExpConfig) {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-path microbenchmark: combining, fusion, parallel phase 4
+// ---------------------------------------------------------------------------
+
+/// Hot-path perf benchmark: measures the wall-clock and shuffle-volume
+/// effect of map-side combining on (i) a scalar-sum UPA query and (ii) a
+/// keyed `reduce_by_key` workload, plus the cost of a repeated release
+/// (phases 3–4 only: pool-parallel, engine-free). Results are printed
+/// and written as JSON to `BENCH_PERF.json` (override the path with
+/// `UPA_BENCH_PERF_OUT`).
+pub fn perf_hotpath(cfg: &ExpConfig) {
+    use dataflow::PairOps;
+    use upa_repro::upa_core::domain::EmpiricalSampler;
+    use upa_repro::upa_core::query::MapReduceQuery;
+
+    let records = cfg.orders.max(1) * 25;
+    let parts = cfg.partitions;
+    println!("== Hot-path perf: map-side combining, fused stages, parallel phase 4 ==");
+    println!(
+        "({records} records, {parts} partitions, median of {} trials)\n",
+        cfg.trials
+    );
+
+    let engine = |combine: bool| {
+        Context::new(Config {
+            threads: cfg.threads,
+            default_partitions: parts,
+            shuffle_partitions: parts,
+            map_side_combine: combine,
+            ..Config::default()
+        })
+    };
+    let variant = |combine: bool| if combine { "combine_on" } else { "combine_off" };
+
+    // (workload, variant, wall ms, shuffle records, shuffle bytes)
+    let mut rows: Vec<(String, String, f64, u64, u64)> = Vec::new();
+
+    // (i) Scalar-sum UPA query: the per-half remainder reduce is the
+    // engine-visible shuffle the combiner compresses to ≤2 records per
+    // map partition.
+    for combine in [true, false] {
+        let ctx = engine(combine);
+        let data: Vec<f64> = (0..records).map(|i| (i % 97) as f64).collect();
+        let ds = ctx.parallelize(data.clone(), parts);
+        let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+        let domain = EmpiricalSampler::new(data);
+        let before = ctx.metrics();
+        let mut upa = upa_for(&ctx, 1_000, cfg.seed + 4_100, true);
+        upa.run(&ds, &query, &domain).expect("query runs");
+        let delta = ctx.metrics().since(&before);
+        let (_, ms) = time_median(cfg.trials, || {
+            upa.run(&ds, &query, &domain).expect("query runs")
+        });
+        rows.push((
+            "scalar_sum_upa".into(),
+            variant(combine).into(),
+            ms,
+            delta.shuffle_records,
+            delta.shuffle_bytes,
+        ));
+    }
+
+    // (ii) Keyed count: a pure engine workload with many records per key.
+    for combine in [true, false] {
+        let ctx = engine(combine);
+        let pairs: Vec<(u64, u64)> = (0..records as u64).map(|i| (i % 64, 1)).collect();
+        let ds = ctx.parallelize(pairs, parts);
+        let before = ctx.metrics();
+        let counted = ds.reduce_by_key(|a, b| a + b).collect();
+        assert_eq!(counted.len(), 64.min(records));
+        let delta = ctx.metrics().since(&before);
+        let (_, ms) = time_median(cfg.trials, || ds.reduce_by_key(|a, b| a + b).collect());
+        rows.push((
+            "keyed_count".into(),
+            variant(combine).into(),
+            ms,
+            delta.shuffle_records,
+            delta.shuffle_bytes,
+        ));
+    }
+
+    // (iii) Repeated release off a prepared query: phase 4 runs its 2·n
+    // neighbour finalizations and MLE fits on the worker pool without
+    // touching the engine — zero stages, zero shuffled records.
+    {
+        let ctx = engine(true);
+        let data: Vec<f64> = (0..records).map(|i| (i % 97) as f64).collect();
+        let ds = ctx.parallelize(data.clone(), parts);
+        let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+        let domain = EmpiricalSampler::new(data);
+        let mut upa = upa_for(&ctx, 1_000, cfg.seed + 4_300, true);
+        let prepared = upa.prepare(&ds, &query, &domain).expect("prepare runs");
+        let before = ctx.metrics();
+        let (_, ms) = time_median(cfg.trials, || upa.release(&prepared).expect("release runs"));
+        let delta = ctx.metrics().since(&before);
+        rows.push((
+            "repeated_release".into(),
+            "combine_on".into(),
+            ms,
+            delta.shuffle_records,
+            delta.shuffle_bytes,
+        ));
+    }
+
+    let mut t = Table::new(&[
+        "workload",
+        "variant",
+        "wall ms",
+        "shuffle records",
+        "shuffle KiB",
+    ]);
+    for (w, v, ms, recs, bytes) in &rows {
+        t.row(vec![
+            w.clone(),
+            v.clone(),
+            format!("{ms:.2}"),
+            recs.to_string(),
+            format!("{:.1}", *bytes as f64 / 1024.0),
+        ]);
+    }
+    t.print();
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(w, v, ms, recs, bytes)| {
+            format!(
+                "    {{\"workload\": \"{w}\", \"variant\": \"{v}\", \"wall_ms\": {ms:.3}, \
+                 \"shuffle_records\": {recs}, \"shuffle_bytes\": {bytes}}}"
+            )
+        })
+        .collect();
+    let payload = format!(
+        "{{\n  \"records\": {records},\n  \"partitions\": {parts},\n  \"threads\": {},\n  \
+         \"trials\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        cfg.threads,
+        cfg.trials,
+        json_rows.join(",\n")
+    );
+    let path =
+        std::env::var("UPA_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
+    match std::fs::write(&path, payload) {
+        Ok(()) => println!("\nwrote {} workload measurements to {path}", rows.len()),
+        Err(e) => eprintln!("\ncannot write {path}: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Figure 4(b): runtime vs sample size
 // ---------------------------------------------------------------------------
 

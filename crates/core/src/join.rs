@@ -248,11 +248,11 @@ impl Upa {
         );
         self.finish(
             &state_query,
-            mapped_sampled,
-            mapped_additions,
-            sampled_halves,
+            Arc::new(mapped_sampled),
+            Arc::new(mapped_additions),
+            Arc::new(sampled_halves),
             rem_half,
-            spans.spans(),
+            Arc::new(spans.spans()),
             self.ctx.metrics().since(&engine_before),
         )
     }

@@ -29,6 +29,8 @@ use crate::query::MapReduceQuery;
 use dataflow::{Context, Data, Dataset, MetricsSnapshot, PairOps, SpanRecorder, StageSpan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::borrow::Cow;
+use std::sync::Arc;
 use upa_stats::sampling::sample_indices;
 use upa_stats::{LaplaceMechanism, Normal};
 
@@ -275,11 +277,11 @@ impl Upa {
         drop(prepare_scope);
         Ok(PreparedQuery {
             query: query.clone(),
-            mapped_sampled,
-            mapped_additions,
-            sampled_halves,
+            mapped_sampled: Arc::new(mapped_sampled),
+            mapped_additions: Arc::new(mapped_additions),
+            sampled_halves: Arc::new(sampled_halves),
             rem_half,
-            spans: spans.spans(),
+            spans: Arc::new(spans.spans()),
             engine: self.ctx.metrics().since(&engine_before),
         })
     }
@@ -303,11 +305,11 @@ impl Upa {
     {
         self.finish(
             &prepared.query,
-            prepared.mapped_sampled.clone(),
-            prepared.mapped_additions.clone(),
-            prepared.sampled_halves.clone(),
+            Arc::clone(&prepared.mapped_sampled),
+            Arc::clone(&prepared.mapped_additions),
+            Arc::clone(&prepared.sampled_halves),
             prepared.rem_half.clone(),
-            prepared.spans.clone(),
+            Arc::clone(&prepared.spans),
             prepared.engine,
         )
     }
@@ -317,15 +319,19 @@ impl Upa {
     /// accumulators, sensitivity inference, RANGE ENFORCER and release.
     /// `prepare_spans`/`prepare_engine` carry the phase-1–3 cost from the
     /// caller so the recorded [`QueryAudit`] covers the whole query.
+    ///
+    /// The bulky phase-1–3 state arrives `Arc`-shared so repeated
+    /// [`Upa::release`]s never deep-copy the sampled accumulators; only
+    /// the two per-half remainder reductions are cloned per call.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish<T, Acc, Out>(
         &mut self,
         query: &MapReduceQuery<T, Acc, Out>,
-        mapped_sampled: Vec<Acc>,
-        mapped_additions: Vec<Acc>,
-        sampled_halves: Vec<usize>,
+        mapped_sampled: Arc<Vec<Acc>>,
+        mapped_additions: Arc<Vec<Acc>>,
+        sampled_halves: Arc<Vec<usize>>,
         rem_half: [Option<Acc>; 2],
-        prepare_spans: Vec<StageSpan>,
+        prepare_spans: Arc<Vec<StageSpan>>,
         prepare_engine: MetricsSnapshot,
     ) -> Result<UpaResult<Out>, UpaError>
     where
@@ -348,7 +354,7 @@ impl Upa {
         }
         let n = mapped_sampled.len();
         // R(M(S′)) — computed once, reused for every neighbour output.
-        let r_sprime = query.merge_opt(rem_half[0].clone(), rem_half[1].clone());
+        let r_sprime = query.merge_ref(rem_half[0].as_ref(), rem_half[1].as_ref());
 
         // Group-level privacy (§VI-E extension): with group_size g > 1
         // the differing records are evaluated in disjoint groups of g, so
@@ -370,33 +376,62 @@ impl Upa {
 
             // Prefix/suffix partial reductions over the grouped sample: the
             // union-preserving trick. R(S \ group_i) = merge(prefix[i],
-            // suffix[i+1]).
+            // suffix[i+1]). Built by reference — one reduce per step, no
+            // accumulator clones along either scan.
             let mut prefix: Vec<Option<Acc>> = Vec::with_capacity(groups + 1);
             prefix.push(None);
             for acc in &grouped_sampled {
-                let last = prefix.last().expect("push above").clone();
-                prefix.push(query.merge_opt(last, Some(acc.clone())));
+                prefix.push(match prefix.last().expect("push above") {
+                    Some(p) => Some(query.reduce(p, acc)),
+                    None => Some(acc.clone()),
+                });
             }
             let mut suffix: Vec<Option<Acc>> = vec![None; groups + 1];
             for i in (0..groups).rev() {
-                suffix[i] =
-                    query.merge_opt(Some(grouped_sampled[i].clone()), suffix[i + 1].clone());
+                suffix[i] = match &suffix[i + 1] {
+                    Some(s) => Some(query.reduce(&grouped_sampled[i], s)),
+                    None => Some(grouped_sampled[i].clone()),
+                };
             }
-            let r_x = query.merge_opt(r_sprime.clone(), prefix[groups].clone());
-            let raw: Out = query.finalize(r_x.as_ref());
+            let r_x = Arc::new(query.merge_ref(r_sprime.as_ref(), prefix[groups].as_ref()));
+            let raw: Out = query.finalize(r_x.as_ref().as_ref());
+
+            // The 2·n neighbour finalizations are independent, so they run
+            // on the engine's worker pool. `Context::par_map` is
+            // driver-side parallelism, not an engine stage — releases keep
+            // reporting zero stages and zero shuffles.
+            let prefix = Arc::new(prefix);
+            let suffix = Arc::new(suffix);
+            let r_sprime = Arc::new(r_sprime);
 
             // f(x − groupᵢ): reuse R(M(S′)) + prefix/suffix.
-            let removal_outputs: Vec<Out> = (0..groups)
-                .map(|i| {
-                    let without_i = query.merge_opt(prefix[i].clone(), suffix[i + 1].clone());
-                    query.finalize(query.merge_opt(r_sprime.clone(), without_i).as_ref())
-                })
-                .collect();
+            let removal_outputs: Vec<Out> = {
+                let q = query.clone();
+                let prefix = Arc::clone(&prefix);
+                let suffix = Arc::clone(&suffix);
+                let rsp = Arc::clone(&r_sprime);
+                self.ctx
+                    .par_map((0..groups).collect(), move |_t, i: usize| {
+                        let without_i = q.merge_ref(prefix[i].as_ref(), suffix[i + 1].as_ref());
+                        q.finalize(
+                            q.merge_ref(rsp.as_ref().as_ref(), without_i.as_ref())
+                                .as_ref(),
+                        )
+                    })
+            };
             // f(x + group of additions): reuse R(M(x)).
-            let addition_outputs: Vec<Out> = grouped_additions
-                .iter()
-                .map(|acc| query.finalize(query.merge_opt(r_x.clone(), Some(acc.clone())).as_ref()))
-                .collect();
+            let addition_outputs: Vec<Out> = {
+                let q = query.clone();
+                let r_x = Arc::clone(&r_x);
+                let grouped_additions = Arc::new(grouped_additions);
+                let indices: Vec<usize> = (0..grouped_additions.len()).collect();
+                self.ctx.par_map(indices, move |_t, i: usize| {
+                    q.finalize(
+                        q.merge_ref(r_x.as_ref().as_ref(), Some(&grouped_additions[i]))
+                            .as_ref(),
+                    )
+                })
+            };
             (raw, removal_outputs, addition_outputs)
         };
 
@@ -406,37 +441,53 @@ impl Upa {
         let (p_lo, p_hi) = self.config.percentiles;
         let (bounds, sensitivity, empirical_sensitivity) = {
             let _scope = spans.enter("mle_fit");
+            // One components() projection per neighbour output (not one per
+            // component × output), then the per-component fits — mutually
+            // independent — run on the worker pool.
+            let neighbour_components: Arc<Vec<Vec<f64>>> = Arc::new(
+                removal_outputs
+                    .iter()
+                    .chain(addition_outputs.iter())
+                    .map(|o| o.components())
+                    .collect(),
+            );
+            let raws = Arc::new(raw_components.clone());
+            let fits: Vec<Result<(f64, f64, f64), UpaError>> = {
+                let neigh = Arc::clone(&neighbour_components);
+                let raws = Arc::clone(&raws);
+                self.ctx.par_map((0..dims).collect(), move |_t, c: usize| {
+                    let samples: Vec<f64> = neigh
+                        .iter()
+                        .filter_map(|comps| comps.get(c).copied())
+                        .collect();
+                    let fit = Normal::mle(&samples)?;
+                    // The enforced range is the envelope of the fit's
+                    // percentile interval (Algorithm 1, line 19) and the
+                    // *observed* extremes of the sampled neighbour outputs —
+                    // the paper's Figure 3 describes the red lines as the
+                    // min/max inferred from the sample, and the envelope
+                    // guarantees every sampled neighbour is covered even
+                    // when the distribution is strongly non-normal
+                    // (discrete counts, heavy tails).
+                    let sample_min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+                    let sample_max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let lo = fit.quantile(p_lo).min(sample_min);
+                    let hi = fit.quantile(p_hi).max(sample_max);
+                    let emp = samples
+                        .iter()
+                        .map(|v| (v - raws[c]).abs())
+                        .fold(0.0, f64::max);
+                    Ok((lo, hi, emp))
+                })
+            };
             let mut bounds = Vec::with_capacity(dims);
             let mut sensitivity = Vec::with_capacity(dims);
             let mut empirical_sensitivity = Vec::with_capacity(dims);
-            for (c, raw_c) in raw_components.iter().enumerate() {
-                let mut samples: Vec<f64> = Vec::with_capacity(2 * n);
-                for o in removal_outputs.iter().chain(addition_outputs.iter()) {
-                    let comps = o.components();
-                    if let Some(v) = comps.get(c) {
-                        samples.push(*v);
-                    }
-                }
-                let fit = Normal::mle(&samples)?;
-                // The enforced range is the envelope of the fit's percentile
-                // interval (Algorithm 1, line 19) and the *observed* extremes
-                // of the sampled neighbour outputs — the paper's Figure 3
-                // describes the red lines as the min/max inferred from the
-                // sample, and the envelope guarantees every sampled neighbour
-                // is covered even when the distribution is strongly
-                // non-normal (discrete counts, heavy tails).
-                let sample_min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-                let sample_max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let lo = fit.quantile(p_lo).min(sample_min);
-                let hi = fit.quantile(p_hi).max(sample_max);
+            for fit in fits {
+                let (lo, hi, emp) = fit?;
                 bounds.push((lo, hi));
                 sensitivity.push(hi - lo);
-                empirical_sensitivity.push(
-                    samples
-                        .iter()
-                        .map(|v| (v - raw_c).abs())
-                        .fold(0.0, f64::max),
-                );
+                empirical_sensitivity.push(emp);
             }
             (bounds, sensitivity, empirical_sensitivity)
         };
@@ -444,8 +495,8 @@ impl Upa {
 
         let mut state = PipelineState {
             query,
-            mapped_sampled,
-            sampled_halves,
+            mapped_sampled: Arc::clone(&mapped_sampled),
+            sampled_halves: Arc::clone(&sampled_halves),
             active: vec![true; n],
             rem_half,
             output_components: raw_components,
@@ -475,7 +526,9 @@ impl Upa {
         };
 
         drop(release_scope);
-        let mut all_spans = prepare_spans;
+        // The audit owns its span list; this is the only per-release copy
+        // of the shared preparation spans.
+        let mut all_spans: Vec<StageSpan> = (*prepare_spans).clone();
         all_spans.extend(spans.spans());
         let total_nanos = all_spans
             .iter()
@@ -551,12 +604,14 @@ impl Upa {
 /// consumed (repeatedly) by [`Upa::release`].
 pub struct PreparedQuery<T, Acc, Out> {
     query: MapReduceQuery<T, Acc, Out>,
-    mapped_sampled: Vec<Acc>,
-    mapped_additions: Vec<Acc>,
-    sampled_halves: Vec<usize>,
+    // `Arc`-shared so each release borrows the phase-1–3 state instead of
+    // deep-copying the sampled accumulators.
+    mapped_sampled: Arc<Vec<Acc>>,
+    mapped_additions: Arc<Vec<Acc>>,
+    sampled_halves: Arc<Vec<usize>>,
     rem_half: [Option<Acc>; 2],
     /// Phase-1–3 stage spans, folded into every release's audit.
-    spans: Vec<StageSpan>,
+    spans: Arc<Vec<StageSpan>>,
     /// Engine counters attributable to the preparation.
     engine: MetricsSnapshot,
 }
@@ -580,40 +635,49 @@ impl<T, Acc, Out> PreparedQuery<T, Acc, Out> {
 /// In-flight query state handed to RANGE ENFORCER.
 struct PipelineState<'q, T, Acc, Out> {
     query: &'q MapReduceQuery<T, Acc, Out>,
-    mapped_sampled: Vec<Acc>,
-    sampled_halves: Vec<usize>,
+    mapped_sampled: Arc<Vec<Acc>>,
+    sampled_halves: Arc<Vec<usize>>,
     active: Vec<bool>,
     rem_half: [Option<Acc>; 2],
     output_components: Vec<f64>,
 }
 
 impl<T: Data, Acc: Data, Out: DpOutput> PipelineState<'_, T, Acc, Out> {
+    /// Folds the active accumulators of half `h` by reference: a
+    /// `Cow`-carried accumulator means each step is one `reduce` call with
+    /// no per-merge clone of the sampled accumulators.
     fn half_outputs(&self) -> [Out; 2] {
         [0usize, 1usize].map(|h| {
-            let mut acc = self.rem_half[h].clone();
+            let mut acc: Option<Cow<'_, Acc>> = self.rem_half[h].as_ref().map(Cow::Borrowed);
             for i in 0..self.mapped_sampled.len() {
                 if self.active[i] && self.sampled_halves[i] == h {
-                    acc = self
-                        .query
-                        .merge_opt(acc, Some(self.mapped_sampled[i].clone()));
+                    acc = Some(match acc {
+                        Some(a) => {
+                            Cow::Owned(self.query.reduce(a.as_ref(), &self.mapped_sampled[i]))
+                        }
+                        None => Cow::Borrowed(&self.mapped_sampled[i]),
+                    });
                 }
             }
-            self.query.finalize(acc.as_ref())
+            self.query.finalize(acc.as_deref())
         })
     }
 
     fn recompute_output(&mut self) {
-        let mut acc = self
-            .query
-            .merge_opt(self.rem_half[0].clone(), self.rem_half[1].clone());
+        let mut acc: Option<Cow<'_, Acc>> = match (&self.rem_half[0], &self.rem_half[1]) {
+            (Some(a), Some(b)) => Some(Cow::Owned(self.query.reduce(a, b))),
+            (Some(a), None) => Some(Cow::Borrowed(a)),
+            (None, b) => b.as_ref().map(Cow::Borrowed),
+        };
         for i in 0..self.mapped_sampled.len() {
             if self.active[i] {
-                acc = self
-                    .query
-                    .merge_opt(acc, Some(self.mapped_sampled[i].clone()));
+                acc = Some(match acc {
+                    Some(a) => Cow::Owned(self.query.reduce(a.as_ref(), &self.mapped_sampled[i])),
+                    None => Cow::Borrowed(&self.mapped_sampled[i]),
+                });
             }
         }
-        self.output_components = self.query.finalize(acc.as_ref()).components();
+        self.output_components = self.query.finalize(acc.as_deref()).components();
     }
 }
 

@@ -123,6 +123,19 @@ impl<T: Data, Acc: Data, Out: DpOutput> MapReduceQuery<T, Acc, Out> {
         }
     }
 
+    /// Merges two optional partial reductions **by reference**, cloning
+    /// only when a single side is present. The pipeline's prefix/suffix
+    /// reuse calls this O(n) times per release, so avoiding an
+    /// accumulator clone per merge matters for vector-valued queries
+    /// (histograms, gradient accumulators).
+    pub fn merge_ref(&self, a: Option<&Acc>, b: Option<&Acc>) -> Option<Acc> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(self.reduce(a, b)),
+            (Some(a), None) => Some(a.clone()),
+            (None, b) => b.cloned(),
+        }
+    }
+
     /// Projects a final reduction to the query output.
     pub fn finalize(&self, acc: Option<&Acc>) -> Out {
         (self.finalize)(acc)
@@ -243,6 +256,15 @@ mod tests {
         assert_eq!(q.merge_opt(Some(1.0), None), Some(1.0));
         assert_eq!(q.merge_opt(None, Some(2.0)), Some(2.0));
         assert_eq!(q.merge_opt(Some(1.0), Some(2.0)), Some(3.0));
+    }
+
+    #[test]
+    fn merge_ref_matches_merge_opt() {
+        let q = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+        assert_eq!(q.merge_ref(None, None), None);
+        assert_eq!(q.merge_ref(Some(&1.0), None), Some(1.0));
+        assert_eq!(q.merge_ref(None, Some(&2.0)), Some(2.0));
+        assert_eq!(q.merge_ref(Some(&1.0), Some(&2.0)), Some(3.0));
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct Config {
     /// paper's cost model: both vanilla and UPA pay it proportionally to
     /// the records they touch. Zero (the default) disables it.
     pub scan_cost_ns: u64,
+    /// Whether `reduce_by_key`/`count_by_key` pre-reduce inside each map
+    /// partition before shuffling (Spark's map-side combine). On by
+    /// default; turning it off restores the naive every-record shuffle,
+    /// which the equivalence tests use as a reference.
+    pub map_side_combine: bool,
 }
 
 /// Busy-spins for roughly `records × ns` nanoseconds (one ALU-chained
@@ -64,6 +69,7 @@ impl Default for Config {
             fault: FaultInjector::disabled(),
             max_task_retries: 4,
             scan_cost_ns: 0,
+            map_side_combine: true,
         }
     }
 }
@@ -222,9 +228,37 @@ impl Context {
         })
     }
 
+    /// Runs a fused chain of narrow transforms as one stage: the chain's
+    /// push-based closure streams base partition `i` through every fused
+    /// op into a freshly collected output partition. Metrics charge only
+    /// the base records — the whole point of fusion is that intermediate
+    /// results are never materialised or re-scanned.
+    pub(crate) fn run_fused<T: Data>(
+        &self,
+        name: &str,
+        base_sizes: &[usize],
+        run: crate::dataset::PendingRun<T>,
+    ) -> Vec<Arc<Vec<T>>> {
+        let records: u64 = base_sizes.iter().map(|&n| n as u64).sum();
+        self.inner.metrics.record_processed(records);
+        let scan_ns = self.inner.config.scan_cost_ns;
+        let sizes: Arc<Vec<usize>> = Arc::new(base_sizes.to_vec());
+        self.run_tasks(name, (0..sizes.len()).collect(), move |_i, p: usize| {
+            scan_delay(sizes[p], scan_ns);
+            let mut out: Vec<T> = Vec::new();
+            run(p, &mut |t| out.push(t));
+            Arc::new(out)
+        })
+    }
+
     /// The configured simulated scan cost (ns per record).
     pub(crate) fn scan_cost_ns(&self) -> u64 {
         self.inner.config.scan_cost_ns
+    }
+
+    /// Whether map-side combining is enabled for keyed reductions.
+    pub(crate) fn map_side_combine(&self) -> bool {
+        self.inner.config.map_side_combine
     }
 
     /// Runs one stage of arbitrary tasks with retry; the engine's core
@@ -269,6 +303,24 @@ impl Context {
         outs
     }
 
+    /// Runs `f` over `inputs` on the shared worker pool and returns the
+    /// outputs in input order, **without** recording a stage or touching
+    /// any metrics counter.
+    ///
+    /// This is driver-side helper parallelism — e.g. UPA's phase-4
+    /// neighbour finalizations and per-component MLE fits — not an engine
+    /// stage: the observability counters keep meaning "work the dataflow
+    /// graph ran", so a caller that only uses `par_map` still reports
+    /// zero stages and zero shuffles.
+    pub fn par_map<I, O, F>(&self, inputs: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(usize, I) -> O + Send + Sync + 'static,
+    {
+        self.inner.pool.map_ordered(inputs, Arc::new(f))
+    }
+
     /// Whether two handles share the same engine (pool + metrics).
     pub(crate) fn same_engine(&self, other: &Context) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
@@ -287,6 +339,18 @@ impl Context {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_map_runs_on_pool_without_metrics() {
+        let ctx = Context::with_threads(4);
+        let before = ctx.metrics();
+        let out = ctx.par_map((0..32).collect::<Vec<u64>>(), |_i, x| x * 2);
+        assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<u64>>());
+        let delta = ctx.metrics().since(&before);
+        assert_eq!(delta.stages, 0, "par_map must not count as a stage");
+        assert_eq!(delta.tasks, 0);
+        assert_eq!(delta.records_processed, 0);
+    }
 
     #[test]
     fn parallelize_balances_partitions() {

@@ -4,17 +4,66 @@ use crate::context::Context;
 
 /// Shared handle to a commutative, associative binary reducer.
 pub(crate) type ReduceFn<T> = Arc<dyn Fn(&T, &T) -> T + Send + Sync>;
+
+/// Push-based executor for a fused chain of narrow transforms: called once
+/// per base partition, it streams every output record into the sink.
+pub(crate) type PendingRun<T> = Arc<dyn Fn(usize, &mut dyn FnMut(T)) + Send + Sync>;
+
+/// One narrow transform step applied to a borrowed record: `(partition
+/// index, record, sink)`. Emitting zero, one or many records covers
+/// `filter`, `map` and `flat_map` respectively.
+type StepFn<T, U> = dyn Fn(usize, &T, &mut dyn FnMut(U)) + Send + Sync;
+
 use crate::lineage::Lineage;
 use crate::Data;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// A chain of narrow transforms that has not executed yet. The chain
+/// composes per-record closures over a materialised base dataset and runs
+/// as a **single** pool stage (named `fused[map→filter→…]`) when the first
+/// wide operator or action forces it.
+struct Pending<T> {
+    /// Records per base partition: drives the scan-cost model and the
+    /// `records_processed` counter when the chain runs.
+    base_sizes: Arc<Vec<usize>>,
+    /// Lineage of the materialised base the chain reads from.
+    base_lineage: Arc<Lineage>,
+    /// Operator names, base-first.
+    ops: Vec<String>,
+    run: PendingRun<T>,
+}
+
+impl<T> Pending<T> {
+    /// Stage/lineage label: the bare operator name for single-op chains,
+    /// `fused[a→b→…]` once two or more ops are chained.
+    fn label(&self) -> String {
+        if self.ops.len() == 1 {
+            self.ops[0].clone()
+        } else {
+            format!("fused[{}]", self.ops.join("→"))
+        }
+    }
+}
+
+/// Shared state of a dataset: either already-materialised partitions or a
+/// pending fused chain plus a cache slot filled on first materialisation.
+struct Inner<T> {
+    num_parts: usize,
+    pending: Option<Pending<T>>,
+    parts: OnceLock<Arc<Vec<Arc<Vec<T>>>>>,
+    len: OnceLock<usize>,
+}
 
 /// An immutable, partitioned, in-memory dataset.
 ///
-/// Cloning is cheap (partitions are shared via `Arc`). All transformations
-/// are **eager**: each call runs one parallel stage on the context's thread
-/// pool and materialises the result, which doubles as Spark's memory cache
-/// — re-using a `Dataset` re-uses its materialised partitions, the effect
-/// the paper credits for Figure 4(b)'s flat sample-size scaling.
+/// Cloning is cheap (state is shared via `Arc`). Narrow transformations
+/// (`map`, `filter`, `flat_map`, `map_with_partition`, `map_partitions`)
+/// are **lazy**: consecutive calls fuse into one pending chain that runs
+/// as a single parallel stage — with no intermediate materialisation —
+/// when the first wide operator or action needs the records. The result
+/// is then cached, which doubles as Spark's memory cache: re-using a
+/// `Dataset` re-uses its materialised partitions, the effect the paper
+/// credits for Figure 4(b)'s flat sample-size scaling.
 ///
 /// ```
 /// use dataflow::Context;
@@ -24,7 +73,7 @@ use std::sync::Arc;
 /// ```
 pub struct Dataset<T> {
     ctx: Context,
-    partitions: Arc<Vec<Arc<Vec<T>>>>,
+    inner: Arc<Inner<T>>,
     lineage: Arc<Lineage>,
 }
 
@@ -32,7 +81,7 @@ impl<T> Clone for Dataset<T> {
     fn clone(&self) -> Self {
         Dataset {
             ctx: self.ctx.clone(),
-            partitions: Arc::clone(&self.partitions),
+            inner: Arc::clone(&self.inner),
             lineage: Arc::clone(&self.lineage),
         }
     }
@@ -42,7 +91,7 @@ impl<T: Data> std::fmt::Debug for Dataset<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dataset")
             .field("partitions", &self.num_partitions())
-            .field("len", &self.len())
+            .field("len", &self.inner.len.get().copied())
             .field("op", &self.lineage.op())
             .finish()
     }
@@ -54,11 +103,98 @@ impl<T: Data> Dataset<T> {
         partitions: Vec<Arc<Vec<T>>>,
         lineage: Arc<Lineage>,
     ) -> Self {
+        let parts = Arc::new(partitions);
+        let len: usize = parts.iter().map(|p| p.len()).sum();
         Dataset {
             ctx,
-            partitions: Arc::new(partitions),
+            inner: Arc::new(Inner {
+                num_parts: parts.len(),
+                pending: None,
+                parts: OnceLock::from(parts),
+                len: OnceLock::from(len),
+            }),
             lineage,
         }
+    }
+
+    fn from_pending(ctx: Context, pending: Pending<T>) -> Self {
+        let lineage = Lineage::derived(pending.label(), Arc::clone(&pending.base_lineage));
+        Dataset {
+            ctx,
+            inner: Arc::new(Inner {
+                num_parts: pending.base_sizes.len(),
+                pending: Some(pending),
+                parts: OnceLock::new(),
+                len: OnceLock::new(),
+            }),
+            lineage,
+        }
+    }
+
+    /// The pending chain, if this dataset is lazy and not yet forced.
+    /// Once forced, the cached partitions are the cheaper base to chain
+    /// from, so this returns `None`.
+    fn unforced_pending(&self) -> Option<&Pending<T>> {
+        match self.inner.pending.as_ref() {
+            Some(p) if self.inner.parts.get().is_none() => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Materialises (and caches) the partitions, running the pending
+    /// fused chain as one stage if there is one.
+    fn forced(&self) -> &Arc<Vec<Arc<Vec<T>>>> {
+        self.inner.parts.get_or_init(|| {
+            let p = self
+                .inner
+                .pending
+                .as_ref()
+                .expect("unmaterialised dataset must hold a pending chain");
+            let label = p.label();
+            Arc::new(
+                self.ctx
+                    .run_fused(&label, &p.base_sizes, Arc::clone(&p.run)),
+            )
+        })
+    }
+
+    /// Chains one narrow per-record transform, fusing it with any pending
+    /// chain instead of running a stage now.
+    fn narrow<U: Data>(&self, op: &str, step: Arc<StepFn<T, U>>) -> Dataset<U> {
+        let (run, base_sizes, mut ops, base_lineage) = match self.unforced_pending() {
+            Some(p) => {
+                let prev = Arc::clone(&p.run);
+                let run: PendingRun<U> = Arc::new(move |i, sink| {
+                    prev(i, &mut |t: T| step(i, &t, sink));
+                });
+                (
+                    run,
+                    Arc::clone(&p.base_sizes),
+                    p.ops.clone(),
+                    Arc::clone(&p.base_lineage),
+                )
+            }
+            None => {
+                let parts = Arc::clone(self.forced());
+                let sizes = Arc::new(parts.iter().map(|p| p.len()).collect::<Vec<usize>>());
+                let run: PendingRun<U> = Arc::new(move |i, sink| {
+                    for t in parts[i].iter() {
+                        step(i, t, sink);
+                    }
+                });
+                (run, sizes, Vec::new(), Arc::clone(&self.lineage))
+            }
+        };
+        ops.push(op.to_string());
+        Dataset::from_pending(
+            self.ctx.clone(),
+            Pending {
+                base_sizes,
+                base_lineage,
+                ops,
+                run,
+            },
+        )
     }
 
     /// The context this dataset belongs to.
@@ -66,24 +202,30 @@ impl<T: Data> Dataset<T> {
         &self.ctx
     }
 
-    /// Number of partitions.
+    /// Number of partitions (known without forcing a pending chain).
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        self.inner.num_parts
     }
 
-    /// The underlying partitions (shared, read-only).
+    /// The underlying partitions (shared, read-only). Forces a pending
+    /// chain.
     pub fn partitions(&self) -> &[Arc<Vec<T>>] {
-        &self.partitions
+        self.forced()
     }
 
-    /// Total number of records.
+    /// Total number of records. Computed once — eagerly for materialised
+    /// datasets, at first call (forcing the chain) for lazy ones — and
+    /// cached thereafter.
     pub fn len(&self) -> usize {
-        self.partitions.iter().map(|p| p.len()).sum()
+        *self
+            .inner
+            .len
+            .get_or_init(|| self.forced().iter().map(|p| p.len()).sum())
     }
 
     /// Whether the dataset holds no records.
     pub fn is_empty(&self) -> bool {
-        self.partitions.iter().all(|p| p.is_empty())
+        self.len() == 0
     }
 
     /// The lineage node of this dataset.
@@ -91,7 +233,8 @@ impl<T: Data> Dataset<T> {
         &self.lineage
     }
 
-    /// Renders the operator tree that produced this dataset.
+    /// Renders the operator tree that produced this dataset. Fused chains
+    /// appear as a single `fused[a→b→…]` node.
     pub fn explain(&self) -> String {
         self.lineage.explain()
     }
@@ -99,97 +242,106 @@ impl<T: Data> Dataset<T> {
     /// Gathers all records into one vector, preserving partition order.
     pub fn collect(&self) -> Vec<T> {
         let mut out = Vec::with_capacity(self.len());
-        for p in self.partitions.iter() {
+        for p in self.forced().iter() {
             out.extend(p.iter().cloned());
         }
         out
     }
 
-    /// Applies `f` to every record (a narrow, embarrassingly parallel
-    /// stage — Spark's `map`).
+    /// Applies `f` to every record (a narrow stage — Spark's `map`).
+    /// Lazy: fuses with adjacent narrow transforms.
     pub fn map<U: Data>(&self, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Dataset<U> {
-        let f = Arc::new(f);
-        let parts = self.ctx.run_stage(
-            "map",
-            &self.partitions,
-            Arc::new(move |_i, part: &[T]| part.iter().map(|t| f(t)).collect()),
-        );
-        Dataset::from_parts(
-            self.ctx.clone(),
-            parts,
-            Lineage::derived("map", Arc::clone(&self.lineage)),
-        )
+        self.narrow("map", Arc::new(move |_i, t, sink| sink(f(t))))
     }
 
-    /// Keeps records satisfying `pred`.
+    /// Keeps records satisfying `pred`. Lazy: fuses with adjacent narrow
+    /// transforms.
     pub fn filter(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Dataset<T> {
-        let pred = Arc::new(pred);
-        let parts = self.ctx.run_stage(
+        self.narrow(
             "filter",
-            &self.partitions,
-            Arc::new(move |_i, part: &[T]| part.iter().filter(|t| pred(t)).cloned().collect()),
-        );
-        Dataset::from_parts(
-            self.ctx.clone(),
-            parts,
-            Lineage::derived("filter", Arc::clone(&self.lineage)),
+            Arc::new(move |_i, t: &T, sink: &mut dyn FnMut(T)| {
+                if pred(t) {
+                    sink(t.clone());
+                }
+            }),
         )
     }
 
-    /// Applies `f` and flattens the results.
+    /// Applies `f` and flattens the results. Lazy: fuses with adjacent
+    /// narrow transforms.
     pub fn flat_map<U: Data, I>(&self, f: impl Fn(&T) -> I + Send + Sync + 'static) -> Dataset<U>
     where
         I: IntoIterator<Item = U>,
     {
-        let f = Arc::new(f);
-        let parts = self.ctx.run_stage(
+        self.narrow(
             "flat_map",
-            &self.partitions,
-            Arc::new(move |_i, part: &[T]| part.iter().flat_map(|t| f(t)).collect()),
-        );
-        Dataset::from_parts(
-            self.ctx.clone(),
-            parts,
-            Lineage::derived("flat_map", Arc::clone(&self.lineage)),
+            Arc::new(move |_i, t: &T, sink: &mut dyn FnMut(U)| {
+                for u in f(t) {
+                    sink(u);
+                }
+            }),
         )
     }
 
     /// Applies `f` to every record together with the index of the
     /// partition holding it (Spark's `mapPartitionsWithIndex`, per
     /// record). UPA uses this to tag records with the logical dataset
-    /// half they belong to.
+    /// half they belong to. Lazy: fuses with adjacent narrow transforms.
     pub fn map_with_partition<U: Data>(
         &self,
         f: impl Fn(usize, &T) -> U + Send + Sync + 'static,
     ) -> Dataset<U> {
-        let f = Arc::new(f);
-        let parts = self.ctx.run_stage(
+        self.narrow(
             "map_with_partition",
-            &self.partitions,
-            Arc::new(move |i, part: &[T]| part.iter().map(|t| f(i, t)).collect()),
-        );
-        Dataset::from_parts(
-            self.ctx.clone(),
-            parts,
-            Lineage::derived("map_with_partition", Arc::clone(&self.lineage)),
+            Arc::new(move |i, t, sink| sink(f(i, t))),
         )
     }
 
-    /// Runs `f` once per partition (Spark's `mapPartitions`).
+    /// Runs `f` once per partition (Spark's `mapPartitions`). Lazy: fuses
+    /// with adjacent narrow transforms (upstream records are buffered
+    /// per-partition before `f` sees them, as its slice signature
+    /// requires).
     pub fn map_partitions<U: Data>(
         &self,
         f: impl Fn(&[T]) -> Vec<U> + Send + Sync + 'static,
     ) -> Dataset<U> {
-        let f = Arc::new(f);
-        let parts = self.ctx.run_stage(
-            "map_partitions",
-            &self.partitions,
-            Arc::new(move |_i, part: &[T]| f(part)),
-        );
-        Dataset::from_parts(
+        let (run, base_sizes, mut ops, base_lineage) = match self.unforced_pending() {
+            Some(p) => {
+                let prev = Arc::clone(&p.run);
+                let run: PendingRun<U> = Arc::new(move |i, sink| {
+                    let mut buf: Vec<T> = Vec::new();
+                    prev(i, &mut |t: T| buf.push(t));
+                    for u in f(&buf) {
+                        sink(u);
+                    }
+                });
+                (
+                    run,
+                    Arc::clone(&p.base_sizes),
+                    p.ops.clone(),
+                    Arc::clone(&p.base_lineage),
+                )
+            }
+            None => {
+                let parts = Arc::clone(self.forced());
+                let sizes = Arc::new(parts.iter().map(|p| p.len()).collect::<Vec<usize>>());
+                let run: PendingRun<U> = Arc::new(move |i, sink| {
+                    for u in f(&parts[i]) {
+                        sink(u);
+                    }
+                });
+                (run, sizes, Vec::new(), Arc::clone(&self.lineage))
+            }
+        };
+        ops.push("map_partitions".to_string());
+        Dataset::from_pending(
             self.ctx.clone(),
-            parts,
-            Lineage::derived("map_partitions", Arc::clone(&self.lineage)),
+            Pending {
+                base_sizes,
+                base_lineage,
+                ops,
+                run,
+            },
         )
     }
 
@@ -226,7 +378,7 @@ impl<T: Data> Dataset<T> {
         let scan_ns = self.ctx.scan_cost_ns();
         self.ctx.run_tasks(
             "reduce",
-            self.partitions.to_vec(),
+            self.forced().to_vec(),
             move |_i, part: Arc<Vec<T>>| {
                 crate::context::scan_delay(part.len(), scan_ns);
                 let mut it = part.iter();
@@ -250,7 +402,7 @@ impl<T: Data> Dataset<T> {
         let scan_ns = self.ctx.scan_cost_ns();
         let partials = self.ctx.run_tasks(
             "aggregate",
-            self.partitions.to_vec(),
+            self.forced().to_vec(),
             move |_i, part: Arc<Vec<T>>| {
                 crate::context::scan_delay(part.len(), scan_ns);
                 part.iter().fold(z.clone(), |acc, t| seq(acc, t))
@@ -275,8 +427,8 @@ impl<T: Data> Dataset<T> {
             self.ctx.same_engine(&other.ctx),
             "union requires datasets from the same context"
         );
-        let mut parts: Vec<Arc<Vec<T>>> = self.partitions.to_vec();
-        parts.extend(other.partitions.iter().cloned());
+        let mut parts: Vec<Arc<Vec<T>>> = self.forced().to_vec();
+        parts.extend(other.forced().iter().cloned());
         Dataset::from_parts(
             self.ctx.clone(),
             parts,
@@ -293,7 +445,7 @@ impl<T: Data> Dataset<T> {
         let ds = self.ctx.parallelize(data, k);
         Dataset::from_parts(
             self.ctx.clone(),
-            ds.partitions.to_vec(),
+            ds.partitions().to_vec(),
             Lineage::derived(format!("repartition[{k}]"), Arc::clone(&self.lineage)),
         )
     }
@@ -301,7 +453,7 @@ impl<T: Data> Dataset<T> {
     /// The first `n` records in partition order (Spark's `take`).
     pub fn take(&self, n: usize) -> Vec<T> {
         let mut out = Vec::with_capacity(n.min(self.len()));
-        for p in self.partitions.iter() {
+        for p in self.forced().iter() {
             for t in p.iter() {
                 if out.len() == n {
                     return out;
@@ -327,7 +479,7 @@ impl<T: Data> Dataset<T> {
         let cmp_task = Arc::clone(&cmp);
         let partials: Vec<Vec<T>> = self.ctx.run_tasks(
             "top_k",
-            self.partitions.to_vec(),
+            self.forced().to_vec(),
             move |_i, part: Arc<Vec<T>>| {
                 let mut local: Vec<T> = part.to_vec();
                 local.sort_by(|a, b| cmp_task(b, a));
@@ -370,7 +522,7 @@ impl<T: Data> Dataset<T> {
         let threshold = (fraction * (1u64 << 53) as f64) as u64;
         let parts = self.ctx.run_stage(
             "sample",
-            &self.partitions,
+            self.forced(),
             Arc::new(move |p, part: &[T]| {
                 part.iter()
                     .enumerate()
@@ -398,14 +550,14 @@ impl<T: Data> Dataset<T> {
     pub fn zip_with_index(&self) -> Dataset<(usize, T)> {
         let mut offsets = Vec::with_capacity(self.num_partitions());
         let mut base = 0usize;
-        for p in self.partitions.iter() {
+        for p in self.forced().iter() {
             offsets.push(base);
             base += p.len();
         }
         let offsets = Arc::new(offsets);
         let parts = self.ctx.run_stage(
             "zip_with_index",
-            &self.partitions,
+            self.forced(),
             Arc::new(move |p, part: &[T]| {
                 part.iter()
                     .enumerate()
@@ -442,7 +594,7 @@ impl<T: Data> Dataset<T> {
         let mut rest_parts: Vec<Arc<Vec<T>>> = Vec::with_capacity(self.num_partitions());
         let mut cursor = 0; // position in sorted_indices
         let mut base = 0; // global index of the first record in this partition
-        for part in self.partitions.iter() {
+        for part in self.forced().iter() {
             let end = base + part.len();
             // Indices that fall inside this partition.
             let start_cursor = cursor;
@@ -504,6 +656,59 @@ mod tests {
             .flat_map(|x| vec![*x, *x + 1])
             .collect();
         assert_eq!(out, vec![20, 21, 40, 41, 60, 61, 80, 81, 100, 101]);
+    }
+
+    #[test]
+    fn fused_chain_runs_as_single_stage() {
+        let c = ctx();
+        let ds = c.parallelize((0..100).collect::<Vec<i64>>(), 4);
+        c.reset_metrics();
+        let chained = ds.map(|x| x + 1).filter(|x| x % 2 == 0).map(|x| x * 10);
+        // Nothing has run yet: narrow transforms are lazy.
+        assert_eq!(c.metrics().stages, 0);
+        let out = chained.collect();
+        let m = c.metrics();
+        assert_eq!(m.stages, 1, "map→filter→map must fuse into one stage");
+        assert_eq!(m.tasks, 4);
+        assert_eq!(
+            m.records_processed, 100,
+            "only base records are scanned once"
+        );
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn forced_chain_is_cached_not_rerun() {
+        let c = ctx();
+        let ds = c.parallelize((0..100).collect::<Vec<i64>>(), 4);
+        let mapped = ds.map(|x| x + 1).filter(|x| x % 2 == 0);
+        c.reset_metrics();
+        let a = mapped.collect();
+        let stages_after_first = c.metrics().stages;
+        let b = mapped.collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            c.metrics().stages,
+            stages_after_first,
+            "second collect must reuse the cached materialisation"
+        );
+        assert_eq!(mapped.len(), 50);
+        assert_eq!(c.metrics().stages, stages_after_first);
+    }
+
+    #[test]
+    fn map_partitions_fuses_with_record_ops() {
+        let c = ctx();
+        let ds = c.parallelize((0..40).collect::<Vec<i64>>(), 4);
+        c.reset_metrics();
+        let out = ds
+            .map(|x| x * 2)
+            .map_partitions(|part| vec![part.iter().sum::<i64>()])
+            .collect();
+        let m = c.metrics();
+        assert_eq!(m.stages, 1, "map→map_partitions must fuse into one stage");
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.iter().sum::<i64>(), (0..40).map(|x| x * 2).sum::<i64>());
     }
 
     #[test]
@@ -624,22 +829,24 @@ mod tests {
     }
 
     #[test]
-    fn explain_shows_operator_chain() {
+    fn explain_shows_fused_operator_chain() {
         let ds = ctx()
             .parallelize(vec![1], 1)
             .map(|x| x + 1)
             .filter(|_| true);
         let plan = ds.explain();
-        assert!(plan.starts_with("filter"));
-        assert!(plan.contains("map"));
+        assert!(plan.starts_with("fused[map→filter]"), "plan was: {plan}");
         assert!(plan.contains("parallelize"));
+        // A single narrow op keeps its plain name.
+        let single = ctx().parallelize(vec![1], 1).map(|x| x + 1);
+        assert!(single.explain().starts_with("map"));
     }
 
     #[test]
     fn datasets_are_cheap_to_clone_and_share_partitions() {
         let ds = ctx().parallelize((0..1000).collect::<Vec<i32>>(), 4);
         let clone = ds.clone();
-        assert!(Arc::ptr_eq(&ds.partitions[0], &clone.partitions[0]));
+        assert!(Arc::ptr_eq(&ds.partitions()[0], &clone.partitions()[0]));
     }
 
     #[test]

@@ -79,7 +79,9 @@ pub(crate) fn shuffle_with<K: Data, V: Data, P: Partitioner<K> + 'static>(
 /// implemented downstream.
 pub trait PairOps<K, V>: private::Sealed {
     /// Merges values per key with a commutative, associative function
-    /// (Spark's `reduceByKey`). One shuffle.
+    /// (Spark's `reduceByKey`). One shuffle, preceded by a map-side
+    /// combine (unless disabled via `Config::map_side_combine`) that
+    /// caps shuffle volume at one record per key per map partition.
     fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V + Send + Sync + 'static) -> Dataset<(K, V)>;
 
     /// Groups all values per key (Spark's `groupByKey`). One shuffle.
@@ -132,8 +134,30 @@ impl<K: Data + Hash + Eq, V: Data> PairOps<K, V> for Dataset<(K, V)> {
     fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V + Send + Sync + 'static) -> Dataset<(K, V)> {
         let ctx = self.ctx().clone();
         let buckets = ctx.shuffle_partitions();
-        let shuffled = shuffle_by_key(&ctx, self, buckets);
         let f = Arc::new(f);
+        // Map-side combine (Spark's combiner): pre-reduce per key inside
+        // each map partition, so the shuffle moves at most one record per
+        // (map partition, key) instead of every input record. The combine
+        // is a narrow per-partition pass, so it fuses with any pending
+        // upstream chain and adds no stage of its own.
+        let pre = if ctx.map_side_combine() {
+            let fc = Arc::clone(&f);
+            self.map_partitions(move |part: &[(K, V)]| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in part {
+                    match acc.get_mut(k) {
+                        Some(slot) => *slot = fc(slot, v),
+                        None => {
+                            acc.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            })
+        } else {
+            self.clone()
+        };
+        let shuffled = shuffle_by_key(&ctx, &pre, buckets);
         let parts = ctx.run_tasks(
             "reduce_by_key",
             shuffled,
@@ -153,7 +177,7 @@ impl<K: Data + Hash + Eq, V: Data> PairOps<K, V> for Dataset<(K, V)> {
         Dataset::from_parts(
             ctx,
             parts,
-            Lineage::derived("reduce_by_key", Arc::clone(self.lineage())),
+            Lineage::derived("reduce_by_key", Arc::clone(pre.lineage())),
         )
     }
 
@@ -358,14 +382,76 @@ mod tests {
     }
 
     #[test]
-    fn reduce_by_key_counts_one_shuffle() {
+    fn reduce_by_key_counts_one_shuffle_of_combined_records() {
         let c = ctx();
         let ds = c.parallelize(vec![(1, 1); 100], 4);
         c.reset_metrics();
-        let _ = ds.reduce_by_key(|a, b| a + b).collect();
+        let out = ds.reduce_by_key(|a, b| a + b).collect();
+        let m = c.metrics();
+        assert_eq!(m.shuffles, 1);
+        // Map-side combine collapses each partition's 25 copies of key 1
+        // into one record, so only one record per map partition moves.
+        assert_eq!(m.shuffle_records, 4);
+        assert_eq!(out, vec![(1, 100)]);
+    }
+
+    #[test]
+    fn reduce_by_key_without_combine_shuffles_every_record() {
+        let c = Context::new(crate::Config {
+            threads: 4,
+            map_side_combine: false,
+            ..crate::Config::default()
+        });
+        let ds = c.parallelize(vec![(1, 1); 100], 4);
+        c.reset_metrics();
+        let out = ds.reduce_by_key(|a, b| a + b).collect();
         let m = c.metrics();
         assert_eq!(m.shuffles, 1);
         assert_eq!(m.shuffle_records, 100);
+        assert_eq!(out, vec![(1, 100)]);
+    }
+
+    #[test]
+    fn combine_matches_naive_path() {
+        let combined = ctx();
+        let naive = Context::new(crate::Config {
+            threads: 4,
+            map_side_combine: false,
+            ..crate::Config::default()
+        });
+        let data: Vec<(u32, i64)> = (0..1000).map(|i| (i % 17, i as i64)).collect();
+        let mut a = combined
+            .parallelize(data.clone(), 6)
+            .reduce_by_key(|x, y| x + y)
+            .collect();
+        let mut b = naive
+            .parallelize(data, 6)
+            .reduce_by_key(|x, y| x + y)
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn combine_fuses_with_upstream_narrow_chain() {
+        let c = ctx();
+        let ds = c.parallelize((0..200u32).collect::<Vec<u32>>(), 4);
+        c.reset_metrics();
+        let out = ds
+            .map(|x| (x % 3, u64::from(*x)))
+            .reduce_by_key(|a, b| a + b)
+            .collect_as_map();
+        let m = c.metrics();
+        // map → combine fuse into one stage; the shuffle adds its
+        // write/read pair and the reduce side one more.
+        assert_eq!(m.stages, 4, "map+combine must not run separate stages");
+        assert!(
+            m.shuffle_records <= 3 * 4,
+            "at most one record per key per map partition, got {}",
+            m.shuffle_records
+        );
+        assert_eq!(out[&0], (0..200u64).filter(|x| x % 3 == 0).sum::<u64>());
     }
 
     #[test]

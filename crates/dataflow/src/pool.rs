@@ -128,7 +128,16 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         // Closing the channel lets every worker drain and exit.
         self.sender.take();
+        let me = std::thread::current().id();
         for worker in self.workers.drain(..) {
+            // The pool can be dropped *from* one of its own workers when a
+            // task closure holds the last handle to the engine; joining
+            // yourself is a guaranteed deadlock (EDEADLK), so that worker
+            // is detached instead — it exits on its own once the closed
+            // channel drains.
+            if worker.thread().id() == me {
+                continue;
+            }
             let _ = worker.join();
         }
     }
@@ -213,6 +222,33 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_size_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn drop_from_worker_thread_does_not_deadlock() {
+        use std::sync::atomic::AtomicBool;
+        // A task closure holding the last handle to the pool drops it from
+        // a worker thread; the drop must detach that worker, not self-join.
+        let done = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(ThreadPool::new(2));
+        let held = Arc::clone(&pool);
+        let flag = Arc::clone(&done);
+        pool.execute(move || {
+            // Let the main thread release its handle first so this one is
+            // the last.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(held);
+            flag.store(true, Ordering::SeqCst);
+        });
+        drop(pool);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !done.load(Ordering::SeqCst) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never survived dropping the pool from itself"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
     }
 
     #[test]

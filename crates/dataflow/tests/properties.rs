@@ -1,7 +1,7 @@
 //! Property-based tests of the engine's operator semantics against
 //! sequential reference implementations.
 
-use dataflow::{Context, PairOps};
+use dataflow::{Config, Context, PairOps};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -118,6 +118,57 @@ proptest! {
             prop_assert_eq!(*idx, i);
             prop_assert_eq!(*v, values[i]);
         }
+    }
+
+    /// A fused map→filter→flat_map chain equals the sequential reference:
+    /// stage fusion must not change operator semantics for any input or
+    /// partitioning.
+    #[test]
+    fn fused_narrow_chain_matches_reference(
+        values in prop::collection::vec(-500i64..500, 0..300),
+        partitions in 1usize..7,
+    ) {
+        let want: Vec<i64> = values
+            .iter()
+            .map(|v| v * 3)
+            .filter(|v| v % 2 == 0)
+            .flat_map(|v| [v, v + 1])
+            .collect();
+        let ds = ctx().parallelize(values, partitions);
+        let got = ds
+            .map(|v: &i64| v * 3)
+            .filter(|v: &i64| v % 2 == 0)
+            .flat_map(|v: &i64| [*v, *v + 1])
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `reduce_by_key` with the map-side combiner produces exactly the
+    /// result of the combiner-off shuffle path for any input.
+    #[test]
+    fn map_side_combine_matches_uncombined_path(
+        pairs in prop::collection::vec((0u8..10, -50i64..50), 0..300),
+        partitions in 1usize..6,
+    ) {
+        let combined = Context::new(Config {
+            threads: 4,
+            map_side_combine: true,
+            ..Config::default()
+        });
+        let plain = Context::new(Config {
+            threads: 4,
+            map_side_combine: false,
+            ..Config::default()
+        });
+        let got = combined
+            .parallelize(pairs.clone(), partitions)
+            .reduce_by_key(|a, b| a + b)
+            .collect_as_map();
+        let want = plain
+            .parallelize(pairs, partitions)
+            .reduce_by_key(|a, b| a + b)
+            .collect_as_map();
+        prop_assert_eq!(got, want);
     }
 
     /// `left_outer_join` keeps exactly the unmatched left rows as `None`.

@@ -1,0 +1,128 @@
+//! Engine-counter regression tests for the hot-path optimisations:
+//! map-side combining must keep UPA's shuffle volume proportional to the
+//! partition count (never the dataset size), narrow-stage fusion must
+//! keep chained record transforms inside one engine stage, and repeated
+//! releases must stay engine-free.
+
+use dataflow::{Config, Context, PairOps};
+use upa_repro::upa_core::domain::EmpiricalSampler;
+use upa_repro::upa_core::query::MapReduceQuery;
+use upa_repro::upa_core::{Upa, UpaConfig};
+
+fn upa_over(ctx: &Context, sample_size: usize) -> Upa {
+    Upa::new(
+        ctx.clone(),
+        UpaConfig::builder()
+            .sample_size(sample_size)
+            .add_noise(false)
+            .build()
+            .expect("valid config"),
+    )
+}
+
+/// UPA's phase-3 remainder reduce keys every record by its logical half,
+/// so without a combiner the shuffle ships the whole dataset. With
+/// map-side combining each map partition ships at most one record per
+/// half: shuffle volume is O(num_partitions), not O(|x|).
+#[test]
+fn prepare_shuffles_partition_counts_not_dataset_size() {
+    let parts = 8usize;
+    let records = 20_000usize;
+    let ctx = Context::new(Config {
+        threads: 4,
+        default_partitions: parts,
+        shuffle_partitions: parts,
+        ..Config::default()
+    });
+    let data: Vec<f64> = (0..records).map(|i| (i % 13) as f64).collect();
+    let ds = ctx.parallelize(data.clone(), parts);
+    let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+    let domain = EmpiricalSampler::new(data);
+
+    let mut upa = upa_over(&ctx, 100);
+    let before = ctx.metrics();
+    let prepared = upa.prepare(&ds, &query, &domain).expect("prepare runs");
+    let delta = ctx.metrics().since(&before);
+
+    assert!(delta.shuffles >= 1, "the per-half reduce is a real shuffle");
+    assert!(
+        delta.shuffle_records <= 2 * parts as u64,
+        "combiner must cap shuffled records at 2 per map partition, got {} for {} records",
+        delta.shuffle_records,
+        records
+    );
+
+    // The release consumes only driver-side state: zero engine work.
+    let before = ctx.metrics();
+    upa.release(&prepared).expect("release runs");
+    let delta = ctx.metrics().since(&before);
+    assert_eq!(delta.stages, 0);
+    assert_eq!(delta.shuffles, 0);
+    assert_eq!(delta.shuffle_records, 0);
+}
+
+/// Disabling the combiner restores the naive O(|x|) shuffle — the
+/// counter contrast proving the combiner is what bounds the volume.
+#[test]
+fn combiner_off_shuffles_every_remainder_record() {
+    let parts = 4usize;
+    let records = 5_000usize;
+    let sample = 100usize;
+    let ctx = Context::new(Config {
+        threads: 4,
+        default_partitions: parts,
+        shuffle_partitions: parts,
+        map_side_combine: false,
+        ..Config::default()
+    });
+    let data: Vec<f64> = (0..records).map(|i| (i % 7) as f64).collect();
+    let ds = ctx.parallelize(data.clone(), parts);
+    let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+    let domain = EmpiricalSampler::new(data);
+
+    let mut upa = upa_over(&ctx, sample);
+    let before = ctx.metrics();
+    upa.prepare(&ds, &query, &domain).expect("prepare runs");
+    let delta = ctx.metrics().since(&before);
+    assert_eq!(
+        delta.shuffle_records,
+        (records - sample) as u64,
+        "without combining, every remainder record crosses the shuffle"
+    );
+}
+
+/// A chain of narrow transforms feeding a keyed reduce runs the chain as
+/// one fused stage: stage count stays flat no matter how many record
+/// transforms are chained.
+#[test]
+fn narrow_chains_do_not_multiply_stages() {
+    let ctx = Context::with_threads(4);
+    let data: Vec<i64> = (0..4_000).collect();
+
+    let run = |chain_len: usize| -> u64 {
+        let before = ctx.metrics();
+        let mut ds = ctx.parallelize(data.clone(), 4);
+        for _ in 0..chain_len {
+            ds = ds.map(|x: &i64| x + 1);
+        }
+        let total = ds
+            .map(|x: &i64| (x % 3, *x))
+            .reduce_by_key(|a, b| a + b)
+            .collect()
+            .iter()
+            .map(|(_, v)| *v)
+            .sum::<i64>();
+        assert_eq!(
+            total,
+            data.iter().map(|x| x + chain_len as i64).sum::<i64>()
+        );
+        ctx.metrics().since(&before).stages
+    };
+
+    let short = run(1);
+    let long = run(6);
+    assert_eq!(
+        short, long,
+        "fusion must keep chained narrow transforms in a single stage"
+    );
+}
