@@ -1,0 +1,10 @@
+//! Serving-path benchmark: an in-process `upa-server` on a loopback
+//! socket under concurrent clients. Writes `BENCH_SERVE.json` (override
+//! the path with `UPA_BENCH_SERVE_OUT`); scale via `UPA_BENCH_CLIENTS`,
+//! `UPA_BENCH_SERVE_REQUESTS` and the usual `UPA_BENCH_*` env vars.
+
+fn main() {
+    let cfg = upa_bench::ExpConfig::from_env();
+    println!("configuration: {cfg:?}\n");
+    upa_bench::experiments::serve_throughput(&cfg);
+}

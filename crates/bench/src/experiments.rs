@@ -4,6 +4,7 @@
 
 use crate::report::{pct, sci, time_median, Table};
 use dataflow::{Config, Context};
+use std::time::Instant;
 use upa_repro::suite::{build_queries, EvalData, EvalQuery, EvalScale};
 use upa_repro::upa_core::{Upa, UpaConfig};
 use upa_repro::upa_stats::rmse::rmse;
@@ -477,12 +478,10 @@ pub fn stage_audit(cfg: &ExpConfig) {
     }
     t.print();
 
-    let path =
-        std::env::var("UPA_BENCH_STAGES_OUT").unwrap_or_else(|_| "BENCH_STAGES.json".to_string());
-    let payload = format!("[{}]\n", jsons.join(",\n"));
-    match std::fs::write(&path, payload) {
-        Ok(()) => println!("\nwrote {} query audits to {path}", jsons.len()),
-        Err(e) => eprintln!("\ncannot write {path}: {e}"),
+    let payload = format!("[{}]", jsons.join(",\n"));
+    match crate::report::write_bench_json("STAGES", &payload) {
+        Ok(path) => println!("\nwrote {} query audits to {}", jsons.len(), path.display()),
+        Err(e) => eprintln!("\ncannot write BENCH_STAGES.json: {e}"),
     }
 }
 
@@ -619,16 +618,135 @@ pub fn perf_hotpath(cfg: &ExpConfig) {
         .collect();
     let payload = format!(
         "{{\n  \"records\": {records},\n  \"partitions\": {parts},\n  \"threads\": {},\n  \
-         \"trials\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"trials\": {},\n  \"workloads\": [\n{}\n  ]\n}}",
         cfg.threads,
         cfg.trials,
         json_rows.join(",\n")
     );
-    let path =
-        std::env::var("UPA_BENCH_PERF_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
-    match std::fs::write(&path, payload) {
-        Ok(()) => println!("\nwrote {} workload measurements to {path}", rows.len()),
-        Err(e) => eprintln!("\ncannot write {path}: {e}"),
+    match crate::report::write_bench_json("PERF", &payload) {
+        Ok(path) => println!(
+            "\nwrote {} workload measurements to {}",
+            rows.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("\ncannot write BENCH_PERF.json: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving throughput: upa-server under concurrent clients
+// ---------------------------------------------------------------------------
+
+/// Serving benchmark: an in-process `upa-server` on a loopback socket,
+/// hammered by concurrent clients. The first release per query pays the
+/// engine prepare; every later one is a zero-stage cached release, so
+/// the steady-state numbers measure the serving path itself. Latency
+/// percentiles and aggregate throughput are printed and written to
+/// `BENCH_SERVE.json` (override with `UPA_BENCH_SERVE_OUT`; client and
+/// request counts with `UPA_BENCH_CLIENTS` / `UPA_BENCH_SERVE_REQUESTS`).
+pub fn serve_throughput(cfg: &ExpConfig) {
+    use upa_server::{Client, DatasetSpec, Server, ServerConfig};
+
+    let read_env = |name: &str, default: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let clients = read_env("UPA_BENCH_CLIENTS", 4).max(1);
+    let requests = read_env("UPA_BENCH_SERVE_REQUESTS", 50).max(1);
+    let records = cfg.orders.max(1) * 25;
+
+    println!("== Serving throughput: upa-server under concurrent clients ==");
+    println!(
+        "({records} records, {clients} clients x {requests} releases each, {} engine threads)\n",
+        cfg.threads
+    );
+
+    let server = Server::bind(
+        ServerConfig {
+            datasets: vec![DatasetSpec::synthetic("data", records, 97)],
+            epsilon: 0.1,
+            sample_size: 1_000.min(records),
+            seed: cfg.seed,
+            threads: cfg.threads,
+            max_connections: clients + 4,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+
+    // Pay the one-off prepare outside the measured window so the
+    // percentiles describe steady-state (cached, zero-stage) serving.
+    {
+        let mut warm = Client::connect(&addr).expect("warm-up connect");
+        warm.release("data", "sum", "v", None, false)
+            .expect("warm-up release");
+    }
+
+    let bench_start = Instant::now();
+    let mut workers = Vec::new();
+    for _ in 0..clients {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("client connect");
+            let mut latencies_us = Vec::with_capacity(requests);
+            for _ in 0..requests {
+                let start = Instant::now();
+                client
+                    .release("data", "sum", "v", None, false)
+                    .expect("release delivers");
+                latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            latencies_us
+        }));
+    }
+    let mut latencies_us: Vec<f64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let wall_s = bench_start.elapsed().as_secs_f64();
+    handle.shutdown();
+    join.join().expect("server thread").expect("server exits");
+
+    latencies_us.sort_by(f64::total_cmp);
+    let percentile = |p: f64| -> f64 {
+        let idx = ((p / 100.0) * (latencies_us.len() - 1) as f64).round() as usize;
+        latencies_us[idx]
+    };
+    let total = latencies_us.len();
+    let qps = total as f64 / wall_s.max(1e-9);
+    let (p50, p90, p99, max) = (
+        percentile(50.0),
+        percentile(90.0),
+        percentile(99.0),
+        latencies_us[total - 1],
+    );
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["releases".into(), total.to_string()]);
+    t.row(vec!["throughput (qps)".into(), format!("{qps:.0}")]);
+    t.row(vec!["p50 latency (µs)".into(), format!("{p50:.0}")]);
+    t.row(vec!["p90 latency (µs)".into(), format!("{p90:.0}")]);
+    t.row(vec!["p99 latency (µs)".into(), format!("{p99:.0}")]);
+    t.row(vec!["max latency (µs)".into(), format!("{max:.0}")]);
+    t.print();
+
+    let payload = format!(
+        "{{\n  \"records\": {records},\n  \"clients\": {clients},\n  \
+         \"requests_per_client\": {requests},\n  \"threads\": {},\n  \
+         \"total_releases\": {total},\n  \"wall_seconds\": {wall_s:.4},\n  \
+         \"qps\": {qps:.1},\n  \"latency_us\": {{\"p50\": {p50:.1}, \"p90\": {p90:.1}, \
+         \"p99\": {p99:.1}, \"max\": {max:.1}}}\n}}",
+        cfg.threads
+    );
+    match crate::report::write_bench_json("SERVE", &payload) {
+        Ok(path) => println!("\nwrote serving metrics to {}", path.display()),
+        Err(e) => eprintln!("\ncannot write BENCH_SERVE.json: {e}"),
     }
 }
 

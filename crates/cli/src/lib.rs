@@ -10,6 +10,7 @@
 //! with its diagnostics. See [`Args`] for the flags.
 
 pub mod csv;
+pub mod remote;
 pub mod sql;
 
 use dataflow::Context;

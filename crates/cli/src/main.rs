@@ -1,26 +1,62 @@
 //! The `upa-cli` binary; all logic lives in the library for testability.
+//!
+//! Three modes:
+//!
+//! * default — release an aggregate over a local CSV file;
+//! * `serve` — run an `upa-server` daemon over CSV files;
+//! * `query` — release an aggregate from a running daemon.
+
+use upa_core::QueryAudit;
+
+/// The one `--stats` renderer: local and remote audits both come
+/// through here, so the output is identical regardless of where the
+/// query ran.
+fn print_stats(audit: Option<&QueryAudit>) {
+    match audit {
+        Some(audit) => println!("\n{}", audit.render()),
+        None => eprintln!("(no audit recorded for this release)"),
+    }
+}
+
+fn fail(msg: &str, code: i32) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(code);
+}
 
 fn main() {
-    let args = match upa_cli::Args::parse(std::env::args().skip(1)) {
-        Ok(args) => args,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    match upa_cli::run_release(&args) {
-        Ok(release) => {
-            println!("{}", upa_cli::render_output(&release.output, &args));
-            if args.stats {
-                match &release.audit {
-                    Some(audit) => println!("\n{}", audit.render()),
-                    None => eprintln!("(no audit recorded for this release)"),
-                }
+    let mut argv = std::env::args().skip(1).peekable();
+    match argv.peek().map(String::as_str) {
+        Some("serve") => {
+            let args =
+                upa_cli::remote::ServeArgs::parse(argv.skip(1)).unwrap_or_else(|msg| fail(&msg, 2));
+            if let Err(msg) = upa_cli::remote::run_serve(&args) {
+                fail(&format!("error: {msg}"), 1);
             }
         }
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
+        Some("query") => {
+            let args =
+                upa_cli::remote::QueryArgs::parse(argv.skip(1)).unwrap_or_else(|msg| fail(&msg, 2));
+            match upa_cli::remote::run_remote_query(&args) {
+                Ok(release) => {
+                    println!("{}", upa_cli::remote::render_remote(&release));
+                    if args.stats {
+                        print_stats(release.reply.audit.as_ref());
+                    }
+                }
+                Err(msg) => fail(&format!("error: {msg}"), 1),
+            }
+        }
+        _ => {
+            let args = upa_cli::Args::parse(argv).unwrap_or_else(|msg| fail(&msg, 2));
+            match upa_cli::run_release(&args) {
+                Ok(release) => {
+                    println!("{}", upa_cli::render_output(&release.output, &args));
+                    if args.stats {
+                        print_stats(release.audit.as_ref());
+                    }
+                }
+                Err(msg) => fail(&format!("error: {msg}"), 1),
+            }
         }
     }
 }

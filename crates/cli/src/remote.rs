@@ -1,0 +1,448 @@
+//! The `serve` and `query` subcommands: run an `upa-server` daemon over
+//! CSV files, and query a running daemon.
+//!
+//! ```text
+//! upa-cli serve --input people.csv --budget 1.0 --ledger spends.jsonl
+//! upa-cli query --addr 127.0.0.1:7878 --dataset people --query mean --column age --stats
+//! ```
+//!
+//! Remote `--stats` output is produced by reconstructing the server's
+//! audit JSON into a [`upa_core::QueryAudit`] and rendering it with the
+//! same [`upa_core::QueryAudit::render`] as local runs — the formatting
+//! lives in exactly one place.
+
+use crate::csv;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use upa_server::{Client, DatasetSpec, Server, ServerConfig};
+
+/// Usage text for `upa-cli serve`.
+pub const SERVE_USAGE: &str = "\
+usage: upa-cli serve --input FILE.csv [--input FILE2.csv ...]
+                     [--port P] [--budget E] [--ledger PATH]
+                     [--epsilon E] [--sample-size N] [--seed S]
+                     [--threads T] [--max-connections N] [--max-inflight N]
+
+Serves differentially private aggregates over the given CSV files. Each
+file becomes a dataset named after its stem (people.csv -> people), with
+every fully numeric column queryable. --budget meters each dataset;
+--ledger makes spends crash-safe (replayed on restart). Port 0 picks an
+ephemeral port; the bound address is announced on the first stdout line.";
+
+/// Usage text for `upa-cli query`.
+pub const QUERY_USAGE: &str = "\
+usage: upa-cli query --addr HOST:PORT --query count|sum|mean
+                     [--dataset NAME] [--column NAME] [--epsilon E]
+                     [--stats] [--remaining]
+
+Releases one differentially private aggregate from a running
+`upa-cli serve` (or upa-serverd) daemon. --stats prints the query audit
+exactly as a local run would; --remaining also prints the dataset's
+budget after the release.";
+
+/// Parsed `serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// CSV files to serve, one dataset each.
+    pub inputs: Vec<String>,
+    /// TCP port (0 = ephemeral).
+    pub port: u16,
+    /// Per-dataset total ε budget.
+    pub budget: Option<f64>,
+    /// Crash-safe ledger path.
+    pub ledger: Option<PathBuf>,
+    /// Default per-release ε.
+    pub epsilon: f64,
+    /// UPA sample size `n`.
+    pub sample_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Engine threads (0 = auto).
+    pub threads: usize,
+    /// Concurrent connection cap.
+    pub max_connections: usize,
+    /// Concurrent prepare cap.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let defaults = ServerConfig::default();
+        ServeArgs {
+            inputs: Vec::new(),
+            port: 7878,
+            budget: None,
+            ledger: None,
+            epsilon: defaults.epsilon,
+            sample_size: defaults.sample_size,
+            seed: defaults.seed,
+            threads: 0,
+            max_connections: defaults.max_connections,
+            max_inflight: defaults.max_inflight_prepares,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// Parses `serve` flags.
+    ///
+    /// # Errors
+    ///
+    /// A printable message for unknown or malformed flags.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs, String> {
+        let mut args = ServeArgs::default();
+        let mut it = argv.into_iter();
+        let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--input" => args.inputs.push(need(&mut it, "--input")?),
+                "--port" => args.port = parse_num(&need(&mut it, "--port")?, "--port")?,
+                "--budget" => {
+                    args.budget = Some(parse_num(&need(&mut it, "--budget")?, "--budget")?)
+                }
+                "--ledger" => args.ledger = Some(PathBuf::from(need(&mut it, "--ledger")?)),
+                "--epsilon" => args.epsilon = parse_num(&need(&mut it, "--epsilon")?, "--epsilon")?,
+                "--sample-size" => {
+                    args.sample_size = parse_num(&need(&mut it, "--sample-size")?, "--sample-size")?
+                }
+                "--seed" => args.seed = parse_num(&need(&mut it, "--seed")?, "--seed")?,
+                "--threads" => args.threads = parse_num(&need(&mut it, "--threads")?, "--threads")?,
+                "--max-connections" => {
+                    args.max_connections =
+                        parse_num(&need(&mut it, "--max-connections")?, "--max-connections")?
+                }
+                "--max-inflight" => {
+                    args.max_inflight =
+                        parse_num(&need(&mut it, "--max-inflight")?, "--max-inflight")?
+                }
+                "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
+                other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
+            }
+        }
+        if args.inputs.is_empty() {
+            return Err(format!("at least one --input is required\n{SERVE_USAGE}"));
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} must be a number, got '{value}'"))
+}
+
+/// Parsed `query` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Aggregate (`count`/`sum`/`mean`).
+    pub query: String,
+    /// Column (empty for `count`).
+    pub column: String,
+    /// Per-release ε override.
+    pub epsilon: Option<f64>,
+    /// Print the query audit.
+    pub stats: bool,
+    /// Print the dataset's budget after the release.
+    pub remaining: bool,
+}
+
+impl Default for QueryArgs {
+    fn default() -> Self {
+        QueryArgs {
+            addr: String::new(),
+            dataset: "data".to_string(),
+            query: "count".to_string(),
+            column: String::new(),
+            epsilon: None,
+            stats: false,
+            remaining: false,
+        }
+    }
+}
+
+impl QueryArgs {
+    /// Parses `query` flags.
+    ///
+    /// # Errors
+    ///
+    /// A printable message for unknown or malformed flags.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<QueryArgs, String> {
+        let mut args = QueryArgs::default();
+        let mut it = argv.into_iter();
+        let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--addr" => args.addr = need(&mut it, "--addr")?,
+                "--dataset" => args.dataset = need(&mut it, "--dataset")?,
+                "--query" => args.query = need(&mut it, "--query")?,
+                "--column" => args.column = need(&mut it, "--column")?,
+                "--epsilon" => {
+                    args.epsilon = Some(parse_num(&need(&mut it, "--epsilon")?, "--epsilon")?)
+                }
+                "--stats" => args.stats = true,
+                "--remaining" => args.remaining = true,
+                "--help" | "-h" => return Err(QUERY_USAGE.to_string()),
+                other => return Err(format!("unknown flag '{other}'\n{QUERY_USAGE}")),
+            }
+        }
+        if args.addr.is_empty() {
+            return Err(format!("--addr is required\n{QUERY_USAGE}"));
+        }
+        Ok(args)
+    }
+}
+
+/// Loads a CSV file as a server dataset: the stem names it, and every
+/// column whose cells all parse as numbers becomes queryable.
+///
+/// # Errors
+///
+/// I/O and CSV-shape failures, or a file with no numeric columns at all.
+pub fn load_dataset(path: &str) -> Result<DatasetSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = csv::parse(&text).map_err(|e| e.to_string())?;
+    let name = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let mut columns = HashMap::new();
+    for header in &doc.header {
+        if let Ok(values) = doc.numeric_column(header) {
+            columns.insert(header.clone(), values);
+        }
+    }
+    if columns.is_empty() && !doc.rows.is_empty() {
+        return Err(format!("{path}: no fully numeric column to serve"));
+    }
+    Ok(DatasetSpec::new(name, doc.rows.len(), columns))
+}
+
+/// Builds the server configuration from parsed `serve` arguments.
+///
+/// # Errors
+///
+/// Dataset-loading failures.
+pub fn build_server_config(args: &ServeArgs) -> Result<ServerConfig, String> {
+    let mut datasets = Vec::new();
+    for input in &args.inputs {
+        datasets.push(load_dataset(input)?);
+    }
+    Ok(ServerConfig {
+        datasets,
+        budget: args.budget,
+        ledger_path: args.ledger.clone(),
+        epsilon: args.epsilon,
+        sample_size: args.sample_size,
+        seed: args.seed,
+        threads: args.threads,
+        max_connections: args.max_connections,
+        max_inflight_prepares: args.max_inflight,
+        fault: Default::default(),
+    })
+}
+
+/// The `serve` subcommand: load the CSVs, bind, announce, serve until a
+/// `shutdown` request drains the daemon.
+///
+/// # Errors
+///
+/// Dataset, bind, ledger or accept-loop failures.
+pub fn run_serve(args: &ServeArgs) -> Result<(), String> {
+    let config = build_server_config(args)?;
+    let names = config
+        .datasets
+        .iter()
+        .map(|d| d.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let server = Server::bind(config, &format!("127.0.0.1:{}", args.port))
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    // Same announcement contract as upa-serverd: first stdout line
+    // carries the bound address.
+    println!("upa-server listening on {}", server.local_addr());
+    println!("serving datasets: {names}");
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// The `query` subcommand's result, ready for the binary to print.
+#[derive(Debug)]
+pub struct RemoteRelease {
+    /// The release reply.
+    pub reply: upa_server::ReleaseReply,
+    /// The budget after the release, when `--remaining` asked for it.
+    pub budget: Option<upa_server::BudgetReply>,
+}
+
+/// The `query` subcommand: one connection, one release (with the audit
+/// when `--stats` is set), optionally the budget afterwards.
+///
+/// # Errors
+///
+/// Connection, protocol, or server-side failures (budget refusals
+/// included), as printable messages.
+pub fn run_remote_query(args: &QueryArgs) -> Result<RemoteRelease, String> {
+    let mut client =
+        Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
+    let reply = client
+        .release(
+            &args.dataset,
+            &args.query,
+            &args.column,
+            args.epsilon,
+            args.stats,
+        )
+        .map_err(|e| e.to_string())?;
+    let budget = if args.remaining {
+        client.budget(&args.dataset).map_err(|e| e.to_string())?
+    } else {
+        None
+    };
+    Ok(RemoteRelease { reply, budget })
+}
+
+/// Formats a remote release for the terminal (the audit is rendered
+/// separately by the shared `--stats` path).
+pub fn render_remote(release: &RemoteRelease) -> String {
+    let reply = &release.reply;
+    let mut out = format!(
+        "released (ε={}): {:.6}\n  query              : {}\n  noise scale        : {:.6}\n  sampled records    : {}",
+        reply.epsilon, reply.released, reply.query_id, reply.noise_scale, reply.sample_size,
+    );
+    if let Some(remaining) = reply.budget_remaining {
+        out.push_str(&format!("\n  budget remaining   : {remaining:.6}"));
+    }
+    if let Some(budget) = &release.budget {
+        out.push_str(&format!(
+            "\n  budget             : {:.6} spent of {:.6} ({:.6} left)",
+            budget.spent, budget.total, budget.remaining
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let a = ServeArgs::parse(argv(
+            "--input a.csv --input b.csv --port 0 --budget 2.0 --ledger l.jsonl \
+             --epsilon 0.3 --sample-size 64 --seed 7 --threads 2 \
+             --max-connections 8 --max-inflight 2",
+        ))
+        .unwrap();
+        assert_eq!(a.inputs, vec!["a.csv", "b.csv"]);
+        assert_eq!(a.port, 0);
+        assert_eq!(a.budget, Some(2.0));
+        assert_eq!(a.ledger.as_deref(), Some(Path::new("l.jsonl")));
+        assert_eq!(a.epsilon, 0.3);
+        assert_eq!(a.max_inflight, 2);
+        assert!(
+            ServeArgs::parse(argv("--port 1")).is_err(),
+            "input required"
+        );
+        assert!(ServeArgs::parse(argv("--input a.csv --nope")).is_err());
+    }
+
+    #[test]
+    fn parses_query_flags() {
+        let a = QueryArgs::parse(argv(
+            "--addr 127.0.0.1:7878 --dataset people --query mean --column age --epsilon 0.5 --stats --remaining",
+        ))
+        .unwrap();
+        assert_eq!(a.addr, "127.0.0.1:7878");
+        assert_eq!(a.dataset, "people");
+        assert_eq!(a.query, "mean");
+        assert_eq!(a.column, "age");
+        assert_eq!(a.epsilon, Some(0.5));
+        assert!(a.stats);
+        assert!(a.remaining);
+        assert!(
+            QueryArgs::parse(argv("--query sum")).is_err(),
+            "addr required"
+        );
+    }
+
+    #[test]
+    fn load_dataset_keeps_numeric_columns_only() {
+        let dir = std::env::temp_dir().join("upa_remote_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("people_{}.csv", std::process::id()));
+        std::fs::write(&path, "age,name,score\n31,ada,9.5\n44,lin,7.25\n").unwrap();
+        let spec = load_dataset(&path.to_string_lossy()).unwrap();
+        assert_eq!(spec.rows, 2);
+        assert_eq!(spec.columns.len(), 2, "name is not numeric");
+        assert_eq!(spec.columns["age"], vec![31.0, 44.0]);
+        assert_eq!(spec.columns["score"], vec![9.5, 7.25]);
+        assert!(spec.name.starts_with("people_"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// End to end over a loopback daemon: serve a CSV in-process, query
+    /// it remotely, and check the remote audit renders through the same
+    /// renderer a local run uses.
+    #[test]
+    fn serve_and_query_round_trip() {
+        let dir = std::env::temp_dir().join("upa_remote_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("served_{}.csv", std::process::id()));
+        let mut text = String::from("v\n");
+        for i in 0..2_000 {
+            text.push_str(&format!("{}\n", i % 50));
+        }
+        std::fs::write(&path, text).unwrap();
+
+        let serve_args = ServeArgs {
+            inputs: vec![path.to_string_lossy().into_owned()],
+            budget: Some(1.0),
+            epsilon: 0.25,
+            sample_size: 40,
+            threads: 2,
+            ..ServeArgs::default()
+        };
+        let config = build_server_config(&serve_args).unwrap();
+        let dataset = config.datasets[0].name.clone();
+        let server = Server::bind(config, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run());
+
+        let query_args = QueryArgs {
+            addr,
+            dataset,
+            query: "mean".into(),
+            column: "v".into(),
+            stats: true,
+            remaining: true,
+            ..QueryArgs::default()
+        };
+        let release = run_remote_query(&query_args).unwrap();
+        assert_eq!(release.reply.epsilon, 0.25);
+        assert!((release.budget.unwrap().remaining - 0.75).abs() < 1e-9);
+        let text = render_remote(&release);
+        assert!(text.contains("released (ε=0.25)"));
+        assert!(text.contains("budget"));
+        let audit = release.reply.audit.expect("--stats carries the audit");
+        let rendered = audit.render();
+        assert!(rendered.contains("Query: mean"));
+        assert!(rendered.contains("stages:"));
+
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

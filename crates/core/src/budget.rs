@@ -36,6 +36,31 @@ impl BudgetAccountant {
         }
     }
 
+    /// Reconstructs an accountant from persisted state — the replay half
+    /// of a budget ledger. `spent` is the sum of every durable charge;
+    /// it may legitimately exceed `total` (e.g. the provider lowered the
+    /// budget between runs), in which case [`BudgetAccountant::remaining`]
+    /// is zero and every further charge is refused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epsilon` is not finite-positive or `spent` is not
+    /// finite and non-negative.
+    pub fn restore(total_epsilon: f64, spent: f64) -> Self {
+        assert!(
+            total_epsilon.is_finite() && total_epsilon > 0.0,
+            "total budget must be finite and positive"
+        );
+        assert!(
+            spent.is_finite() && spent >= 0.0,
+            "replayed spend must be finite and non-negative"
+        );
+        BudgetAccountant {
+            total: total_epsilon,
+            spent,
+        }
+    }
+
     /// Total budget.
     pub fn total(&self) -> f64 {
         self.total
@@ -97,6 +122,30 @@ mod tests {
             "failed spend must not charge"
         );
         assert!(b.try_spend(0.1).is_ok(), "a fitting charge still succeeds");
+    }
+
+    #[test]
+    fn restore_resumes_where_the_ledger_left_off() {
+        let mut original = BudgetAccountant::new(1.0);
+        for _ in 0..10 {
+            original.try_spend(0.1).unwrap();
+        }
+        // Replaying the same charges reconstructs the same state: the
+        // tolerance that let ten 0.1-charges fill a 1.0 budget exactly
+        // must survive the round trip.
+        let mut replayed = BudgetAccountant::restore(1.0, original.spent());
+        assert_eq!(replayed.spent(), original.spent());
+        assert!(replayed.try_spend(0.1).is_err(), "budget stays exhausted");
+        // A spend beyond the total (budget lowered after the fact) clamps
+        // remaining to zero instead of going negative.
+        let over = BudgetAccountant::restore(0.5, 0.8);
+        assert_eq!(over.remaining(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn restore_rejects_negative_spend() {
+        let _ = BudgetAccountant::restore(1.0, -0.1);
     }
 
     #[test]

@@ -138,6 +138,23 @@ impl Upa {
         &self.config
     }
 
+    /// Changes the per-release ε — serving frontends let each request
+    /// override the default budget charge. Takes effect on the next
+    /// [`Upa::run`]/[`Upa::release`].
+    ///
+    /// # Errors
+    ///
+    /// [`UpaError::InvalidConfig`] if `epsilon` is not finite-positive.
+    pub fn set_epsilon(&mut self, epsilon: f64) -> Result<(), UpaError> {
+        let candidate = UpaConfig {
+            epsilon,
+            ..self.config.clone()
+        };
+        candidate.validate()?;
+        self.config = candidate;
+        Ok(())
+    }
+
     /// The RANGE ENFORCER (for inspecting history length in tests).
     pub fn enforcer(&self) -> &RangeEnforcer {
         &self.enforcer
@@ -1015,6 +1032,36 @@ mod tests {
             upa.release(&prepared),
             Err(UpaError::BudgetExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn set_epsilon_changes_the_next_charge() {
+        let ctx = Context::with_threads(2);
+        let data: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let ds = ctx.parallelize(data.clone(), 4);
+        let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+        let domain = EmpiricalSampler::new(data);
+        let mut upa = Upa::new(
+            ctx,
+            UpaConfig {
+                sample_size: 16,
+                epsilon: 0.5,
+                add_noise: false,
+                ..UpaConfig::default()
+            },
+        )
+        .with_budget(1.0);
+        let prepared = upa.prepare(&ds, &query, &domain).unwrap();
+        upa.set_epsilon(0.25).unwrap();
+        let r = upa.release(&prepared).unwrap();
+        assert_eq!(r.epsilon, 0.25);
+        assert_eq!(upa.remaining_budget(), Some(0.75));
+        assert_eq!(
+            upa.set_epsilon(f64::NAN).unwrap_err(),
+            UpaError::InvalidConfig("epsilon")
+        );
+        // A failed set leaves the previous value in place.
+        assert_eq!(upa.config().epsilon, 0.25);
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! Protocol client: one TCP connection, line-delimited JSON requests,
+//! typed replies.
+//!
+//! The client reconstructs [`QueryAudit`] values from the server's JSON
+//! so remote audits render through the exact same
+//! [`QueryAudit::render`] path as local ones — `upa-cli --stats` output
+//! is byte-identical whether the query ran in-process or over the wire.
+
+use crate::wire::{self, Json};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use upa_core::QueryAudit;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or transport failure.
+    Io(io::Error),
+    /// The server's reply could not be understood.
+    Protocol(String),
+    /// The server refused the request.
+    Server {
+        /// The stable error code (see `ServeError::code`).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server's error code, when the failure came from the server.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// A successful `release` reply.
+#[derive(Debug)]
+pub struct ReleaseReply {
+    /// Query identity (`dataset/kind/column`).
+    pub query_id: String,
+    /// The noisy value.
+    pub released: f64,
+    /// The ε charged.
+    pub epsilon: f64,
+    /// Laplace noise scale.
+    pub noise_scale: f64,
+    /// Effective sample size.
+    pub sample_size: usize,
+    /// Budget remaining (`None` when the server is unmetered).
+    pub budget_remaining: Option<f64>,
+    /// The release's audit, when requested.
+    pub audit: Option<QueryAudit>,
+}
+
+/// A successful `prepare` reply.
+#[derive(Debug)]
+pub struct PrepareReply {
+    /// Query identity.
+    pub query_id: String,
+    /// Effective sample size of the prepared state.
+    pub sample_size: usize,
+    /// Whether the server answered from its shared prepared cache.
+    pub cached: bool,
+}
+
+/// A dataset's budget as reported by the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetReply {
+    /// Total ε budget.
+    pub total: f64,
+    /// ε spent so far.
+    pub spent: f64,
+    /// ε remaining.
+    pub remaining: f64,
+}
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and parses the reply. Server-side errors
+    /// (`"ok":false`) become [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, or server errors.
+    pub fn call(&mut self, request: &str) -> Result<Json, ClientError> {
+        // A refused connection (admission control) gets its error line
+        // written at accept time and is then closed — writing this
+        // request can hit a broken pipe while a perfectly good refusal
+        // sits in the receive buffer. Try the read even if the write
+        // failed and prefer whatever the server managed to say.
+        let written = self
+            .writer
+            .write_all(request.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush());
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            read_outcome => {
+                written?;
+                read_outcome?;
+                return Err(ClientError::Protocol(
+                    "server closed the connection without replying".into(),
+                ));
+            }
+        }
+        let reply = wire::parse(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("unparsable reply: {e}")))?;
+        match reply.bool_of("ok") {
+            Some(true) => Ok(reply),
+            Some(false) => Err(ClientError::Server {
+                code: reply.str_of("code").unwrap_or("unknown").to_string(),
+                message: reply.str_of("error").unwrap_or("").to_string(),
+            }),
+            None => Err(ClientError::Protocol("reply missing 'ok'".into())),
+        }
+    }
+
+    /// Health check.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server errors.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call("{\"op\":\"ping\"}").map(|_| ())
+    }
+
+    /// The server's dataset names.
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, or server errors.
+    pub fn datasets(&mut self) -> Result<Vec<String>, ClientError> {
+        let reply = self.call("{\"op\":\"datasets\"}")?;
+        let arr = reply
+            .get("datasets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("reply missing 'datasets'".into()))?;
+        Ok(arr
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect())
+    }
+
+    fn query_request(op: &str, dataset: &str, query: &str, column: &str) -> String {
+        format!(
+            "{{\"op\":{},\"dataset\":{},\"query\":{},\"column\":{}}}",
+            wire::json_str(op),
+            wire::json_str(dataset),
+            wire::json_str(query),
+            wire::json_str(column)
+        )
+    }
+
+    /// Runs phases 1–3 server-side (or hits the shared cache).
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, or server errors.
+    pub fn prepare(
+        &mut self,
+        dataset: &str,
+        query: &str,
+        column: &str,
+    ) -> Result<PrepareReply, ClientError> {
+        let reply = self.call(&Self::query_request("prepare", dataset, query, column))?;
+        Ok(PrepareReply {
+            query_id: reply
+                .str_of("query_id")
+                .ok_or_else(|| ClientError::Protocol("reply missing 'query_id'".into()))?
+                .to_string(),
+            sample_size: reply.get("sample_size").and_then(Json::as_u64).unwrap_or(0) as usize,
+            cached: reply.bool_of("cached").unwrap_or(false),
+        })
+    }
+
+    /// Releases one differentially private answer.
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, or server errors (including `budget` refusals).
+    pub fn release(
+        &mut self,
+        dataset: &str,
+        query: &str,
+        column: &str,
+        epsilon: Option<f64>,
+        want_audit: bool,
+    ) -> Result<ReleaseReply, ClientError> {
+        let mut request = format!(
+            "{{\"op\":\"release\",\"dataset\":{},\"query\":{},\"column\":{}",
+            wire::json_str(dataset),
+            wire::json_str(query),
+            wire::json_str(column)
+        );
+        if let Some(eps) = epsilon {
+            request.push_str(&format!(",\"epsilon\":{}", wire::json_num(eps)));
+        }
+        if want_audit {
+            request.push_str(",\"audit\":true");
+        }
+        request.push('}');
+        let reply = self.call(&request)?;
+        let field = |name: &str| {
+            reply
+                .num_of(name)
+                .ok_or_else(|| ClientError::Protocol(format!("reply missing '{name}'")))
+        };
+        Ok(ReleaseReply {
+            query_id: reply.str_of("query_id").unwrap_or("").to_string(),
+            released: field("released")?,
+            epsilon: field("epsilon")?,
+            noise_scale: field("noise_scale")?,
+            sample_size: reply.get("sample_size").and_then(Json::as_u64).unwrap_or(0) as usize,
+            budget_remaining: reply.num_of("budget_remaining"),
+            audit: reply.get("audit").and_then(audit_from_json),
+        })
+    }
+
+    /// The dataset's budget (`None` when the server is unmetered).
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, or server errors.
+    pub fn budget(&mut self, dataset: &str) -> Result<Option<BudgetReply>, ClientError> {
+        let reply = self.call(&format!(
+            "{{\"op\":\"budget\",\"dataset\":{}}}",
+            wire::json_str(dataset)
+        ))?;
+        match (
+            reply.num_of("total"),
+            reply.num_of("spent"),
+            reply.num_of("remaining"),
+        ) {
+            (Some(total), Some(spent), Some(remaining)) => Ok(Some(BudgetReply {
+                total,
+                spent,
+                remaining,
+            })),
+            _ => Ok(None),
+        }
+    }
+
+    /// The most recent `last` audits of the dataset, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, or server errors.
+    pub fn audits(
+        &mut self,
+        dataset: &str,
+        last: Option<usize>,
+    ) -> Result<Vec<QueryAudit>, ClientError> {
+        let mut request = format!("{{\"op\":\"audit\",\"dataset\":{}", wire::json_str(dataset));
+        if let Some(n) = last {
+            request.push_str(&format!(",\"last\":{n}"));
+        }
+        request.push('}');
+        let reply = self.call(&request)?;
+        let arr = reply
+            .get("audits")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("reply missing 'audits'".into()))?;
+        arr.iter()
+            .map(|v| {
+                audit_from_json(v)
+                    .ok_or_else(|| ClientError::Protocol("malformed audit in reply".into()))
+            })
+            .collect()
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, or server errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call("{\"op\":\"shutdown\"}").map(|_| ())
+    }
+}
+
+/// Reconstructs a [`QueryAudit`] from its [`QueryAudit::to_json`] form.
+/// Returns `None` when required fields are missing, so a truncated or
+/// foreign object never silently becomes a zeroed audit.
+pub fn audit_from_json(v: &Json) -> Option<QueryAudit> {
+    use dataflow::{MetricsSnapshot, StageSpan};
+    let engine = v.get("engine")?;
+    let counter = |name: &str| engine.get(name).and_then(Json::as_u64).unwrap_or(0);
+    // `json_num` writes non-finite floats as null; map them back to NaN
+    // rather than inventing a finite value.
+    let num_or_nan = |field: &Json| field.as_f64().unwrap_or(f64::NAN);
+    Some(QueryAudit {
+        query: v.str_of("query")?.to_string(),
+        epsilon: v.num_of("epsilon")?,
+        budget_remaining: v.num_of("budget_remaining"),
+        sensitivity: v
+            .get("sensitivity")?
+            .as_arr()?
+            .iter()
+            .map(num_or_nan)
+            .collect(),
+        range: v
+            .get("range")?
+            .as_arr()?
+            .iter()
+            .filter_map(|pair| {
+                let pair = pair.as_arr()?;
+                Some((num_or_nan(pair.first()?), num_or_nan(pair.get(1)?)))
+            })
+            .collect(),
+        clamped: v.bool_of("clamped")?,
+        attack_detected: v.bool_of("attack_detected")?,
+        removed_records: v.get("removed_records").and_then(Json::as_u64)? as usize,
+        sample_size: v.get("sample_size").and_then(Json::as_u64)? as usize,
+        group_size: v.get("group_size").and_then(Json::as_u64)? as usize,
+        spans: v
+            .get("spans")?
+            .as_arr()?
+            .iter()
+            .filter_map(|sp| {
+                Some(StageSpan {
+                    name: sp.str_of("name")?.to_string(),
+                    path: sp.str_of("path")?.to_string(),
+                    depth: sp.get("depth").and_then(Json::as_u64)? as usize,
+                    nanos: sp.get("nanos").and_then(Json::as_u64)?,
+                    records: sp.get("records").and_then(Json::as_u64)?,
+                    calls: sp.get("calls").and_then(Json::as_u64)?,
+                })
+            })
+            .collect(),
+        engine: MetricsSnapshot {
+            stages: counter("stages"),
+            tasks: counter("tasks"),
+            task_retries: counter("task_retries"),
+            shuffles: counter("shuffles"),
+            shuffle_records: counter("shuffle_records"),
+            shuffle_bytes: counter("shuffle_bytes"),
+            records_processed: counter("records_processed"),
+        },
+        total_nanos: v.get("total_nanos").and_then(Json::as_u64)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::{MetricsSnapshot, StageSpan};
+
+    fn sample_audit() -> QueryAudit {
+        QueryAudit {
+            query: "mean".to_string(),
+            epsilon: 0.25,
+            budget_remaining: Some(0.5),
+            sensitivity: vec![1.5, 2.0],
+            range: vec![(0.0, 10.0), (-1.0, 1.0)],
+            clamped: true,
+            attack_detected: false,
+            removed_records: 3,
+            sample_size: 200,
+            group_size: 1,
+            spans: vec![
+                StageSpan {
+                    name: "prepare".into(),
+                    path: "prepare".into(),
+                    depth: 0,
+                    nanos: 12_345,
+                    records: 200,
+                    calls: 1,
+                },
+                StageSpan {
+                    name: "sample".into(),
+                    path: "prepare/sample".into(),
+                    depth: 1,
+                    nanos: 2_345,
+                    records: 200,
+                    calls: 2,
+                },
+            ],
+            engine: MetricsSnapshot {
+                stages: 4,
+                tasks: 16,
+                task_retries: 1,
+                shuffles: 2,
+                shuffle_records: 800,
+                shuffle_bytes: 6_400,
+                records_processed: 1_600,
+            },
+            total_nanos: 12_345,
+        }
+    }
+
+    #[test]
+    fn audit_round_trips_through_json() {
+        let original = sample_audit();
+        let parsed = wire::parse(&original.to_json()).expect("to_json parses");
+        let rebuilt = audit_from_json(&parsed).expect("audit reconstructs");
+        // The shared renderer is the contract: remote audits must render
+        // identically to local ones.
+        assert_eq!(rebuilt.render(), original.render());
+        assert_eq!(rebuilt.query, original.query);
+        assert_eq!(rebuilt.epsilon, original.epsilon);
+        assert_eq!(rebuilt.budget_remaining, original.budget_remaining);
+        assert_eq!(rebuilt.sensitivity, original.sensitivity);
+        assert_eq!(rebuilt.range, original.range);
+        assert_eq!(rebuilt.spans.len(), original.spans.len());
+        assert_eq!(rebuilt.engine.shuffle_bytes, original.engine.shuffle_bytes);
+        assert_eq!(rebuilt.total_nanos, original.total_nanos);
+    }
+
+    #[test]
+    fn truncated_audit_is_rejected_not_zeroed() {
+        let parsed = wire::parse(r#"{"query":"count","epsilon":0.1}"#).unwrap();
+        assert!(audit_from_json(&parsed).is_none());
+    }
+}

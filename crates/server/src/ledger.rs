@@ -1,0 +1,257 @@
+//! The crash-safe budget ledger.
+//!
+//! Differential privacy's guarantee is only as durable as its budget
+//! accounting: if a crash forgets a spend, the same budget can be charged
+//! twice and the ε bound silently breaks. The ledger makes spends
+//! *crash-safe* by writing an append-only log of
+//! `(dataset, query_id, epsilon)` records — one JSON object per line —
+//! and fsyncing **before** any noisy output leaves the process.
+//!
+//! The recovery invariant (asserted by the server's fault-injection and
+//! SIGKILL tests):
+//!
+//! > **Every delivered release has a durable ledger record.** The
+//! > converse may not hold: a crash between the fsync and the reply can
+//! > leave a spend whose result was never delivered. That wastes budget
+//! > but never leaks it — the fail-closed side of the tradeoff, chosen
+//! > deliberately.
+//!
+//! On startup [`Ledger::open`] replays the log, and the server restores
+//! each dataset's [`upa_core::budget::BudgetAccountant`] via
+//! [`upa_core::budget::BudgetAccountant::restore`]. A torn final line
+//! (crash mid-append) is ignored; a corrupt line elsewhere is an error —
+//! that is not a crash artefact but real damage, and refusing to serve
+//! beats under-counting spends.
+
+use crate::wire::{self, Json};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One budget spend: dataset, query identity and the ε charged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpendRecord {
+    /// The dataset whose budget was charged.
+    pub dataset: String,
+    /// Identity of the released query (e.g. `data/mean/age`).
+    pub query_id: String,
+    /// The ε charged.
+    pub epsilon: f64,
+}
+
+impl SpendRecord {
+    /// Serialises the record as its ledger line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"dataset\":{},\"query_id\":{},\"epsilon\":{}}}",
+            wire::json_str(&self.dataset),
+            wire::json_str(&self.query_id),
+            wire::json_num(self.epsilon)
+        )
+    }
+
+    /// Parses a ledger line.
+    pub fn from_json(v: &Json) -> Option<SpendRecord> {
+        let epsilon = v.num_of("epsilon")?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return None;
+        }
+        Some(SpendRecord {
+            dataset: v.str_of("dataset")?.to_string(),
+            query_id: v.str_of("query_id")?.to_string(),
+            epsilon,
+        })
+    }
+}
+
+/// The append-only spend log.
+#[derive(Debug)]
+pub struct Ledger {
+    file: File,
+    path: PathBuf,
+}
+
+impl Ledger {
+    /// Opens (creating if absent) the ledger at `path` and replays every
+    /// durable spend.
+    ///
+    /// A final line without its terminating newline that fails to parse
+    /// is treated as a torn append and discarded. Any other unparsable
+    /// line is a hard error.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `InvalidData` for a corrupt non-final line.
+    pub fn open(path: &Path) -> io::Result<(Ledger, Vec<SpendRecord>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut contents = String::new();
+        file.read_to_string(&mut contents)?;
+        let records = Self::replay(&contents)?;
+        Ok((
+            Ledger {
+                file,
+                path: path.to_path_buf(),
+            },
+            records,
+        ))
+    }
+
+    /// Parses ledger contents into spend records (see [`Ledger::open`]
+    /// for the torn-line rule).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` naming the first corrupt non-final line.
+    pub fn replay(contents: &str) -> io::Result<Vec<SpendRecord>> {
+        let mut records = Vec::new();
+        let complete = contents.ends_with('\n');
+        let lines: Vec<&str> = contents.split('\n').filter(|l| !l.is_empty()).collect();
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = wire::parse(line)
+                .ok()
+                .and_then(|v| SpendRecord::from_json(&v));
+            match parsed {
+                Some(rec) => records.push(rec),
+                None if i + 1 == lines.len() && !complete => {
+                    // Torn final append: the crash happened mid-write, so
+                    // the spend never became durable. Discard it.
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt ledger line {}: {line:?}", i + 1),
+                    ));
+                }
+            }
+        }
+        Ok(records)
+    }
+
+    /// Appends one spend and fsyncs it to disk. Only after this returns
+    /// may the corresponding noisy output be released.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync failures; the caller must treat any error
+    /// as "the spend is not durable" and refuse to release.
+    pub fn append(&mut self, record: &SpendRecord) -> io::Result<()> {
+        let mut line = record.to_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// The ledger's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Sums replayed spends per dataset, the shape
+/// [`upa_core::budget::BudgetAccountant::restore`] consumes. Summation
+/// follows ledger order, so the reconstructed total is bit-identical to
+/// the accountant the spends were originally charged against.
+pub fn spent_by_dataset(records: &[SpendRecord]) -> std::collections::HashMap<String, f64> {
+    let mut spent: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for rec in records {
+        *spent.entry(rec.dataset.clone()).or_insert(0.0) += rec.epsilon;
+    }
+    spent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("upa_ledger_tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(format!("{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn append_then_reopen_replays_spends() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (mut ledger, initial) = Ledger::open(&path).unwrap();
+        assert!(initial.is_empty());
+        let recs = [
+            SpendRecord {
+                dataset: "data".into(),
+                query_id: "data/sum/age".into(),
+                epsilon: 0.4,
+            },
+            SpendRecord {
+                dataset: "other \"x\"".into(),
+                query_id: "other/count/".into(),
+                epsilon: 0.1,
+            },
+        ];
+        for r in &recs {
+            ledger.append(r).unwrap();
+        }
+        drop(ledger);
+        let (_, replayed) = Ledger::open(&path).unwrap();
+        assert_eq!(replayed, recs);
+        let spent = spent_by_dataset(&replayed);
+        assert_eq!(spent["data"], 0.4);
+        assert_eq!(spent["other \"x\""], 0.1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_discarded() {
+        let path = temp_path("torn");
+        std::fs::write(
+            &path,
+            "{\"dataset\":\"d\",\"query_id\":\"q\",\"epsilon\":0.1}\n{\"dataset\":\"d\",\"query_id\":\"q\",\"eps",
+        )
+        .unwrap();
+        let (_, replayed) = Ledger::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "torn tail ignored, durable spend kept");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(
+            &path,
+            "not json at all\n{\"dataset\":\"d\",\"query_id\":\"q\",\"epsilon\":0.1}\n",
+        )
+        .unwrap();
+        let err = Ledger::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_positive_epsilon_is_rejected_as_corrupt() {
+        let path = temp_path("negeps");
+        std::fs::write(
+            &path,
+            "{\"dataset\":\"d\",\"query_id\":\"q\",\"epsilon\":-0.5}\n{\"dataset\":\"d\",\"query_id\":\"q\",\"epsilon\":0.1}\n",
+        )
+        .unwrap();
+        assert!(Ledger::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn complete_final_line_without_newline_is_kept() {
+        let path = temp_path("nonl");
+        std::fs::write(
+            &path,
+            "{\"dataset\":\"d\",\"query_id\":\"q\",\"epsilon\":0.25}",
+        )
+        .unwrap();
+        let (_, replayed) = Ledger::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].epsilon, 0.25);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,33 @@
+//! `upa-server` — a concurrent query-serving daemon for the UPA
+//! pipeline with a crash-safe privacy-budget ledger.
+//!
+//! The library turns the single-process [`upa_core::Upa`] engine into a
+//! long-running service, std-only (no async runtime, no serde — the
+//! protocol is hand-rolled line-delimited JSON over `std::net` TCP):
+//!
+//! * [`server::Server`] — accept loop, thread-per-connection workers,
+//!   graceful draining shutdown;
+//! * [`state::ServerState`] — the shared serving state: per-dataset
+//!   engines, a cross-connection prepared-query cache (repeat releases
+//!   are zero-stage), per-dataset budget accountants, and admission
+//!   control for connections and in-flight prepares;
+//! * [`ledger::Ledger`] — the append-only, fsync-before-release spend
+//!   log that makes budget accounting survive `SIGKILL`;
+//! * [`client::Client`] — the typed protocol client, including
+//!   [`client::audit_from_json`] so remote audits render through the
+//!   same [`upa_core::QueryAudit::render`] as local ones;
+//! * [`wire`] — the minimal JSON parser/printer behind both ends.
+//!
+//! The crate ships one binary, `upa-serverd`, used by the integration
+//! tests (SIGKILL crash-recovery) and wrapped by `upa-cli serve`.
+
+pub mod client;
+pub mod ledger;
+pub mod server;
+pub mod state;
+pub mod wire;
+
+pub use client::{audit_from_json, BudgetReply, Client, ClientError, PrepareReply, ReleaseReply};
+pub use ledger::{Ledger, SpendRecord};
+pub use server::{Server, ShutdownHandle};
+pub use state::{AggKind, DatasetSpec, ReleaseFault, ServeError, ServerConfig, ServerState};

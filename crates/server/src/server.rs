@@ -1,0 +1,421 @@
+//! The TCP daemon: accept loop, per-connection workers, protocol
+//! dispatch and graceful shutdown.
+//!
+//! # Threading model
+//!
+//! One acceptor thread (the caller of [`Server::run`]) and one worker
+//! thread per admitted connection, all sharing an
+//! `Arc<`[`ServerState`]`>`. A connection handles any number of
+//! requests, one line-delimited JSON object each (see [`crate::wire`]).
+//!
+//! # Shutdown
+//!
+//! The `shutdown` op (or [`Server::shutdown_handle`]) flags the state as
+//! draining and wakes the acceptor with a loopback connection. The
+//! acceptor stops admitting, then joins every worker — in-flight
+//! releases run to completion, so a drained shutdown never strands a
+//! ledgered spend that could still be delivered.
+
+use crate::state::{AggKind, ReleaseOutcome, ServeError, ServerConfig, ServerState};
+use crate::wire::{self, Json};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// builds the shared state — including the ledger replay, so a
+    /// bind against an existing ledger restores every durable spend
+    /// before the first connection is admitted.
+    ///
+    /// # Errors
+    ///
+    /// Bind or ledger I/O failures.
+    pub fn bind(config: ServerConfig, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState::new(config)?);
+        Ok(Server {
+            listener,
+            state,
+            addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (tests and in-process embedding).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// A handle that can request shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until shutdown, then drains in-flight connections.
+    ///
+    /// # Errors
+    ///
+    /// Accept-loop I/O failures (individual connection errors are
+    /// contained in their workers).
+    pub fn run(self) -> io::Result<()> {
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.state.is_shutting_down() {
+                // The waking connection (or any late arrival) is dropped
+                // unanswered; admitted connections keep draining below.
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            workers.retain(|w| !w.is_finished());
+            let guard = match self.state.admit_connection() {
+                Ok(guard) => guard,
+                Err(err) => {
+                    // Over the cap (or draining): answer with the error
+                    // and close — the bounded-backlog half of admission
+                    // control.
+                    let mut s = stream;
+                    let _ = s.write_all(error_line(&err).as_bytes());
+                    continue;
+                }
+            };
+            let state = Arc::clone(&self.state);
+            let addr = self.addr;
+            workers.push(std::thread::spawn(move || {
+                let _guard = guard;
+                if let Err(e) = serve_connection(stream, &state, addr) {
+                    // Client went away mid-request; nothing to clean up —
+                    // budget durability was settled before any reply.
+                    let _ = e;
+                }
+            }));
+        }
+        // Drain: every admitted connection finishes its in-flight work.
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Requests shutdown of a running [`Server`] from any thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Flags the server as draining and wakes its acceptor.
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+        // Wake the blocking accept; the connection itself is discarded.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn error_line(err: &ServeError) -> String {
+    format!(
+        "{{\"ok\":false,\"code\":{},\"error\":{}}}\n",
+        wire::json_str(err.code()),
+        wire::json_str(&err.to_string())
+    )
+}
+
+/// Serves one connection until EOF or `shutdown`.
+fn serve_connection(
+    stream: TcpStream,
+    state: &Arc<ServerState>,
+    self_addr: SocketAddr,
+) -> io::Result<()> {
+    // Idle connections wake periodically so a draining shutdown is not
+    // held hostage by a client that keeps its socket open silently;
+    // in-flight requests (which are past `read_line`) still complete.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        // On timeout `line` keeps any partial bytes already received —
+        // the next pass resumes the same line.
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if state.is_shutting_down() {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Ok(()); // client closed
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        let (reply, is_shutdown) = respond(trimmed, state);
+        line.clear();
+        writer.write_all(reply.as_bytes())?;
+        writer.flush()?;
+        if is_shutdown {
+            state.begin_shutdown();
+            let _ = TcpStream::connect(self_addr); // wake the acceptor
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one request line; returns the reply line and whether the
+/// request was a shutdown.
+fn respond(line: &str, state: &Arc<ServerState>) -> (String, bool) {
+    let request = match wire::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_line(&ServeError::BadRequest(e.to_string())), false),
+    };
+    let op = request.str_of("op").unwrap_or("");
+    if state.is_shutting_down() && op != "ping" {
+        return (error_line(&ServeError::ShuttingDown), false);
+    }
+    match op {
+        "ping" => ("{\"ok\":true}\n".to_string(), false),
+        "datasets" => {
+            let names = state
+                .dataset_names()
+                .iter()
+                .map(|n| wire::json_str(n))
+                .collect::<Vec<_>>()
+                .join(",");
+            (format!("{{\"ok\":true,\"datasets\":[{names}]}}\n"), false)
+        }
+        "prepare" => (
+            handle_prepare(&request, state).unwrap_or_else(|e| error_line(&e)),
+            false,
+        ),
+        "release" => (
+            handle_release(&request, state).unwrap_or_else(|e| error_line(&e)),
+            false,
+        ),
+        "budget" => (
+            handle_budget(&request, state).unwrap_or_else(|e| error_line(&e)),
+            false,
+        ),
+        "audit" => (
+            handle_audit(&request, state).unwrap_or_else(|e| error_line(&e)),
+            false,
+        ),
+        "shutdown" => ("{\"ok\":true,\"draining\":true}\n".to_string(), true),
+        other => (
+            error_line(&ServeError::BadRequest(format!(
+                "unknown op '{other}' (ping|datasets|prepare|release|budget|audit|shutdown)"
+            ))),
+            false,
+        ),
+    }
+}
+
+fn query_fields(request: &Json) -> Result<(String, AggKind, String), ServeError> {
+    let dataset = request.str_of("dataset").unwrap_or("data").to_string();
+    let kind: AggKind = request
+        .str_of("query")
+        .ok_or_else(|| ServeError::BadRequest("missing 'query'".into()))?
+        .parse()
+        .map_err(ServeError::BadRequest)?;
+    let column = request.str_of("column").unwrap_or("").to_string();
+    if kind != AggKind::Count && column.is_empty() {
+        return Err(ServeError::BadRequest(
+            "'column' is required for sum/mean".into(),
+        ));
+    }
+    Ok((dataset, kind, column))
+}
+
+fn handle_prepare(request: &Json, state: &Arc<ServerState>) -> Result<String, ServeError> {
+    let (dataset, kind, column) = query_fields(request)?;
+    let (prepared, query_id, cached) = state.prepare(&dataset, kind, &column)?;
+    Ok(format!(
+        "{{\"ok\":true,\"query_id\":{},\"sample_size\":{},\"cached\":{}}}\n",
+        wire::json_str(&query_id),
+        prepared.sample_size(),
+        cached
+    ))
+}
+
+fn handle_release(request: &Json, state: &Arc<ServerState>) -> Result<String, ServeError> {
+    let (dataset, kind, column) = query_fields(request)?;
+    let epsilon = request.num_of("epsilon");
+    let want_audit = request.bool_of("audit").unwrap_or(false);
+    let outcome = state.release(&dataset, kind, &column, epsilon, want_audit)?;
+    Ok(release_line(&outcome))
+}
+
+fn release_line(outcome: &ReleaseOutcome) -> String {
+    let mut s = format!(
+        "{{\"ok\":true,\"query_id\":{},\"released\":{},\"epsilon\":{},\"noise_scale\":{},\"sample_size\":{}",
+        wire::json_str(&outcome.query_id),
+        wire::json_num(outcome.released),
+        wire::json_num(outcome.epsilon),
+        wire::json_num(outcome.noise_scale),
+        outcome.sample_size
+    );
+    match outcome.budget_remaining {
+        Some(rem) => s.push_str(&format!(",\"budget_remaining\":{}", wire::json_num(rem))),
+        None => s.push_str(",\"budget_remaining\":null"),
+    }
+    if let Some(audit) = &outcome.audit {
+        s.push_str(",\"audit\":");
+        s.push_str(&audit.to_json());
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn handle_budget(request: &Json, state: &Arc<ServerState>) -> Result<String, ServeError> {
+    let dataset = request.str_of("dataset").unwrap_or("data");
+    let budget = state.budget_of(dataset)?;
+    Ok(match budget {
+        Some((total, spent, remaining)) => format!(
+            "{{\"ok\":true,\"dataset\":{},\"total\":{},\"spent\":{},\"remaining\":{}}}\n",
+            wire::json_str(dataset),
+            wire::json_num(total),
+            wire::json_num(spent),
+            wire::json_num(remaining)
+        ),
+        None => format!(
+            "{{\"ok\":true,\"dataset\":{},\"total\":null,\"spent\":null,\"remaining\":null}}\n",
+            wire::json_str(dataset)
+        ),
+    })
+}
+
+fn handle_audit(request: &Json, state: &Arc<ServerState>) -> Result<String, ServeError> {
+    let dataset = request.str_of("dataset").unwrap_or("data");
+    let last = request
+        .get("last")
+        .and_then(Json::as_u64)
+        .unwrap_or(u64::MAX) as usize;
+    let audits = state.audits_json(dataset, last)?;
+    Ok(format!(
+        "{{\"ok\":true,\"dataset\":{},\"audits\":[{}]}}\n",
+        wire::json_str(dataset),
+        audits.join(",")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::DatasetSpec;
+
+    fn respond_str(line: &str, state: &Arc<ServerState>) -> Json {
+        let (reply, _) = respond(line, state);
+        wire::parse(reply.trim()).expect("reply is valid JSON")
+    }
+
+    fn test_state() -> Arc<ServerState> {
+        Arc::new(
+            ServerState::new(ServerConfig {
+                datasets: vec![DatasetSpec::synthetic("data", 1_500, 7)],
+                budget: Some(1.0),
+                epsilon: 0.2,
+                sample_size: 30,
+                threads: 2,
+                ..ServerConfig::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn dispatch_covers_the_protocol_surface() {
+        let state = test_state();
+        assert_eq!(
+            respond_str(r#"{"op":"ping"}"#, &state).bool_of("ok"),
+            Some(true)
+        );
+        let ds = respond_str(r#"{"op":"datasets"}"#, &state);
+        assert_eq!(ds.get("datasets").unwrap().as_arr().unwrap().len(), 1);
+
+        let p = respond_str(
+            r#"{"op":"prepare","dataset":"data","query":"sum","column":"v"}"#,
+            &state,
+        );
+        assert_eq!(p.str_of("query_id"), Some("data/sum/v"));
+        assert_eq!(p.bool_of("cached"), Some(false));
+        assert_eq!(p.num_of("sample_size"), Some(30.0));
+
+        let r = respond_str(
+            r#"{"op":"release","dataset":"data","query":"sum","column":"v","audit":true}"#,
+            &state,
+        );
+        assert_eq!(r.bool_of("ok"), Some(true));
+        assert!(r.num_of("released").is_some());
+        assert!((r.num_of("budget_remaining").unwrap() - 0.8).abs() < 1e-9);
+        assert_eq!(r.get("audit").unwrap().str_of("query"), Some("sum"));
+
+        let b = respond_str(r#"{"op":"budget","dataset":"data"}"#, &state);
+        assert!((b.num_of("spent").unwrap() - 0.2).abs() < 1e-9);
+
+        let a = respond_str(r#"{"op":"audit","dataset":"data"}"#, &state);
+        assert_eq!(a.get("audits").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dispatch_rejects_malformed_requests() {
+        let state = test_state();
+        for (line, code) in [
+            ("not json", "bad_request"),
+            (r#"{"op":"mystery"}"#, "bad_request"),
+            (r#"{"op":"release"}"#, "bad_request"),
+            (r#"{"op":"release","query":"sum"}"#, "bad_request"),
+            (
+                r#"{"op":"release","dataset":"x","query":"count"}"#,
+                "unknown_dataset",
+            ),
+            (r#"{"op":"budget","dataset":"x"}"#, "unknown_dataset"),
+        ] {
+            let reply = respond_str(line, &state);
+            assert_eq!(reply.bool_of("ok"), Some(false), "{line}");
+            assert_eq!(reply.str_of("code"), Some(code), "{line}");
+        }
+    }
+
+    #[test]
+    fn shutdown_op_flags_and_refuses_new_work() {
+        let state = test_state();
+        let (reply, is_shutdown) = respond(r#"{"op":"shutdown"}"#, &state);
+        assert!(reply.contains("\"draining\":true"));
+        assert!(is_shutdown);
+        state.begin_shutdown();
+        let refused = respond_str(r#"{"op":"release","query":"count"}"#, &state);
+        assert_eq!(refused.str_of("code"), Some("shutting_down"));
+        // Health checks still answer while draining.
+        assert_eq!(
+            respond_str(r#"{"op":"ping"}"#, &state).bool_of("ok"),
+            Some(true)
+        );
+    }
+}

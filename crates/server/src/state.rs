@@ -1,0 +1,902 @@
+//! Shared serving state: datasets, engines, the prepared-query cache,
+//! the budget ledger and admission control.
+//!
+//! One [`ServerState`] is shared (via `Arc`) by every connection worker.
+//! Mutability is fine-grained so independent work proceeds concurrently:
+//!
+//! * each dataset owns its [`upa_core::Upa`] engine behind its own mutex
+//!   (RNG, enforcer history and audits are per-dataset serial state);
+//! * the prepared-query cache is a separate mutex, so a release on one
+//!   dataset never waits on a prepare for another;
+//! * budget accounting and the ledger file share one mutex — a spend
+//!   must check, append and fsync atomically;
+//! * prepares (the expensive, engine-running phase) pass through a
+//!   counting [`Semaphore`] — the "max in-flight prepares" admission
+//!   control.
+
+use crate::ledger::{spent_by_dataset, Ledger, SpendRecord};
+use dataflow::Context;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use upa_core::budget::BudgetAccountant;
+use upa_core::domain::EmpiricalSampler;
+use upa_core::query::MapReduceQuery;
+use upa_core::{PreparedQuery, QueryAudit, Upa, UpaConfig, UpaError};
+
+/// An in-memory dataset the server answers queries over: named numeric
+/// columns plus the row count (so `count` works on column-less tables).
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name, as addressed by the protocol's `dataset` field.
+    pub name: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Numeric columns by name.
+    pub columns: HashMap<String, Vec<f64>>,
+}
+
+impl DatasetSpec {
+    /// A dataset from named numeric columns (all columns must share the
+    /// row count).
+    pub fn new(name: impl Into<String>, rows: usize, columns: HashMap<String, Vec<f64>>) -> Self {
+        DatasetSpec {
+            name: name.into(),
+            rows,
+            columns,
+        }
+    }
+
+    /// A synthetic dataset of `rows` records with one column `v` holding
+    /// `i % modulus` — enough surface for benchmarks and tests.
+    pub fn synthetic(name: impl Into<String>, rows: usize, modulus: usize) -> Self {
+        let m = modulus.max(1);
+        let values: Vec<f64> = (0..rows).map(|i| (i % m) as f64).collect();
+        DatasetSpec {
+            name: name.into(),
+            rows,
+            columns: HashMap::from([("v".to_string(), values)]),
+        }
+    }
+}
+
+/// The aggregate kinds the protocol serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// Number of rows.
+    Count,
+    /// Sum of a column.
+    Sum,
+    /// Mean of a column.
+    Mean,
+}
+
+impl AggKind {
+    /// The protocol name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Mean => "mean",
+        }
+    }
+}
+
+impl std::str::FromStr for AggKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "count" => Ok(AggKind::Count),
+            "sum" => Ok(AggKind::Sum),
+            "mean" => Ok(AggKind::Mean),
+            other => Err(format!("unknown query '{other}' (count|sum|mean)")),
+        }
+    }
+}
+
+/// Builds the Map/Reduce decomposition of an aggregate over one numeric
+/// column — the serving-side counterpart of the paper's Table I
+/// operators, with a `(sum, count)` accumulator so `mean` finalizes
+/// without a second pass.
+pub fn build_agg_query(kind: AggKind) -> MapReduceQuery<f64, (f64, f64), f64> {
+    MapReduceQuery::new(
+        kind.as_str(),
+        move |x: &f64| match kind {
+            AggKind::Count => (1.0, 1.0),
+            AggKind::Sum | AggKind::Mean => (*x, 1.0),
+        },
+        |a: &(f64, f64), b: &(f64, f64)| (a.0 + b.0, a.1 + b.1),
+        move |acc: Option<&(f64, f64)>| match (kind, acc) {
+            (_, None) => 0.0,
+            (AggKind::Mean, Some((s, n))) => {
+                if *n > 0.0 {
+                    s / n
+                } else {
+                    0.0
+                }
+            }
+            (_, Some((s, _))) => *s,
+        },
+    )
+    .with_half_key(|x: &f64| x.to_bits())
+}
+
+/// Deterministic fault injection for the serving path, extending the
+/// engine's [`dataflow::FaultInjector`] idea to the release protocol.
+/// The injected failure is a worker panic (the thread dies, the
+/// connection drops without a reply) at a precise point relative to the
+/// ledger append — either side of the crash-safety boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReleaseFault {
+    /// Never fail.
+    #[default]
+    None,
+    /// The `n`-th release attempt (0-based, across all connections) dies
+    /// before its spend reaches the ledger: no spend, no result.
+    BeforeLedger(usize),
+    /// The `n`-th release attempt dies after its spend is fsync'd but
+    /// before the result is delivered: a durable spend with no result —
+    /// the fail-closed side the ledger's invariant permits.
+    AfterLedger(usize),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Datasets to serve.
+    pub datasets: Vec<DatasetSpec>,
+    /// Total ε budget per dataset (`None` = unmetered; spends are still
+    /// ledgered when a ledger path is set).
+    pub budget: Option<f64>,
+    /// Ledger path (`None` = no durability; spends live only in memory).
+    pub ledger_path: Option<PathBuf>,
+    /// Default per-release ε.
+    pub epsilon: f64,
+    /// UPA sample size `n`.
+    pub sample_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Engine threads (0 = auto).
+    pub threads: usize,
+    /// Maximum concurrently served connections; excess connections are
+    /// refused with a `busy` error (bounded accept backlog).
+    pub max_connections: usize,
+    /// Maximum concurrently *running* prepares; excess prepares queue.
+    pub max_inflight_prepares: usize,
+    /// Serving-path fault injection (tests only).
+    pub fault: ReleaseFault,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            datasets: Vec::new(),
+            budget: None,
+            ledger_path: None,
+            epsilon: 0.1,
+            sample_size: 1000,
+            seed: 0xDA7A,
+            threads: 0,
+            max_connections: 64,
+            max_inflight_prepares: 4,
+            fault: ReleaseFault::None,
+        }
+    }
+}
+
+/// Errors surfaced to protocol clients, each with a stable `code`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No dataset of that name is registered.
+    UnknownDataset(String),
+    /// The dataset has no such numeric column.
+    UnknownColumn { dataset: String, column: String },
+    /// The request was malformed.
+    BadRequest(String),
+    /// The server is at its connection cap.
+    Busy,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The dataset's budget cannot cover the requested ε.
+    BudgetExhausted { remaining: f64, requested: f64 },
+    /// The ledger could not make the spend durable.
+    Ledger(String),
+    /// The pipeline failed.
+    Pipeline(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownDataset(_) => "unknown_dataset",
+            ServeError::UnknownColumn { .. } => "unknown_column",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Busy => "busy",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::BudgetExhausted { .. } => "budget",
+            ServeError::Ledger(_) => "ledger",
+            ServeError::Pipeline(_) => "pipeline",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownDataset(d) => write!(f, "unknown dataset '{d}'"),
+            ServeError::UnknownColumn { dataset, column } => {
+                write!(f, "dataset '{dataset}' has no numeric column '{column}'")
+            }
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Busy => write!(f, "server busy: connection limit reached"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BudgetExhausted {
+                remaining,
+                requested,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            ServeError::Ledger(m) => write!(f, "ledger failure: {m}"),
+            ServeError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A counting semaphore (std has none): `acquire` blocks until a permit
+/// frees, the guard releases on drop.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `n` permits (at least 1).
+    pub fn new(n: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(n.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available.
+    pub fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut p = self.permits.lock().expect("semaphore poisoned");
+        while *p == 0 {
+            p = self.cv.wait(p).expect("semaphore poisoned");
+        }
+        *p -= 1;
+        SemaphoreGuard { sem: self }
+    }
+}
+
+/// Releases its permit on drop.
+#[derive(Debug)]
+pub struct SemaphoreGuard<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        let mut p = self.sem.permits.lock().expect("semaphore poisoned");
+        *p += 1;
+        self.sem.cv.notify_one();
+    }
+}
+
+/// The serving aggregate's prepared state (phases 1–3 of Algorithm 1).
+type PreparedAgg = PreparedQuery<f64, (f64, f64), f64>;
+
+/// Cache key: `(dataset, aggregate, column)`.
+type QueryKey = (String, AggKind, String);
+
+struct DatasetState {
+    spec: DatasetSpec,
+    upa: Mutex<Upa>,
+}
+
+struct BudgetState {
+    /// Per-dataset accountants (present only when a budget is set).
+    accountants: HashMap<String, BudgetAccountant>,
+    /// The durable log (present only when a ledger path is set).
+    ledger: Option<Ledger>,
+}
+
+/// The outcome of a successful release.
+#[derive(Debug, Clone)]
+pub struct ReleaseOutcome {
+    /// Query identity (`dataset/kind/column`).
+    pub query_id: String,
+    /// The noisy value delivered to the analyst.
+    pub released: f64,
+    /// The ε charged.
+    pub epsilon: f64,
+    /// Laplace noise scale (`sensitivity / ε`).
+    pub noise_scale: f64,
+    /// Effective sample size of the preparation.
+    pub sample_size: usize,
+    /// Budget remaining after the charge (`None` when unmetered).
+    pub budget_remaining: Option<f64>,
+    /// The release's audit record, when the caller asked for it.
+    pub audit: Option<QueryAudit>,
+}
+
+/// The shared state behind every connection worker.
+pub struct ServerState {
+    config: ServerConfig,
+    ctx: Context,
+    datasets: HashMap<String, DatasetState>,
+    prepared: Mutex<HashMap<QueryKey, Arc<PreparedAgg>>>,
+    budget: Mutex<BudgetState>,
+    prepare_gate: Semaphore,
+    release_seq: AtomicUsize,
+    shutting_down: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("datasets", &self.datasets.len())
+            .field("epsilon", &self.config.epsilon)
+            .finish()
+    }
+}
+
+impl ServerState {
+    /// Builds the state: spins up the engine, loads datasets, opens and
+    /// replays the ledger, restores accountants.
+    ///
+    /// # Errors
+    ///
+    /// Ledger I/O or corruption errors.
+    pub fn new(config: ServerConfig) -> std::io::Result<ServerState> {
+        let ctx = if config.threads == 0 {
+            Context::default()
+        } else {
+            Context::with_threads(config.threads)
+        };
+        let (ledger, replayed) = match &config.ledger_path {
+            Some(path) => {
+                let (ledger, records) = Ledger::open(path)?;
+                (Some(ledger), records)
+            }
+            None => (None, Vec::new()),
+        };
+        let spent = spent_by_dataset(&replayed);
+        let mut datasets = HashMap::new();
+        let mut accountants = HashMap::new();
+        for (i, spec) in config.datasets.iter().enumerate() {
+            let upa_config = UpaConfig {
+                epsilon: config.epsilon,
+                sample_size: config.sample_size,
+                seed: config.seed.wrapping_add(i as u64),
+                ..UpaConfig::default()
+            };
+            datasets.insert(
+                spec.name.clone(),
+                DatasetState {
+                    spec: spec.clone(),
+                    upa: Mutex::new(Upa::new(ctx.clone(), upa_config)),
+                },
+            );
+            if let Some(total) = config.budget {
+                let used = spent.get(&spec.name).copied().unwrap_or(0.0);
+                accountants.insert(spec.name.clone(), BudgetAccountant::restore(total, used));
+            }
+        }
+        let gate = Semaphore::new(config.max_inflight_prepares);
+        Ok(ServerState {
+            ctx,
+            datasets,
+            prepared: Mutex::new(HashMap::new()),
+            budget: Mutex::new(BudgetState {
+                accountants,
+                ledger,
+            }),
+            prepare_gate: gate,
+            release_seq: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            config,
+        })
+    }
+
+    /// The engine context (shared by every dataset's `Upa`).
+    pub fn ctx(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.datasets.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of cached prepared queries.
+    pub fn prepared_len(&self) -> usize {
+        self.prepared.lock().expect("cache poisoned").len()
+    }
+
+    // ---- shutdown & admission ------------------------------------------
+
+    /// Flags the server as draining; new requests are refused.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Tries to admit a connection against the cap; the guard releases
+    /// the slot on drop.
+    pub fn admit_connection(self: &Arc<Self>) -> Result<ConnectionGuard, ServeError> {
+        if self.is_shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let prev = self.active_connections.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.config.max_connections {
+            self.active_connections.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::Busy);
+        }
+        Ok(ConnectionGuard {
+            state: Arc::clone(self),
+        })
+    }
+
+    /// Currently admitted connections.
+    pub fn active_connections(&self) -> usize {
+        self.active_connections.load(Ordering::SeqCst)
+    }
+
+    // ---- query path -----------------------------------------------------
+
+    fn dataset(&self, name: &str) -> Result<&DatasetState, ServeError> {
+        self.datasets
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownDataset(name.to_string()))
+    }
+
+    fn column_values(
+        &self,
+        ds: &DatasetState,
+        kind: AggKind,
+        column: &str,
+    ) -> Result<Vec<f64>, ServeError> {
+        if kind == AggKind::Count && column.is_empty() {
+            return Ok(vec![0.0; ds.spec.rows]);
+        }
+        ds.spec
+            .columns
+            .get(column)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownColumn {
+                dataset: ds.spec.name.clone(),
+                column: column.to_string(),
+            })
+    }
+
+    /// Canonical query identity.
+    pub fn query_id(dataset: &str, kind: AggKind, column: &str) -> String {
+        format!("{dataset}/{}/{column}", kind.as_str())
+    }
+
+    /// Phases 1–3: prepares (or fetches from the shared cache) the query
+    /// state. Returns `(prepared, query_id, cache_hit)`. The cache is
+    /// shared across connections, so repeated releases of the same query
+    /// reuse the engine work regardless of which client asked first.
+    ///
+    /// # Errors
+    ///
+    /// Unknown dataset/column, or a pipeline failure.
+    pub fn prepare(
+        &self,
+        dataset: &str,
+        kind: AggKind,
+        column: &str,
+    ) -> Result<(Arc<PreparedAgg>, String, bool), ServeError> {
+        let query_id = Self::query_id(dataset, kind, column);
+        let key: QueryKey = (dataset.to_string(), kind, column.to_string());
+        if let Some(p) = self.prepared.lock().expect("cache poisoned").get(&key) {
+            return Ok((Arc::clone(p), query_id, true));
+        }
+        let ds = self.dataset(dataset)?;
+        let values = self.column_values(ds, kind, column)?;
+
+        // Admission control: at most `max_inflight_prepares` engine
+        // preparations run at once; the rest queue here.
+        let _permit = self.prepare_gate.acquire();
+        // Double-check after the wait — another worker may have prepared
+        // the same query while this one queued.
+        if let Some(p) = self.prepared.lock().expect("cache poisoned").get(&key) {
+            return Ok((Arc::clone(p), query_id, true));
+        }
+        let data = self.ctx.parallelize_default(values.clone());
+        let domain = EmpiricalSampler::new(values);
+        let query = build_agg_query(kind);
+        let prepared = {
+            let mut upa = ds.upa.lock().expect("engine poisoned");
+            upa.prepare(&data, &query, &domain)
+                .map_err(|e| ServeError::Pipeline(e.to_string()))?
+        };
+        let prepared = Arc::new(prepared);
+        self.prepared
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, Arc::clone(&prepared));
+        Ok((prepared, query_id, false))
+    }
+
+    /// Charges `epsilon` against `dataset`'s budget and makes the spend
+    /// durable. This is the crash-safety boundary: once this returns
+    /// `Ok`, the spend survives any crash; the caller may then (and only
+    /// then) compute and deliver the noisy output.
+    ///
+    /// # Errors
+    ///
+    /// Budget exhaustion, or a ledger append/fsync failure (in which
+    /// case nothing was charged).
+    pub fn spend(
+        &self,
+        dataset: &str,
+        query_id: &str,
+        epsilon: f64,
+    ) -> Result<Option<f64>, ServeError> {
+        let mut budget = self.budget.lock().expect("budget poisoned");
+        // Check the accountant *before* the ledger append so a refused
+        // spend leaves no trace, but charge it only after the fsync
+        // succeeds so an I/O failure does not leak accounted-but-lost
+        // budget.
+        if let Some(acc) = budget.accountants.get(dataset) {
+            if acc.remaining() + 1e-12 < epsilon {
+                return Err(ServeError::BudgetExhausted {
+                    remaining: acc.remaining(),
+                    requested: epsilon,
+                });
+            }
+        }
+        if let Some(ledger) = budget.ledger.as_mut() {
+            ledger
+                .append(&SpendRecord {
+                    dataset: dataset.to_string(),
+                    query_id: query_id.to_string(),
+                    epsilon,
+                })
+                .map_err(|e| ServeError::Ledger(e.to_string()))?;
+        }
+        match budget.accountants.get_mut(dataset) {
+            Some(acc) => acc
+                .try_spend(epsilon)
+                .map(|()| Some(acc.remaining()))
+                .map_err(|remaining| ServeError::BudgetExhausted {
+                    remaining,
+                    requested: epsilon,
+                }),
+            None => Ok(None),
+        }
+    }
+
+    /// The full release path: prepare (or cache-hit), charge + fsync the
+    /// spend, then draw the noisy output.
+    ///
+    /// # Errors
+    ///
+    /// Any of [`ServerState::prepare`] / [`ServerState::spend`] errors,
+    /// or a pipeline failure in the release phase.
+    pub fn release(
+        &self,
+        dataset: &str,
+        kind: AggKind,
+        column: &str,
+        epsilon: Option<f64>,
+        want_audit: bool,
+    ) -> Result<ReleaseOutcome, ServeError> {
+        let epsilon = epsilon.unwrap_or(self.config.epsilon);
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(ServeError::BadRequest("epsilon must be positive".into()));
+        }
+        let (prepared, query_id, _cached) = self.prepare(dataset, kind, column)?;
+
+        let seq = self.release_seq.fetch_add(1, Ordering::SeqCst);
+        // Fault points sit outside every lock so an injected panic kills
+        // only this worker, never poisons shared state.
+        if self.config.fault == ReleaseFault::BeforeLedger(seq) {
+            panic!("injected fault: release {seq} dies before the ledger append");
+        }
+        let budget_remaining = self.spend(dataset, &query_id, epsilon)?;
+        if self.config.fault == ReleaseFault::AfterLedger(seq) {
+            panic!("injected fault: release {seq} dies after the ledger fsync");
+        }
+
+        let ds = self.dataset(dataset)?;
+        let (result, audit) = {
+            let mut upa = ds.upa.lock().expect("engine poisoned");
+            upa.set_epsilon(epsilon)
+                .map_err(|e: UpaError| ServeError::BadRequest(e.to_string()))?;
+            let result = upa
+                .release(&prepared)
+                .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+            let audit = want_audit.then(|| {
+                let mut audit = upa.last_audit().cloned().expect("release records an audit");
+                // The server's accountant is authoritative (the engine's
+                // own budget is unset), so stamp the remaining budget in.
+                audit.budget_remaining = budget_remaining;
+                audit
+            });
+            (result, audit)
+        };
+        Ok(ReleaseOutcome {
+            query_id,
+            released: result.released,
+            epsilon,
+            noise_scale: result.max_sensitivity() / epsilon,
+            sample_size: result.sample_size,
+            budget_remaining,
+            audit,
+        })
+    }
+
+    /// The dataset's budget as `(total, spent, remaining)` (`None` when
+    /// unmetered).
+    ///
+    /// # Errors
+    ///
+    /// Unknown dataset.
+    pub fn budget_of(&self, dataset: &str) -> Result<Option<(f64, f64, f64)>, ServeError> {
+        self.dataset(dataset)?;
+        let budget = self.budget.lock().expect("budget poisoned");
+        Ok(budget
+            .accountants
+            .get(dataset)
+            .map(|a| (a.total(), a.spent(), a.remaining())))
+    }
+
+    /// JSON audits of the dataset's most recent `last` releases, oldest
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Unknown dataset.
+    pub fn audits_json(&self, dataset: &str, last: usize) -> Result<Vec<String>, ServeError> {
+        let ds = self.dataset(dataset)?;
+        let upa = ds.upa.lock().expect("engine poisoned");
+        let audits = upa.audits();
+        let skip = audits.len().saturating_sub(last);
+        Ok(audits.iter().skip(skip).map(QueryAudit::to_json).collect())
+    }
+}
+
+/// RAII connection slot; frees the admission counter on drop.
+#[derive(Debug)]
+pub struct ConnectionGuard {
+    state: Arc<ServerState>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.state.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with(budget: Option<f64>, ledger: Option<PathBuf>) -> Arc<ServerState> {
+        Arc::new(
+            ServerState::new(ServerConfig {
+                datasets: vec![DatasetSpec::synthetic("data", 2_000, 9)],
+                budget,
+                ledger_path: ledger,
+                epsilon: 0.4,
+                sample_size: 40,
+                threads: 2,
+                ..ServerConfig::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    fn temp_ledger(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("upa_state_tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("{tag}_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn prepare_caches_across_callers() {
+        let state = state_with(None, None);
+        let (_, id1, hit1) = state.prepare("data", AggKind::Sum, "v").unwrap();
+        let (_, id2, hit2) = state.prepare("data", AggKind::Sum, "v").unwrap();
+        assert_eq!(id1, "data/sum/v");
+        assert_eq!(id1, id2);
+        assert!(!hit1);
+        assert!(hit2, "second prepare must be a cache hit");
+        assert_eq!(state.prepared_len(), 1);
+        // A different aggregate is a different cache entry.
+        let (_, _, hit3) = state.prepare("data", AggKind::Mean, "v").unwrap();
+        assert!(!hit3);
+        assert_eq!(state.prepared_len(), 2);
+    }
+
+    #[test]
+    fn release_charges_budget_and_persists() {
+        let path = temp_ledger("charge");
+        let state = state_with(Some(1.0), Some(path.clone()));
+        let out = state
+            .release("data", AggKind::Count, "", None, true)
+            .unwrap();
+        assert_eq!(out.query_id, "data/count/");
+        assert_eq!(out.epsilon, 0.4);
+        assert!((out.budget_remaining.unwrap() - 0.6).abs() < 1e-9);
+        let audit = out.audit.expect("audit requested");
+        assert_eq!(audit.query, "count");
+        assert_eq!(audit.budget_remaining, Some(out.budget_remaining.unwrap()));
+
+        // Restart against the same ledger: the spend survives.
+        drop(state);
+        let state2 = state_with(Some(1.0), Some(path.clone()));
+        let (total, spent, remaining) = state2.budget_of("data").unwrap().unwrap();
+        assert_eq!(total, 1.0);
+        assert!((spent - 0.4).abs() < 1e-9);
+        assert!((remaining - 0.6).abs() < 1e-9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn over_budget_release_is_refused_without_ledger_trace() {
+        let path = temp_ledger("refuse");
+        let state = state_with(Some(0.5), Some(path.clone()));
+        assert!(state
+            .release("data", AggKind::Sum, "v", None, false)
+            .is_ok());
+        let err = state
+            .release("data", AggKind::Sum, "v", None, false)
+            .unwrap_err();
+        assert_eq!(err.code(), "budget");
+        // The refused spend left no ledger line.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_dataset_and_column_are_clean_errors() {
+        let state = state_with(None, None);
+        assert_eq!(
+            state
+                .release("nope", AggKind::Count, "", None, false)
+                .unwrap_err()
+                .code(),
+            "unknown_dataset"
+        );
+        assert_eq!(
+            state
+                .release("data", AggKind::Sum, "wrong", None, false)
+                .unwrap_err()
+                .code(),
+            "unknown_column"
+        );
+        assert_eq!(
+            state
+                .release("data", AggKind::Sum, "v", Some(-1.0), false)
+                .unwrap_err()
+                .code(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn count_without_column_uses_row_count() {
+        let state = state_with(None, None);
+        let out = state
+            .release("data", AggKind::Count, "", None, true)
+            .unwrap();
+        assert_eq!(out.sample_size, 40);
+        let audit = out.audit.unwrap();
+        assert_eq!(audit.query, "count");
+    }
+
+    #[test]
+    fn releases_reuse_prepared_state_with_fresh_noise() {
+        let state = state_with(None, None);
+        let before = state.ctx().metrics();
+        let a = state
+            .release("data", AggKind::Sum, "v", None, false)
+            .unwrap();
+        let after_first = state.ctx().metrics().since(&before);
+        assert!(after_first.stages > 0, "first release runs the engine");
+        let mid = state.ctx().metrics();
+        let b = state
+            .release("data", AggKind::Sum, "v", None, false)
+            .unwrap();
+        let delta = state.ctx().metrics().since(&mid);
+        assert_eq!(delta.stages, 0, "cached release must run no engine stages");
+        assert_ne!(a.released, b.released, "fresh noise per release");
+    }
+
+    #[test]
+    fn per_release_epsilon_override() {
+        let state = state_with(Some(1.0), None);
+        let out = state
+            .release("data", AggKind::Count, "", Some(0.25), false)
+            .unwrap();
+        assert_eq!(out.epsilon, 0.25);
+        assert!((out.budget_remaining.unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sem = Arc::new(Semaphore::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let current = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (sem, peak, current) = (Arc::clone(&sem), Arc::clone(&peak), Arc::clone(&current));
+            handles.push(std::thread::spawn(move || {
+                let _g = sem.acquire();
+                let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                current.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "permits exceeded");
+    }
+
+    #[test]
+    fn connection_admission_caps_and_releases() {
+        let state = state_with(None, None);
+        // Default cap is 64; tighten via a bespoke config.
+        let tight = Arc::new(
+            ServerState::new(ServerConfig {
+                datasets: vec![],
+                max_connections: 1,
+                ..ServerConfig::default()
+            })
+            .unwrap(),
+        );
+        let g1 = tight.admit_connection().unwrap();
+        assert_eq!(tight.admit_connection().unwrap_err().code(), "busy");
+        drop(g1);
+        let _g2 = tight.admit_connection().unwrap();
+        tight.begin_shutdown();
+        assert_eq!(
+            tight.admit_connection().unwrap_err().code(),
+            "shutting_down"
+        );
+        drop(state);
+    }
+
+    #[test]
+    fn audits_json_returns_recent_releases() {
+        let state = state_with(None, None);
+        for _ in 0..3 {
+            state
+                .release("data", AggKind::Sum, "v", None, false)
+                .unwrap();
+        }
+        let audits = state.audits_json("data", 2).unwrap();
+        assert_eq!(audits.len(), 2);
+        assert!(audits[0].contains("\"query\":\"sum\""));
+        assert!(state.audits_json("missing", 1).is_err());
+    }
+}

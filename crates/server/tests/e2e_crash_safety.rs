@@ -1,0 +1,126 @@
+//! End-to-end crash safety: a real `upa-serverd` process, concurrent
+//! clients spending budget, `SIGKILL`, and a restart against the same
+//! ledger. The budget must reflect every release that was delivered
+//! before the kill, and an over-budget query must stay refused.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use upa_server::{Client, ClientError};
+
+fn temp_ledger(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("upa_e2e_tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(format!("{tag}_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Spawns the daemon on an ephemeral port and parses the announced
+/// address from its first stdout line.
+fn spawn_daemon(ledger: &PathBuf) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_upa-serverd"))
+        .args([
+            "--port",
+            "0",
+            "--synthetic",
+            "data=4000:97",
+            "--budget",
+            "1.0",
+            "--epsilon",
+            "0.4",
+            "--sample-size",
+            "50",
+            "--threads",
+            "2",
+            "--ledger",
+        ])
+        .arg(ledger)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn upa-serverd");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read the listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("upa-server listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn budget_survives_sigkill_and_restart() {
+    let ledger = temp_ledger("sigkill");
+    let (mut child, addr) = spawn_daemon(&ledger);
+
+    // Two concurrent clients each deliver one ε=0.4 release.
+    let mut workers = Vec::new();
+    for _ in 0..2 {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client
+                .release("data", "sum", "v", None, true)
+                .expect("release delivers")
+        }));
+    }
+    let delivered: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    assert_eq!(delivered.len(), 2);
+    for reply in &delivered {
+        assert_eq!(reply.epsilon, 0.4);
+        assert!(reply.released.is_finite());
+        let audit = reply.audit.as_ref().expect("audit requested");
+        assert_eq!(audit.query, "sum");
+    }
+    // Whatever the interleaving, both charges happened.
+    let remaining = delivered
+        .iter()
+        .filter_map(|r| r.budget_remaining)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        (remaining - 0.2).abs() < 1e-9,
+        "after two 0.4 charges on 1.0, 0.2 remains (got {remaining})"
+    );
+
+    // Crash: no drain, no flush beyond the per-spend fsync.
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+
+    // Restart on the same ledger: every delivered release is accounted.
+    let (mut child2, addr2) = spawn_daemon(&ledger);
+    let mut client = Client::connect(&addr2).expect("reconnect");
+    let budget = client.budget("data").expect("budget op").expect("metered");
+    assert_eq!(budget.total, 1.0);
+    assert!(
+        (budget.spent - 0.8).abs() < 1e-9,
+        "both pre-kill spends replayed (spent = {})",
+        budget.spent
+    );
+    assert!((budget.remaining - 0.2).abs() < 1e-9);
+
+    // The default ε=0.4 no longer fits: refused, budget untouched.
+    match client.release("data", "sum", "v", None, false).unwrap_err() {
+        ClientError::Server { code, .. } => assert_eq!(code, "budget"),
+        other => panic!("expected a budget refusal, got {other}"),
+    }
+    let budget = client.budget("data").unwrap().unwrap();
+    assert!(
+        (budget.spent - 0.8).abs() < 1e-9,
+        "a refused release charges nothing"
+    );
+
+    // What still fits is still served.
+    let last = client
+        .release("data", "sum", "v", Some(0.2), false)
+        .expect("a fitting charge is served");
+    assert!(last.budget_remaining.unwrap() < 1e-9);
+
+    let _ = client.shutdown();
+    child2.wait().expect("daemon drains and exits");
+    let _ = std::fs::remove_file(&ledger);
+}

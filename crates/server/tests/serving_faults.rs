@@ -1,0 +1,199 @@
+//! Deterministic fault injection on the serving path, plus the
+//! concurrency behaviours (shared prepared cache, admission control,
+//! draining shutdown) exercised over real TCP connections.
+//!
+//! The crash-safety invariant under test (see `upa_server::ledger`):
+//! every *delivered* release has a durable ledger record. The converse
+//! direction is deliberately fail-closed — a worker dying after the
+//! fsync but before the reply leaves a spend with no delivered result,
+//! which wastes budget but never leaks it. Both sides are pinned here.
+
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use upa_server::{
+    Client, ClientError, DatasetSpec, ReleaseFault, Server, ServerConfig, ShutdownHandle,
+};
+
+fn temp_ledger(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("upa_serving_fault_tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(format!("{tag}_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn base_config() -> ServerConfig {
+    ServerConfig {
+        datasets: vec![DatasetSpec::synthetic("data", 3_000, 11)],
+        budget: Some(1.0),
+        epsilon: 0.2,
+        sample_size: 40,
+        threads: 2,
+        ..ServerConfig::default()
+    }
+}
+
+/// Binds an ephemeral port and runs the server on a background thread.
+fn start(config: ServerConfig) -> (String, ShutdownHandle, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(config, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn ledger_lines(path: &PathBuf) -> usize {
+    std::fs::read_to_string(path)
+        .map(|s| s.lines().count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn fault_after_ledger_spends_without_delivering() {
+    let path = temp_ledger("after");
+    let (addr, handle, join) = start(ServerConfig {
+        ledger_path: Some(path.clone()),
+        fault: ReleaseFault::AfterLedger(1),
+        ..base_config()
+    });
+
+    // Release 0 is healthy.
+    let mut healthy = Client::connect(&addr).unwrap();
+    let first = healthy.release("data", "sum", "v", None, false).unwrap();
+    assert!((first.budget_remaining.unwrap() - 0.8).abs() < 1e-9);
+
+    // Release 1 dies after its spend is durable: the worker panics, the
+    // connection drops, and the client never sees a result.
+    let mut doomed = Client::connect(&addr).unwrap();
+    let err = doomed.release("data", "sum", "v", None, false).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Protocol(_) | ClientError::Io(_)),
+        "the faulted release must not produce a reply, got {err}"
+    );
+
+    // Fail-closed: the undelivered release still charged the ledger.
+    assert_eq!(ledger_lines(&path), 2, "both spends are durable");
+
+    // A restart against the same ledger accounts for both.
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    let (addr2, handle2, join2) = start(ServerConfig {
+        ledger_path: Some(path.clone()),
+        ..base_config()
+    });
+    let mut after = Client::connect(&addr2).unwrap();
+    let budget = after.budget("data").unwrap().unwrap();
+    assert!(
+        (budget.spent - 0.4).abs() < 1e-9,
+        "replay sees the delivered and the undelivered spend alike"
+    );
+    handle2.shutdown();
+    join2.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fault_before_ledger_neither_spends_nor_delivers() {
+    let path = temp_ledger("before");
+    let (addr, handle, join) = start(ServerConfig {
+        ledger_path: Some(path.clone()),
+        fault: ReleaseFault::BeforeLedger(0),
+        ..base_config()
+    });
+
+    // Release 0 dies before any spend reaches the ledger.
+    let mut doomed = Client::connect(&addr).unwrap();
+    let err = doomed
+        .release("data", "mean", "v", None, false)
+        .unwrap_err();
+    assert!(matches!(err, ClientError::Protocol(_) | ClientError::Io(_)));
+    assert_eq!(ledger_lines(&path), 0, "no spend, no result: budget intact");
+
+    // The server survives its worker's death; the next release works and
+    // pays the full budget (nothing was leaked to the faulted attempt).
+    let mut next = Client::connect(&addr).unwrap();
+    let out = next.release("data", "mean", "v", None, false).unwrap();
+    assert!((out.budget_remaining.unwrap() - 0.8).abs() < 1e-9);
+    assert_eq!(ledger_lines(&path), 1);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn prepared_cache_is_shared_across_connections() {
+    let (addr, handle, join) = start(base_config());
+    let mut a = Client::connect(&addr).unwrap();
+    let first = a.prepare("data", "sum", "v").unwrap();
+    assert!(!first.cached, "first prepare runs the engine");
+
+    let mut b = Client::connect(&addr).unwrap();
+    let second = b.prepare("data", "sum", "v").unwrap();
+    assert!(
+        second.cached,
+        "another connection reuses the prepared state"
+    );
+    assert_eq!(first.query_id, second.query_id);
+    assert_eq!(first.sample_size, second.sample_size);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn connections_beyond_the_cap_are_refused_busy() {
+    let (addr, handle, join) = start(ServerConfig {
+        max_connections: 1,
+        ..base_config()
+    });
+    let mut admitted = Client::connect(&addr).unwrap();
+    admitted.ping().unwrap(); // ensure the slot is taken before racing
+
+    let mut refused = Client::connect(&addr).unwrap();
+    match refused.ping().unwrap_err() {
+        ClientError::Server { code, .. } => assert_eq!(code, "busy"),
+        other => panic!("expected a busy refusal, got {other}"),
+    }
+
+    // Freeing the slot readmits.
+    drop(admitted);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let mut retry = Client::connect(&addr).unwrap();
+        match retry.ping() {
+            Ok(()) => break,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    }
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_and_stops_accepting() {
+    let (addr, _handle, join) = start(base_config());
+    let mut active = Client::connect(&addr).unwrap();
+    // Real work before the drain: the release must complete and the
+    // server must answer it even though a shutdown follows immediately.
+    let out = active.release("data", "count", "", None, false).unwrap();
+    assert!(out.released.is_finite());
+
+    let mut stopper = Client::connect(&addr).unwrap();
+    stopper.shutdown().unwrap();
+
+    // The accept loop exits and every worker is joined.
+    join.join().unwrap().unwrap();
+
+    // New connections are refused outright (the listener is gone).
+    assert!(
+        Client::connect(&addr).is_err() || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}
