@@ -638,10 +638,11 @@ pub fn perf_hotpath(cfg: &ExpConfig) {
 // ---------------------------------------------------------------------------
 
 /// Serving benchmark: an in-process `upa-server` on a loopback socket,
-/// hammered by concurrent clients. The first release per query pays the
-/// engine prepare; every later one is a zero-stage cached release, so
-/// the steady-state numbers measure the serving path itself. Latency
-/// percentiles and aggregate throughput are printed and written to
+/// hammered by concurrent clients in two phases. The steady phase
+/// measures the cached serving path at the configured client count; the
+/// contended phase quadruples the clients so the scheduler's coalescing
+/// is what keeps latency bounded — its p99 and the server's coalesce
+/// rate are the headline numbers. Everything is printed and written to
 /// `BENCH_SERVE.json` (override with `UPA_BENCH_SERVE_OUT`; client and
 /// request counts with `UPA_BENCH_CLIENTS` / `UPA_BENCH_SERVE_REQUESTS`).
 pub fn serve_throughput(cfg: &ExpConfig) {
@@ -654,12 +655,14 @@ pub fn serve_throughput(cfg: &ExpConfig) {
             .unwrap_or(default)
     };
     let clients = read_env("UPA_BENCH_CLIENTS", 4).max(1);
+    let contended_clients = (clients * 4).max(8);
     let requests = read_env("UPA_BENCH_SERVE_REQUESTS", 50).max(1);
     let records = cfg.orders.max(1) * 25;
 
     println!("== Serving throughput: upa-server under concurrent clients ==");
     println!(
-        "({records} records, {clients} clients x {requests} releases each, {} engine threads)\n",
+        "({records} records, {clients} steady / {contended_clients} contended clients x \
+         {requests} releases each, {} engine threads)\n",
         cfg.threads
     );
 
@@ -670,7 +673,8 @@ pub fn serve_throughput(cfg: &ExpConfig) {
             sample_size: 1_000.min(records),
             seed: cfg.seed,
             threads: cfg.threads,
-            max_connections: clients + 4,
+            max_connections: contended_clients + 4,
+            queue_capacity: contended_clients * 2,
             ..ServerConfig::default()
         },
         "127.0.0.1:0",
@@ -688,61 +692,119 @@ pub fn serve_throughput(cfg: &ExpConfig) {
             .expect("warm-up release");
     }
 
-    let bench_start = Instant::now();
-    let mut workers = Vec::new();
-    for _ in 0..clients {
-        let addr = addr.clone();
-        workers.push(std::thread::spawn(move || {
-            let mut client = Client::connect(&addr).expect("client connect");
-            let mut latencies_us = Vec::with_capacity(requests);
-            for _ in 0..requests {
-                let start = Instant::now();
-                client
-                    .release("data", "sum", "v", None, false)
-                    .expect("release delivers");
-                latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
-            }
-            latencies_us
-        }));
-    }
-    let mut latencies_us: Vec<f64> = workers
-        .into_iter()
-        .flat_map(|w| w.join().expect("client thread"))
-        .collect();
-    let wall_s = bench_start.elapsed().as_secs_f64();
+    // One flood of `n` clients x `requests` releases; returns the sorted
+    // latencies and the phase's wall time.
+    let flood = |n: usize| -> (Vec<f64>, f64) {
+        let phase_start = Instant::now();
+        let mut workers = Vec::new();
+        for _ in 0..n {
+            let addr = addr.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut client = Client::builder()
+                    .retry_busy(8)
+                    .connect(&addr)
+                    .expect("client connect");
+                let mut latencies_us = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let start = Instant::now();
+                    client
+                        .release("data", "sum", "v", None, false)
+                        .expect("release delivers");
+                    latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+                }
+                latencies_us
+            }));
+        }
+        let mut latencies_us: Vec<f64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect();
+        latencies_us.sort_by(f64::total_cmp);
+        (latencies_us, phase_start.elapsed().as_secs_f64())
+    };
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    };
+
+    let (steady, wall_s) = flood(clients);
+    let (contended, contended_wall_s) = flood(contended_clients);
+
+    let stats = {
+        let mut observer = Client::connect(&addr).expect("stats connect");
+        observer.stats().expect("stats reply")
+    };
     handle.shutdown();
     join.join().expect("server thread").expect("server exits");
 
-    latencies_us.sort_by(f64::total_cmp);
-    let percentile = |p: f64| -> f64 {
-        let idx = ((p / 100.0) * (latencies_us.len() - 1) as f64).round() as usize;
-        latencies_us[idx]
-    };
-    let total = latencies_us.len();
+    let total = steady.len();
     let qps = total as f64 / wall_s.max(1e-9);
+    let contended_qps = contended.len() as f64 / contended_wall_s.max(1e-9);
     let (p50, p90, p99, max) = (
-        percentile(50.0),
-        percentile(90.0),
-        percentile(99.0),
-        latencies_us[total - 1],
+        percentile(&steady, 50.0),
+        percentile(&steady, 90.0),
+        percentile(&steady, 99.0),
+        steady[total - 1],
     );
+    let (c_p50, c_p99) = (percentile(&contended, 50.0), percentile(&contended, 99.0));
+    let coalesce_rate = stats.coalesce_rate();
 
     let mut t = Table::new(&["metric", "value"]);
-    t.row(vec!["releases".into(), total.to_string()]);
-    t.row(vec!["throughput (qps)".into(), format!("{qps:.0}")]);
-    t.row(vec!["p50 latency (µs)".into(), format!("{p50:.0}")]);
-    t.row(vec!["p90 latency (µs)".into(), format!("{p90:.0}")]);
-    t.row(vec!["p99 latency (µs)".into(), format!("{p99:.0}")]);
-    t.row(vec!["max latency (µs)".into(), format!("{max:.0}")]);
+    t.row(vec!["steady releases".into(), total.to_string()]);
+    t.row(vec!["steady throughput (qps)".into(), format!("{qps:.0}")]);
+    t.row(vec!["steady p50 latency (µs)".into(), format!("{p50:.0}")]);
+    t.row(vec!["steady p90 latency (µs)".into(), format!("{p90:.0}")]);
+    t.row(vec!["steady p99 latency (µs)".into(), format!("{p99:.0}")]);
+    t.row(vec!["steady max latency (µs)".into(), format!("{max:.0}")]);
+    t.row(vec![
+        "contended releases".into(),
+        contended.len().to_string(),
+    ]);
+    t.row(vec![
+        "contended throughput (qps)".into(),
+        format!("{contended_qps:.0}"),
+    ]);
+    t.row(vec![
+        "contended p50 latency (µs)".into(),
+        format!("{c_p50:.0}"),
+    ]);
+    t.row(vec![
+        "contended p99 latency (µs)".into(),
+        format!("{c_p99:.0}"),
+    ]);
+    t.row(vec!["coalesce rate".into(), format!("{coalesce_rate:.4}")]);
+    t.row(vec!["engine prepares".into(), stats.prepares.to_string()]);
+    t.row(vec![
+        "busy rejections".into(),
+        stats.busy_rejected.to_string(),
+    ]);
+    t.row(vec![
+        "peak queue depth".into(),
+        stats.peak_queued.to_string(),
+    ]);
+    t.row(vec!["peak batch".into(), stats.peak_batch.to_string()]);
     t.print();
 
     let payload = format!(
         "{{\n  \"records\": {records},\n  \"clients\": {clients},\n  \
+         \"contended_clients\": {contended_clients},\n  \
          \"requests_per_client\": {requests},\n  \"threads\": {},\n  \
          \"total_releases\": {total},\n  \"wall_seconds\": {wall_s:.4},\n  \
          \"qps\": {qps:.1},\n  \"latency_us\": {{\"p50\": {p50:.1}, \"p90\": {p90:.1}, \
-         \"p99\": {p99:.1}, \"max\": {max:.1}}}\n}}",
-        cfg.threads
+         \"p99\": {p99:.1}, \"max\": {max:.1}}},\n  \
+         \"contended\": {{\"qps\": {contended_qps:.1}, \"p50_us\": {c_p50:.1}, \
+         \"p99_us\": {c_p99:.1}}},\n  \
+         \"sched\": {{\"coalesce_rate\": {coalesce_rate:.4}, \"prepares\": {}, \
+         \"coalesced\": {}, \"batches\": {}, \"peak_batch\": {}, \"peak_queued\": {}, \
+         \"busy_rejected\": {}, \"shed_deadline\": {}}}\n}}",
+        cfg.threads,
+        stats.prepares,
+        stats.coalesced,
+        stats.batches,
+        stats.peak_batch,
+        stats.peak_queued,
+        stats.busy_rejected,
+        stats.shed_deadline
     );
     match crate::report::write_bench_json("SERVE", &payload) {
         Ok(path) => println!("\nwrote serving metrics to {}", path.display()),

@@ -22,23 +22,31 @@ usage: upa-cli serve --input FILE.csv [--input FILE2.csv ...]
                      [--port P] [--budget E] [--ledger PATH]
                      [--epsilon E] [--sample-size N] [--seed S]
                      [--threads T] [--max-connections N] [--max-inflight N]
+                     [--queue-capacity N]
 
 Serves differentially private aggregates over the given CSV files. Each
 file becomes a dataset named after its stem (people.csv -> people), with
 every fully numeric column queryable. --budget meters each dataset;
 --ledger makes spends crash-safe (replayed on restart). Port 0 picks an
-ephemeral port; the bound address is announced on the first stdout line.";
+ephemeral port; the bound address is announced on the first stdout line.
+--max-inflight sizes the scheduler worker pool; --queue-capacity bounds
+each dataset's request queue (a full queue refuses with `busy`).";
 
 /// Usage text for `upa-cli query`.
 pub const QUERY_USAGE: &str = "\
 usage: upa-cli query --addr HOST:PORT --query count|sum|mean
                      [--dataset NAME] [--column NAME] [--epsilon E]
-                     [--stats] [--remaining]
+                     [--stats] [--remaining] [--deadline-ms MS]
+                     [--connect-timeout-ms MS] [--timeout-ms MS]
+                     [--retry-busy N]
 
 Releases one differentially private aggregate from a running
 `upa-cli serve` (or upa-serverd) daemon. --stats prints the query audit
 exactly as a local run would; --remaining also prints the dataset's
-budget after the release.";
+budget after the release. --deadline-ms asks the server to shed the
+request (error `deadline`, nothing charged) if it cannot be served in
+time; --retry-busy retries `busy` refusals with jittered backoff;
+--connect-timeout-ms/--timeout-ms bound the connection and each reply.";
 
 /// Parsed `serve` arguments.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,8 +69,11 @@ pub struct ServeArgs {
     pub threads: usize,
     /// Concurrent connection cap.
     pub max_connections: usize,
-    /// Concurrent prepare cap.
+    /// Scheduler worker-pool size (max concurrently running
+    /// prepares/releases).
     pub max_inflight: usize,
+    /// Bounded per-dataset request queue capacity.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServeArgs {
@@ -79,6 +90,7 @@ impl Default for ServeArgs {
             threads: 0,
             max_connections: defaults.max_connections,
             max_inflight: defaults.max_inflight_prepares,
+            queue_capacity: defaults.queue_capacity,
         }
     }
 }
@@ -117,6 +129,10 @@ impl ServeArgs {
                     args.max_inflight =
                         parse_num(&need(&mut it, "--max-inflight")?, "--max-inflight")?
                 }
+                "--queue-capacity" => {
+                    args.queue_capacity =
+                        parse_num(&need(&mut it, "--queue-capacity")?, "--queue-capacity")?
+                }
                 "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
             }
@@ -151,6 +167,15 @@ pub struct QueryArgs {
     pub stats: bool,
     /// Print the dataset's budget after the release.
     pub remaining: bool,
+    /// Server-side deadline: shed (not charge) the release if it cannot
+    /// be served within this many milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// TCP connect timeout in milliseconds.
+    pub connect_timeout_ms: Option<u64>,
+    /// Per-reply read timeout in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Extra attempts when the server refuses with `busy`.
+    pub retry_busy: u32,
 }
 
 impl Default for QueryArgs {
@@ -163,6 +188,10 @@ impl Default for QueryArgs {
             epsilon: None,
             stats: false,
             remaining: false,
+            deadline_ms: None,
+            connect_timeout_ms: None,
+            timeout_ms: None,
+            retry_busy: 0,
         }
     }
 }
@@ -190,6 +219,25 @@ impl QueryArgs {
                 }
                 "--stats" => args.stats = true,
                 "--remaining" => args.remaining = true,
+                "--deadline-ms" => {
+                    args.deadline_ms = Some(parse_num(
+                        &need(&mut it, "--deadline-ms")?,
+                        "--deadline-ms",
+                    )?)
+                }
+                "--connect-timeout-ms" => {
+                    args.connect_timeout_ms = Some(parse_num(
+                        &need(&mut it, "--connect-timeout-ms")?,
+                        "--connect-timeout-ms",
+                    )?)
+                }
+                "--timeout-ms" => {
+                    args.timeout_ms =
+                        Some(parse_num(&need(&mut it, "--timeout-ms")?, "--timeout-ms")?)
+                }
+                "--retry-busy" => {
+                    args.retry_busy = parse_num(&need(&mut it, "--retry-busy")?, "--retry-busy")?
+                }
                 "--help" | "-h" => return Err(QUERY_USAGE.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{QUERY_USAGE}")),
             }
@@ -246,6 +294,7 @@ pub fn build_server_config(args: &ServeArgs) -> Result<ServerConfig, String> {
         threads: args.threads,
         max_connections: args.max_connections,
         max_inflight_prepares: args.max_inflight,
+        queue_capacity: args.queue_capacity,
         fault: Default::default(),
     })
 }
@@ -290,15 +339,24 @@ pub struct RemoteRelease {
 /// Connection, protocol, or server-side failures (budget refusals
 /// included), as printable messages.
 pub fn run_remote_query(args: &QueryArgs) -> Result<RemoteRelease, String> {
-    let mut client =
-        Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
+    let mut builder = Client::builder().retry_busy(args.retry_busy);
+    if let Some(ms) = args.connect_timeout_ms {
+        builder = builder.connect_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = args.timeout_ms {
+        builder = builder.read_timeout(std::time::Duration::from_millis(ms));
+    }
+    let mut client = builder
+        .connect(&args.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
     let reply = client
-        .release(
+        .release_with_deadline(
             &args.dataset,
             &args.query,
             &args.column,
             args.epsilon,
             args.stats,
+            args.deadline_ms,
         )
         .map_err(|e| e.to_string())?;
     let budget = if args.remaining {
@@ -342,7 +400,7 @@ mod tests {
         let a = ServeArgs::parse(argv(
             "--input a.csv --input b.csv --port 0 --budget 2.0 --ledger l.jsonl \
              --epsilon 0.3 --sample-size 64 --seed 7 --threads 2 \
-             --max-connections 8 --max-inflight 2",
+             --max-connections 8 --max-inflight 2 --queue-capacity 16",
         ))
         .unwrap();
         assert_eq!(a.inputs, vec!["a.csv", "b.csv"]);
@@ -351,6 +409,7 @@ mod tests {
         assert_eq!(a.ledger.as_deref(), Some(Path::new("l.jsonl")));
         assert_eq!(a.epsilon, 0.3);
         assert_eq!(a.max_inflight, 2);
+        assert_eq!(a.queue_capacity, 16);
         assert!(
             ServeArgs::parse(argv("--port 1")).is_err(),
             "input required"
@@ -361,7 +420,9 @@ mod tests {
     #[test]
     fn parses_query_flags() {
         let a = QueryArgs::parse(argv(
-            "--addr 127.0.0.1:7878 --dataset people --query mean --column age --epsilon 0.5 --stats --remaining",
+            "--addr 127.0.0.1:7878 --dataset people --query mean --column age --epsilon 0.5 \
+             --stats --remaining --deadline-ms 250 --connect-timeout-ms 1000 --timeout-ms 5000 \
+             --retry-busy 3",
         ))
         .unwrap();
         assert_eq!(a.addr, "127.0.0.1:7878");
@@ -371,6 +432,10 @@ mod tests {
         assert_eq!(a.epsilon, Some(0.5));
         assert!(a.stats);
         assert!(a.remaining);
+        assert_eq!(a.deadline_ms, Some(250));
+        assert_eq!(a.connect_timeout_ms, Some(1000));
+        assert_eq!(a.timeout_ms, Some(5000));
+        assert_eq!(a.retry_busy, 3);
         assert!(
             QueryArgs::parse(argv("--query sum")).is_err(),
             "addr required"

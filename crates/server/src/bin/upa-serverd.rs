@@ -30,7 +30,10 @@ OPTIONS:
     --seed N              RNG seed [default: 0xDA7A]
     --threads N           Engine threads (0 = auto) [default: 0]
     --max-connections N   Concurrent connection cap [default: 64]
-    --max-inflight N      Concurrent prepare cap [default: 4]
+    --max-inflight N      Scheduler worker-pool size (max concurrently
+                          running prepares/releases) [default: 4]
+    --queue-capacity N    Bounded per-dataset request queue; a full
+                          queue refuses with `busy` [default: 64]
     --help                Show this help
 ";
 
@@ -95,6 +98,11 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, u16), String> {
                 config.max_inflight_prepares = value(&mut i, arg)?
                     .parse()
                     .map_err(|e| format!("bad --max-inflight: {e}"))?;
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-capacity: {e}"))?;
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),

@@ -1,15 +1,26 @@
-//! Protocol client: one TCP connection, line-delimited JSON requests,
-//! typed replies.
+//! Protocol client: one TCP connection, typed [`Request`]/[`Response`]
+//! lines from [`crate::proto`].
+//!
+//! [`Client::connect`] gives the plain v1 behaviour; [`Client::builder`]
+//! adds connect/read timeouts and bounded jittered-backoff retry on
+//! `busy` refusals (the server sheds load by refusing, so a polite
+//! client backs off instead of hammering the accept queue).
 //!
 //! The client reconstructs [`QueryAudit`] values from the server's JSON
 //! so remote audits render through the exact same
 //! [`QueryAudit::render`] path as local ones — `upa-cli --stats` output
 //! is byte-identical whether the query ran in-process or over the wire.
 
-use crate::wire::{self, Json};
+use crate::proto::{ErrorCode, Request, Response};
+use crate::sched::SchedStats;
+use crate::state::AggKind;
+use crate::wire;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use upa_core::QueryAudit;
+
+pub use crate::proto::audit_from_json;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -20,8 +31,9 @@ pub enum ClientError {
     Protocol(String),
     /// The server refused the request.
     Server {
-        /// The stable error code (see `ServeError::code`).
-        code: String,
+        /// The stable error code (shared with the server through
+        /// [`ErrorCode`]).
+        code: ErrorCode,
         /// Human-readable message.
         message: String,
     },
@@ -47,9 +59,9 @@ impl From<io::Error> for ClientError {
 
 impl ClientError {
     /// The server's error code, when the failure came from the server.
-    pub fn code(&self) -> Option<&str> {
+    pub fn code(&self) -> Option<ErrorCode> {
         match self {
-            ClientError::Server { code, .. } => Some(code),
+            ClientError::Server { code, .. } => Some(*code),
             _ => None,
         }
     }
@@ -81,7 +93,8 @@ pub struct PrepareReply {
     pub query_id: String,
     /// Effective sample size of the prepared state.
     pub sample_size: usize,
-    /// Whether the server answered from its shared prepared cache.
+    /// Whether the server answered from shared prepared state (cache or
+    /// a coalesced in-flight prepare) instead of running the engine.
     pub cached: bool,
 }
 
@@ -96,34 +109,182 @@ pub struct BudgetReply {
     pub remaining: f64,
 }
 
+/// Configures and opens a [`Client`]. Obtained from [`Client::builder`].
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    retry_busy: u32,
+    retry_base: Duration,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder {
+            connect_timeout: None,
+            read_timeout: None,
+            retry_busy: 0,
+            retry_base: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// Bounds each TCP connect attempt.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds each reply read (an expired timeout surfaces as
+    /// [`ClientError::Io`]).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Retries a request up to `attempts` extra times when the server
+    /// answers `busy`, sleeping an exponentially growing, jittered
+    /// backoff (starting from [`ClientBuilder::retry_base_delay`]) and
+    /// reconnecting before each retry — admission-control refusals close
+    /// the connection server-side.
+    pub fn retry_busy(mut self, attempts: u32) -> Self {
+        self.retry_busy = attempts;
+        self
+    }
+
+    /// The first retry's backoff delay (default 50 ms); attempt `k`
+    /// waits up to `2^k` times this.
+    pub fn retry_base_delay(mut self, base: Duration) -> Self {
+        self.retry_base = base;
+        self
+    }
+
+    /// Opens the connection.
+    ///
+    /// # Errors
+    ///
+    /// Resolution or connection failures.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )));
+        }
+        // Seed the retry jitter from the wall clock — decorrelates the
+        // backoff of clients started together.
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9E37_79B9);
+        let (reader, writer) = open_stream(&addrs, &self)?;
+        Ok(Client {
+            reader,
+            writer,
+            addrs,
+            builder: self,
+            jitter_state: seed,
+        })
+    }
+}
+
+fn open_stream(
+    addrs: &[SocketAddr],
+    builder: &ClientBuilder,
+) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+    let mut last_err: Option<io::Error> = None;
+    for addr in addrs {
+        let attempt = match builder.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(stream) => {
+                stream.set_read_timeout(builder.read_timeout)?;
+                let reader = BufReader::new(stream.try_clone()?);
+                return Ok((reader, stream));
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(ClientError::Io(last_err.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "no address to connect to")
+    })))
+}
+
 /// One protocol connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addrs: Vec<SocketAddr>,
+    builder: ClientBuilder,
+    jitter_state: u64,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// A builder for timeouts and `busy` retry policy.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// Connects with default settings (no timeouts, no retries) — the
+    /// v1 constructor, kept as a thin shim over [`Client::builder`].
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client {
-            reader,
-            writer: stream,
-        })
+        Client::builder().connect(addr)
     }
 
-    /// Sends one request line and parses the reply. Server-side errors
-    /// (`"ok":false`) become [`ClientError::Server`].
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (reader, writer) = open_stream(&self.addrs, &self.builder)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// splitmix64 step for backoff jitter.
+    fn next_jitter(&mut self) -> f64 {
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sends one typed request and decodes the typed reply, applying the
+    /// builder's `busy` retry policy (full-jitter exponential backoff,
+    /// reconnecting before each retry).
     ///
     /// # Errors
     ///
-    /// Transport, parse, or server errors.
-    pub fn call(&mut self, request: &str) -> Result<Json, ClientError> {
+    /// Transport, decode, or server errors ([`Response::Error`] replies
+    /// surface as [`ClientError::Server`]).
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once(request) {
+                Err(ClientError::Server {
+                    code: ErrorCode::Busy,
+                    ..
+                }) if attempt < self.builder.retry_busy => {
+                    attempt += 1;
+                    let ceiling =
+                        self.builder.retry_base.as_secs_f64() * f64::from(1u32 << attempt.min(16));
+                    let delay = Duration::from_secs_f64(ceiling * self.next_jitter());
+                    std::thread::sleep(delay);
+                    self.reconnect()?;
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    fn request_once(&mut self, request: &Request) -> Result<Response, ClientError> {
         // A refused connection (admission control) gets its error line
         // written at accept time and is then closed — writing this
         // request can hit a broken pipe while a perfectly good refusal
@@ -131,7 +292,7 @@ impl Client {
         // failed and prefer whatever the server managed to say.
         let written = self
             .writer
-            .write_all(request.as_bytes())
+            .write_all(request.to_line().as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
             .and_then(|()| self.writer.flush());
         let mut line = String::new();
@@ -147,14 +308,18 @@ impl Client {
         }
         let reply = wire::parse(line.trim())
             .map_err(|e| ClientError::Protocol(format!("unparsable reply: {e}")))?;
-        match reply.bool_of("ok") {
-            Some(true) => Ok(reply),
-            Some(false) => Err(ClientError::Server {
-                code: reply.str_of("code").unwrap_or("unknown").to_string(),
-                message: reply.str_of("error").unwrap_or("").to_string(),
-            }),
-            None => Err(ClientError::Protocol("reply missing 'ok'".into())),
+        match Response::from_json(&reply).map_err(ClientError::Protocol)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            response => Ok(response),
         }
+    }
+
+    fn unexpected(what: &str, response: &Response) -> ClientError {
+        ClientError::Protocol(format!("expected a {what} reply, got {response:?}"))
+    }
+
+    fn parse_kind(query: &str) -> Result<AggKind, ClientError> {
+        query.parse().map_err(ClientError::Protocol)
     }
 
     /// Health check.
@@ -163,63 +328,53 @@ impl Client {
     ///
     /// Transport or server errors.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.call("{\"op\":\"ping\"}").map(|_| ())
+        self.request(&Request::Ping).map(|_| ())
     }
 
     /// The server's dataset names.
     ///
     /// # Errors
     ///
-    /// Transport, parse, or server errors.
+    /// Transport, decode, or server errors.
     pub fn datasets(&mut self) -> Result<Vec<String>, ClientError> {
-        let reply = self.call("{\"op\":\"datasets\"}")?;
-        let arr = reply
-            .get("datasets")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| ClientError::Protocol("reply missing 'datasets'".into()))?;
-        Ok(arr
-            .iter()
-            .filter_map(|v| v.as_str().map(str::to_string))
-            .collect())
+        match self.request(&Request::Datasets)? {
+            Response::Datasets(names) => Ok(names),
+            other => Err(Self::unexpected("datasets", &other)),
+        }
     }
 
-    fn query_request(op: &str, dataset: &str, query: &str, column: &str) -> String {
-        format!(
-            "{{\"op\":{},\"dataset\":{},\"query\":{},\"column\":{}}}",
-            wire::json_str(op),
-            wire::json_str(dataset),
-            wire::json_str(query),
-            wire::json_str(column)
-        )
-    }
-
-    /// Runs phases 1–3 server-side (or hits the shared cache).
+    /// Runs phases 1–3 server-side (or coalesces onto shared state).
     ///
     /// # Errors
     ///
-    /// Transport, parse, or server errors.
+    /// Transport, decode, or server errors.
     pub fn prepare(
         &mut self,
         dataset: &str,
         query: &str,
         column: &str,
     ) -> Result<PrepareReply, ClientError> {
-        let reply = self.call(&Self::query_request("prepare", dataset, query, column))?;
-        Ok(PrepareReply {
-            query_id: reply
-                .str_of("query_id")
-                .ok_or_else(|| ClientError::Protocol("reply missing 'query_id'".into()))?
-                .to_string(),
-            sample_size: reply.get("sample_size").and_then(Json::as_u64).unwrap_or(0) as usize,
-            cached: reply.bool_of("cached").unwrap_or(false),
-        })
+        let request = Request::Prepare {
+            dataset: dataset.to_string(),
+            query: Self::parse_kind(query)?,
+            column: column.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Prepared(info) => Ok(PrepareReply {
+                query_id: info.query_id,
+                sample_size: info.sample_size,
+                cached: info.cached,
+            }),
+            other => Err(Self::unexpected("prepare", &other)),
+        }
     }
 
     /// Releases one differentially private answer.
     ///
     /// # Errors
     ///
-    /// Transport, parse, or server errors (including `budget` refusals).
+    /// Transport, decode, or server errors (including `budget`
+    /// refusals).
     pub fn release(
         &mut self,
         dataset: &str,
@@ -228,57 +383,65 @@ impl Client {
         epsilon: Option<f64>,
         want_audit: bool,
     ) -> Result<ReleaseReply, ClientError> {
-        let mut request = format!(
-            "{{\"op\":\"release\",\"dataset\":{},\"query\":{},\"column\":{}",
-            wire::json_str(dataset),
-            wire::json_str(query),
-            wire::json_str(column)
-        );
-        if let Some(eps) = epsilon {
-            request.push_str(&format!(",\"epsilon\":{}", wire::json_num(eps)));
-        }
-        if want_audit {
-            request.push_str(",\"audit\":true");
-        }
-        request.push('}');
-        let reply = self.call(&request)?;
-        let field = |name: &str| {
-            reply
-                .num_of(name)
-                .ok_or_else(|| ClientError::Protocol(format!("reply missing '{name}'")))
+        self.release_with_deadline(dataset, query, column, epsilon, want_audit, None)
+    }
+
+    /// Like [`Client::release`], but asks the server to shed the request
+    /// with a `deadline` error if it cannot be served within
+    /// `deadline_ms` of arrival (a shed request charges no budget).
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server errors (including `deadline`).
+    pub fn release_with_deadline(
+        &mut self,
+        dataset: &str,
+        query: &str,
+        column: &str,
+        epsilon: Option<f64>,
+        want_audit: bool,
+        deadline_ms: Option<u64>,
+    ) -> Result<ReleaseReply, ClientError> {
+        let request = Request::Release {
+            dataset: dataset.to_string(),
+            query: Self::parse_kind(query)?,
+            column: column.to_string(),
+            epsilon,
+            audit: want_audit,
+            deadline_ms,
         };
-        Ok(ReleaseReply {
-            query_id: reply.str_of("query_id").unwrap_or("").to_string(),
-            released: field("released")?,
-            epsilon: field("epsilon")?,
-            noise_scale: field("noise_scale")?,
-            sample_size: reply.get("sample_size").and_then(Json::as_u64).unwrap_or(0) as usize,
-            budget_remaining: reply.num_of("budget_remaining"),
-            audit: reply.get("audit").and_then(audit_from_json),
-        })
+        match self.request(&request)? {
+            Response::Released(outcome) => Ok(ReleaseReply {
+                query_id: outcome.query_id,
+                released: outcome.released,
+                epsilon: outcome.epsilon,
+                noise_scale: outcome.noise_scale,
+                sample_size: outcome.sample_size,
+                budget_remaining: outcome.budget_remaining,
+                audit: outcome.audit,
+            }),
+            other => Err(Self::unexpected("release", &other)),
+        }
     }
 
     /// The dataset's budget (`None` when the server is unmetered).
     ///
     /// # Errors
     ///
-    /// Transport, parse, or server errors.
+    /// Transport, decode, or server errors.
     pub fn budget(&mut self, dataset: &str) -> Result<Option<BudgetReply>, ClientError> {
-        let reply = self.call(&format!(
-            "{{\"op\":\"budget\",\"dataset\":{}}}",
-            wire::json_str(dataset)
-        ))?;
-        match (
-            reply.num_of("total"),
-            reply.num_of("spent"),
-            reply.num_of("remaining"),
-        ) {
-            (Some(total), Some(spent), Some(remaining)) => Ok(Some(BudgetReply {
-                total,
-                spent,
-                remaining,
-            })),
-            _ => Ok(None),
+        let request = Request::Budget {
+            dataset: dataset.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Budget { budget, .. } => {
+                Ok(budget.map(|(total, spent, remaining)| BudgetReply {
+                    total,
+                    spent,
+                    remaining,
+                }))
+            }
+            other => Err(Self::unexpected("budget", &other)),
         }
     }
 
@@ -286,100 +449,42 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport, parse, or server errors.
+    /// Transport, decode, or server errors.
     pub fn audits(
         &mut self,
         dataset: &str,
         last: Option<usize>,
     ) -> Result<Vec<QueryAudit>, ClientError> {
-        let mut request = format!("{{\"op\":\"audit\",\"dataset\":{}", wire::json_str(dataset));
-        if let Some(n) = last {
-            request.push_str(&format!(",\"last\":{n}"));
+        let request = Request::Audit {
+            dataset: dataset.to_string(),
+            last: last.map(|n| n as u64),
+        };
+        match self.request(&request)? {
+            Response::Audits { audits, .. } => Ok(audits),
+            other => Err(Self::unexpected("audit", &other)),
         }
-        request.push('}');
-        let reply = self.call(&request)?;
-        let arr = reply
-            .get("audits")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| ClientError::Protocol("reply missing 'audits'".into()))?;
-        arr.iter()
-            .map(|v| {
-                audit_from_json(v)
-                    .ok_or_else(|| ClientError::Protocol("malformed audit in reply".into()))
-            })
-            .collect()
+    }
+
+    /// The server's scheduler counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server errors.
+    pub fn stats(&mut self) -> Result<SchedStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(Self::unexpected("stats", &other)),
+        }
     }
 
     /// Asks the server to drain and stop.
     ///
     /// # Errors
     ///
-    /// Transport, parse, or server errors.
+    /// Transport, decode, or server errors.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.call("{\"op\":\"shutdown\"}").map(|_| ())
+        self.request(&Request::Shutdown).map(|_| ())
     }
-}
-
-/// Reconstructs a [`QueryAudit`] from its [`QueryAudit::to_json`] form.
-/// Returns `None` when required fields are missing, so a truncated or
-/// foreign object never silently becomes a zeroed audit.
-pub fn audit_from_json(v: &Json) -> Option<QueryAudit> {
-    use dataflow::{MetricsSnapshot, StageSpan};
-    let engine = v.get("engine")?;
-    let counter = |name: &str| engine.get(name).and_then(Json::as_u64).unwrap_or(0);
-    // `json_num` writes non-finite floats as null; map them back to NaN
-    // rather than inventing a finite value.
-    let num_or_nan = |field: &Json| field.as_f64().unwrap_or(f64::NAN);
-    Some(QueryAudit {
-        query: v.str_of("query")?.to_string(),
-        epsilon: v.num_of("epsilon")?,
-        budget_remaining: v.num_of("budget_remaining"),
-        sensitivity: v
-            .get("sensitivity")?
-            .as_arr()?
-            .iter()
-            .map(num_or_nan)
-            .collect(),
-        range: v
-            .get("range")?
-            .as_arr()?
-            .iter()
-            .filter_map(|pair| {
-                let pair = pair.as_arr()?;
-                Some((num_or_nan(pair.first()?), num_or_nan(pair.get(1)?)))
-            })
-            .collect(),
-        clamped: v.bool_of("clamped")?,
-        attack_detected: v.bool_of("attack_detected")?,
-        removed_records: v.get("removed_records").and_then(Json::as_u64)? as usize,
-        sample_size: v.get("sample_size").and_then(Json::as_u64)? as usize,
-        group_size: v.get("group_size").and_then(Json::as_u64)? as usize,
-        spans: v
-            .get("spans")?
-            .as_arr()?
-            .iter()
-            .filter_map(|sp| {
-                Some(StageSpan {
-                    name: sp.str_of("name")?.to_string(),
-                    path: sp.str_of("path")?.to_string(),
-                    depth: sp.get("depth").and_then(Json::as_u64)? as usize,
-                    nanos: sp.get("nanos").and_then(Json::as_u64)?,
-                    records: sp.get("records").and_then(Json::as_u64)?,
-                    calls: sp.get("calls").and_then(Json::as_u64)?,
-                })
-            })
-            .collect(),
-        engine: MetricsSnapshot {
-            stages: counter("stages"),
-            tasks: counter("tasks"),
-            task_retries: counter("task_retries"),
-            shuffles: counter("shuffles"),
-            shuffle_records: counter("shuffle_records"),
-            shuffle_bytes: counter("shuffle_bytes"),
-            records_processed: counter("records_processed"),
-        },
-        total_nanos: v.get("total_nanos").and_then(Json::as_u64)?,
-    })
 }
 
 #[cfg(test)]
@@ -452,5 +557,13 @@ mod tests {
     fn truncated_audit_is_rejected_not_zeroed() {
         let parsed = wire::parse(r#"{"query":"count","epsilon":0.1}"#).unwrap();
         assert!(audit_from_json(&parsed).is_none());
+    }
+
+    #[test]
+    fn builder_defaults_match_the_v1_shim() {
+        let b = Client::builder();
+        assert_eq!(b.retry_busy, 0);
+        assert!(b.connect_timeout.is_none());
+        assert!(b.read_timeout.is_none());
     }
 }

@@ -7,27 +7,39 @@
 //!
 //! * [`server::Server`] — accept loop, thread-per-connection workers,
 //!   graceful draining shutdown;
+//! * [`sched::Scheduler`] — the scheduling layer between connections
+//!   and the serving state: per-dataset bounded queues drained
+//!   round-robin by a worker pool, single-flight request coalescing
+//!   (concurrent identical queries share one prepare while each draws
+//!   its own noisy release), and `deadline_ms` shedding;
 //! * [`state::ServerState`] — the shared serving state: per-dataset
 //!   engines, a cross-connection prepared-query cache (repeat releases
-//!   are zero-stage), per-dataset budget accountants, and admission
-//!   control for connections and in-flight prepares;
+//!   are zero-stage), and per-dataset budget accountants;
 //! * [`ledger::Ledger`] — the append-only, fsync-before-release spend
 //!   log that makes budget accounting survive `SIGKILL`;
-//! * [`client::Client`] — the typed protocol client, including
-//!   [`client::audit_from_json`] so remote audits render through the
-//!   same [`upa_core::QueryAudit::render`] as local ones;
+//! * [`proto`] — the typed wire protocol: [`proto::Request`],
+//!   [`proto::Response`], and the closed [`proto::ErrorCode`] set
+//!   shared by both sides;
+//! * [`client::Client`] — the protocol client, with
+//!   [`client::Client::builder`] for timeouts and jittered retry on
+//!   `busy`;
 //! * [`wire`] — the minimal JSON parser/printer behind both ends.
 //!
 //! The crate ships one binary, `upa-serverd`, used by the integration
-//! tests (SIGKILL crash-recovery) and wrapped by `upa-cli serve`.
+//! tests (SIGKILL crash-recovery, saturation) and wrapped by
+//! `upa-cli serve`.
 
 pub mod client;
 pub mod ledger;
+pub mod proto;
+pub mod sched;
 pub mod server;
 pub mod state;
 pub mod wire;
 
-pub use client::{audit_from_json, BudgetReply, Client, ClientError, PrepareReply, ReleaseReply};
+pub use client::{BudgetReply, Client, ClientBuilder, ClientError, PrepareReply, ReleaseReply};
 pub use ledger::{Ledger, SpendRecord};
+pub use proto::{audit_from_json, ErrorCode, PreparedInfo, Request, Response};
+pub use sched::{JobOp, JobOutput, SchedStats, Scheduler, SchedulerHandle};
 pub use server::{Server, ShutdownHandle};
 pub use state::{AggKind, DatasetSpec, ReleaseFault, ServeError, ServerConfig, ServerState};

@@ -1,0 +1,687 @@
+//! The typed wire protocol: every request and reply the daemon speaks,
+//! as closed enums with `to_line`/`from_json` codecs.
+//!
+//! Both ends share this module — the server parses [`Request`] and
+//! prints [`Response`], the client prints [`Request`] and parses
+//! [`Response`] — so a protocol change is a change to exactly one file,
+//! and the error-code vocabulary ([`ErrorCode`]) cannot drift between
+//! sides. The line format itself is unchanged from the stringly v1
+//! protocol (one JSON object per `\n`-terminated line, `"ok"`
+//! discriminating success), so old clients interoperate.
+
+use crate::sched::SchedStats;
+use crate::state::{AggKind, ReleaseOutcome, ServeError};
+use crate::wire::{self, Json};
+use upa_core::QueryAudit;
+
+/// The closed set of machine-readable error codes. The server derives
+/// them from [`ServeError::code`]; the client parses them back, so both
+/// sides agree on the vocabulary by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// No dataset of that name is registered.
+    UnknownDataset,
+    /// The dataset has no such numeric column.
+    UnknownColumn,
+    /// The request was malformed.
+    BadRequest,
+    /// A capacity bound was hit (connection cap or a full queue).
+    Busy,
+    /// The request's deadline expired while it queued.
+    Deadline,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The dataset's budget cannot cover the requested ε.
+    Budget,
+    /// The ledger could not make the spend durable.
+    Ledger,
+    /// The pipeline failed.
+    Pipeline,
+}
+
+impl ErrorCode {
+    /// Every code, for exhaustive round-trip tests.
+    pub const ALL: [ErrorCode; 9] = [
+        ErrorCode::UnknownDataset,
+        ErrorCode::UnknownColumn,
+        ErrorCode::BadRequest,
+        ErrorCode::Busy,
+        ErrorCode::Deadline,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Budget,
+        ErrorCode::Ledger,
+        ErrorCode::Pipeline,
+    ];
+
+    /// The stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::UnknownDataset => "unknown_dataset",
+            ErrorCode::UnknownColumn => "unknown_column",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Budget => "budget",
+            ErrorCode::Ledger => "ledger",
+            ErrorCode::Pipeline => "pipeline",
+        }
+    }
+
+    /// Parses a wire spelling (`None` for anything outside the closed
+    /// set).
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Health check (answered even while draining).
+    Ping,
+    /// List the served dataset names.
+    Datasets,
+    /// Run (or coalesce onto) phases 1–3 for a query.
+    Prepare {
+        /// Dataset name.
+        dataset: String,
+        /// Aggregate kind.
+        query: AggKind,
+        /// Column (empty for `count`).
+        column: String,
+    },
+    /// Release one differentially private answer.
+    Release {
+        /// Dataset name.
+        dataset: String,
+        /// Aggregate kind.
+        query: AggKind,
+        /// Column (empty for `count`).
+        column: String,
+        /// Per-release ε override.
+        epsilon: Option<f64>,
+        /// Ask for the release's audit record.
+        audit: bool,
+        /// Shed the request with a `deadline` error if it cannot be
+        /// served within this many milliseconds of arrival.
+        deadline_ms: Option<u64>,
+    },
+    /// The dataset's budget.
+    Budget {
+        /// Dataset name.
+        dataset: String,
+    },
+    /// The dataset's most recent audits.
+    Audit {
+        /// Dataset name.
+        dataset: String,
+        /// How many recent audits (all when absent).
+        last: Option<u64>,
+    },
+    /// Scheduler counters (queue depth, coalesced hits, shed requests).
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Ping => "{\"op\":\"ping\"}".to_string(),
+            Request::Datasets => "{\"op\":\"datasets\"}".to_string(),
+            Request::Prepare {
+                dataset,
+                query,
+                column,
+            } => format!(
+                "{{\"op\":\"prepare\",\"dataset\":{},\"query\":{},\"column\":{}}}",
+                wire::json_str(dataset),
+                wire::json_str(query.as_str()),
+                wire::json_str(column)
+            ),
+            Request::Release {
+                dataset,
+                query,
+                column,
+                epsilon,
+                audit,
+                deadline_ms,
+            } => {
+                let mut s = format!(
+                    "{{\"op\":\"release\",\"dataset\":{},\"query\":{},\"column\":{}",
+                    wire::json_str(dataset),
+                    wire::json_str(query.as_str()),
+                    wire::json_str(column)
+                );
+                if let Some(eps) = epsilon {
+                    s.push_str(&format!(",\"epsilon\":{}", wire::json_num(*eps)));
+                }
+                if *audit {
+                    s.push_str(",\"audit\":true");
+                }
+                if let Some(ms) = deadline_ms {
+                    s.push_str(&format!(",\"deadline_ms\":{ms}"));
+                }
+                s.push('}');
+                s
+            }
+            Request::Budget { dataset } => format!(
+                "{{\"op\":\"budget\",\"dataset\":{}}}",
+                wire::json_str(dataset)
+            ),
+            Request::Audit { dataset, last } => {
+                let mut s = format!("{{\"op\":\"audit\",\"dataset\":{}", wire::json_str(dataset));
+                if let Some(n) = last {
+                    s.push_str(&format!(",\"last\":{n}"));
+                }
+                s.push('}');
+                s
+            }
+            Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Parses one request object. `dataset` defaults to `"data"`,
+    /// matching the v1 protocol; `column` is required for `sum`/`mean`.
+    ///
+    /// # Errors
+    ///
+    /// A `bad_request`-worthy message for unknown ops or missing fields.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let op = v.str_of("op").unwrap_or("");
+        match op {
+            "ping" => Ok(Request::Ping),
+            "datasets" => Ok(Request::Datasets),
+            "prepare" => {
+                let (dataset, query, column) = Self::query_fields(v)?;
+                Ok(Request::Prepare {
+                    dataset,
+                    query,
+                    column,
+                })
+            }
+            "release" => {
+                let (dataset, query, column) = Self::query_fields(v)?;
+                Ok(Request::Release {
+                    dataset,
+                    query,
+                    column,
+                    epsilon: v.num_of("epsilon"),
+                    audit: v.bool_of("audit").unwrap_or(false),
+                    deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
+                })
+            }
+            "budget" => Ok(Request::Budget {
+                dataset: v.str_of("dataset").unwrap_or("data").to_string(),
+            }),
+            "audit" => Ok(Request::Audit {
+                dataset: v.str_of("dataset").unwrap_or("data").to_string(),
+                last: v.get("last").and_then(Json::as_u64),
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op '{other}' (ping|datasets|prepare|release|budget|audit|stats|shutdown)"
+            )),
+        }
+    }
+
+    fn query_fields(v: &Json) -> Result<(String, AggKind, String), String> {
+        let dataset = v.str_of("dataset").unwrap_or("data").to_string();
+        let query: AggKind = v
+            .str_of("query")
+            .ok_or_else(|| "missing 'query'".to_string())?
+            .parse()?;
+        let column = v.str_of("column").unwrap_or("").to_string();
+        if query != AggKind::Count && column.is_empty() {
+            return Err("'column' is required for sum/mean".into());
+        }
+        Ok((dataset, query, column))
+    }
+}
+
+/// A successful `prepare` reply's body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedInfo {
+    /// Query identity (`dataset/kind/column`).
+    pub query_id: String,
+    /// Effective sample size of the prepared state.
+    pub sample_size: usize,
+    /// Whether the caller coalesced onto existing state (shared cache or
+    /// another caller's in-flight prepare) instead of running its own.
+    pub cached: bool,
+}
+
+/// One server reply.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Bare success (`ping`).
+    Ok,
+    /// The served dataset names.
+    Datasets(Vec<String>),
+    /// Prepared (or coalesced) query state.
+    Prepared(PreparedInfo),
+    /// A released noisy answer (boxed: the audit payload makes this
+    /// variant an order of magnitude larger than its siblings).
+    Released(Box<ReleaseOutcome>),
+    /// A dataset's budget as `(total, spent, remaining)` (`None` when
+    /// the server is unmetered).
+    Budget {
+        /// Dataset name.
+        dataset: String,
+        /// `(total, spent, remaining)` when metered.
+        budget: Option<(f64, f64, f64)>,
+    },
+    /// A dataset's recent audits, oldest first.
+    Audits {
+        /// Dataset name.
+        dataset: String,
+        /// The audit records.
+        audits: Vec<QueryAudit>,
+    },
+    /// Scheduler counters.
+    Stats(SchedStats),
+    /// Shutdown accepted; the server is draining.
+    Draining,
+    /// A refusal, with its stable code.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl From<&ServeError> for Response {
+    fn from(e: &ServeError) -> Response {
+        Response::Error {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl Response {
+    /// Serializes to one `\n`-terminated protocol line.
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Ok => "{\"ok\":true}\n".to_string(),
+            Response::Datasets(names) => {
+                let names = names
+                    .iter()
+                    .map(|n| wire::json_str(n))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{\"ok\":true,\"datasets\":[{names}]}}\n")
+            }
+            Response::Prepared(info) => format!(
+                "{{\"ok\":true,\"query_id\":{},\"sample_size\":{},\"cached\":{}}}\n",
+                wire::json_str(&info.query_id),
+                info.sample_size,
+                info.cached
+            ),
+            Response::Released(outcome) => {
+                let mut s = format!(
+                    "{{\"ok\":true,\"query_id\":{},\"released\":{},\"epsilon\":{},\
+                     \"noise_scale\":{},\"sample_size\":{}",
+                    wire::json_str(&outcome.query_id),
+                    wire::json_num(outcome.released),
+                    wire::json_num(outcome.epsilon),
+                    wire::json_num(outcome.noise_scale),
+                    outcome.sample_size
+                );
+                match outcome.budget_remaining {
+                    Some(rem) => {
+                        s.push_str(&format!(",\"budget_remaining\":{}", wire::json_num(rem)));
+                    }
+                    None => s.push_str(",\"budget_remaining\":null"),
+                }
+                if let Some(audit) = &outcome.audit {
+                    s.push_str(",\"audit\":");
+                    s.push_str(&audit.to_json());
+                }
+                s.push_str("}\n");
+                s
+            }
+            Response::Budget { dataset, budget } => match budget {
+                Some((total, spent, remaining)) => format!(
+                    "{{\"ok\":true,\"dataset\":{},\"total\":{},\"spent\":{},\"remaining\":{}}}\n",
+                    wire::json_str(dataset),
+                    wire::json_num(*total),
+                    wire::json_num(*spent),
+                    wire::json_num(*remaining)
+                ),
+                None => format!(
+                    "{{\"ok\":true,\"dataset\":{},\"total\":null,\"spent\":null,\
+                     \"remaining\":null}}\n",
+                    wire::json_str(dataset)
+                ),
+            },
+            Response::Audits { dataset, audits } => format!(
+                "{{\"ok\":true,\"dataset\":{},\"audits\":[{}]}}\n",
+                wire::json_str(dataset),
+                audits
+                    .iter()
+                    .map(QueryAudit::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            Response::Stats(stats) => format!("{{\"ok\":true,\"sched\":{}}}\n", stats.to_json()),
+            Response::Draining => "{\"ok\":true,\"draining\":true}\n".to_string(),
+            Response::Error { code, message } => format!(
+                "{{\"ok\":false,\"code\":{},\"error\":{}}}\n",
+                wire::json_str(code.as_str()),
+                wire::json_str(message)
+            ),
+        }
+    }
+
+    /// Parses one reply object, discriminating on its fields (the line
+    /// protocol is stateless — every reply shape is self-describing).
+    ///
+    /// # Errors
+    ///
+    /// A protocol-error message for shapes outside the closed set.
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        match v.bool_of("ok") {
+            Some(true) => {}
+            Some(false) => {
+                let code_str = v.str_of("code").unwrap_or("");
+                let code = ErrorCode::parse(code_str)
+                    .ok_or_else(|| format!("unknown error code '{code_str}'"))?;
+                return Ok(Response::Error {
+                    code,
+                    message: v.str_of("error").unwrap_or("").to_string(),
+                });
+            }
+            None => return Err("reply missing 'ok'".into()),
+        }
+        if v.bool_of("draining") == Some(true) {
+            return Ok(Response::Draining);
+        }
+        if let Some(arr) = v.get("datasets").and_then(Json::as_arr) {
+            return Ok(Response::Datasets(
+                arr.iter()
+                    .filter_map(|n| n.as_str().map(str::to_string))
+                    .collect(),
+            ));
+        }
+        if let Some(sched) = v.get("sched") {
+            return SchedStats::from_json(sched).map(Response::Stats);
+        }
+        if let Some(arr) = v.get("audits").and_then(Json::as_arr) {
+            let audits = arr
+                .iter()
+                .map(|a| audit_from_json(a).ok_or_else(|| "malformed audit in reply".to_string()))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::Audits {
+                dataset: v.str_of("dataset").unwrap_or("").to_string(),
+                audits,
+            });
+        }
+        if v.get("released").is_some() {
+            // `json_num` writes non-finite floats as null; map them back
+            // to NaN rather than inventing a finite value.
+            let num_or_nan = |name: &str| match v.get(name) {
+                Some(Json::Null) => Ok(f64::NAN),
+                Some(field) => field
+                    .as_f64()
+                    .ok_or_else(|| format!("reply field '{name}' is not a number")),
+                None => Err(format!("reply missing '{name}'")),
+            };
+            return Ok(Response::Released(Box::new(ReleaseOutcome {
+                query_id: v.str_of("query_id").unwrap_or("").to_string(),
+                released: num_or_nan("released")?,
+                epsilon: num_or_nan("epsilon")?,
+                noise_scale: num_or_nan("noise_scale")?,
+                sample_size: v.get("sample_size").and_then(Json::as_u64).unwrap_or(0) as usize,
+                budget_remaining: v.num_of("budget_remaining"),
+                audit: v.get("audit").and_then(audit_from_json),
+            })));
+        }
+        if let Some(query_id) = v.str_of("query_id") {
+            return Ok(Response::Prepared(PreparedInfo {
+                query_id: query_id.to_string(),
+                sample_size: v.get("sample_size").and_then(Json::as_u64).unwrap_or(0) as usize,
+                cached: v.bool_of("cached").unwrap_or(false),
+            }));
+        }
+        if let Some(total) = v.get("total") {
+            let dataset = v.str_of("dataset").unwrap_or("").to_string();
+            let budget = match (total.as_f64(), v.num_of("spent"), v.num_of("remaining")) {
+                (Some(t), Some(s), Some(r)) => Some((t, s, r)),
+                _ => None,
+            };
+            return Ok(Response::Budget { dataset, budget });
+        }
+        Ok(Response::Ok)
+    }
+}
+
+/// Reconstructs a [`QueryAudit`] from its [`QueryAudit::to_json`] form.
+/// Returns `None` when required fields are missing, so a truncated or
+/// foreign object never silently becomes a zeroed audit.
+pub fn audit_from_json(v: &Json) -> Option<QueryAudit> {
+    use dataflow::{MetricsSnapshot, StageSpan};
+    let engine = v.get("engine")?;
+    let counter = |name: &str| engine.get(name).and_then(Json::as_u64).unwrap_or(0);
+    // `json_num` writes non-finite floats as null; map them back to NaN
+    // rather than inventing a finite value.
+    let num_or_nan = |field: &Json| field.as_f64().unwrap_or(f64::NAN);
+    Some(QueryAudit {
+        query: v.str_of("query")?.to_string(),
+        epsilon: v.num_of("epsilon")?,
+        budget_remaining: v.num_of("budget_remaining"),
+        sensitivity: v
+            .get("sensitivity")?
+            .as_arr()?
+            .iter()
+            .map(num_or_nan)
+            .collect(),
+        range: v
+            .get("range")?
+            .as_arr()?
+            .iter()
+            .filter_map(|pair| {
+                let pair = pair.as_arr()?;
+                Some((num_or_nan(pair.first()?), num_or_nan(pair.get(1)?)))
+            })
+            .collect(),
+        clamped: v.bool_of("clamped")?,
+        attack_detected: v.bool_of("attack_detected")?,
+        removed_records: v.get("removed_records").and_then(Json::as_u64)? as usize,
+        sample_size: v.get("sample_size").and_then(Json::as_u64)? as usize,
+        group_size: v.get("group_size").and_then(Json::as_u64)? as usize,
+        spans: v
+            .get("spans")?
+            .as_arr()?
+            .iter()
+            .filter_map(|sp| {
+                Some(StageSpan {
+                    name: sp.str_of("name")?.to_string(),
+                    path: sp.str_of("path")?.to_string(),
+                    depth: sp.get("depth").and_then(Json::as_u64)? as usize,
+                    nanos: sp.get("nanos").and_then(Json::as_u64)?,
+                    records: sp.get("records").and_then(Json::as_u64)?,
+                    calls: sp.get("calls").and_then(Json::as_u64)?,
+                })
+            })
+            .collect(),
+        engine: MetricsSnapshot {
+            stages: counter("stages"),
+            tasks: counter("tasks"),
+            task_retries: counter("task_retries"),
+            shuffles: counter("shuffles"),
+            shuffle_records: counter("shuffle_records"),
+            shuffle_bytes: counter("shuffle_bytes"),
+            records_processed: counter("records_processed"),
+        },
+        total_nanos: v.get("total_nanos").and_then(Json::as_u64)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reparse_request(req: &Request) -> Request {
+        let parsed = wire::parse(&req.to_line()).expect("request line parses");
+        Request::from_json(&parsed).expect("request decodes")
+    }
+
+    #[test]
+    fn every_error_code_round_trips() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+            let line = Response::Error {
+                code,
+                message: format!("m:{code}"),
+            }
+            .to_line();
+            let parsed = wire::parse(line.trim()).expect("error line parses");
+            match Response::from_json(&parsed).expect("error decodes") {
+                Response::Error {
+                    code: got, message, ..
+                } => {
+                    assert_eq!(got, code);
+                    assert_eq!(message, format!("m:{code}"));
+                }
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn serve_error_codes_stay_inside_the_closed_set() {
+        // Every ServeError variant maps into the shared enum — a new
+        // variant without a wire spelling fails to compile, not at
+        // runtime in a client.
+        let errors = [
+            ServeError::UnknownDataset("d".into()),
+            ServeError::UnknownColumn {
+                dataset: "d".into(),
+                column: "c".into(),
+            },
+            ServeError::BadRequest("m".into()),
+            ServeError::Busy,
+            ServeError::DeadlineExceeded,
+            ServeError::ShuttingDown,
+            ServeError::BudgetExhausted {
+                remaining: 0.1,
+                requested: 0.2,
+            },
+            ServeError::Ledger("m".into()),
+            ServeError::Pipeline("m".into()),
+        ];
+        for e in &errors {
+            assert_eq!(ErrorCode::parse(e.code().as_str()), Some(e.code()));
+        }
+    }
+
+    #[test]
+    fn request_shapes_round_trip() {
+        let requests = [
+            Request::Ping,
+            Request::Datasets,
+            Request::Prepare {
+                dataset: "people".into(),
+                query: AggKind::Mean,
+                column: "age".into(),
+            },
+            Request::Release {
+                dataset: "da\"ta".into(),
+                query: AggKind::Sum,
+                column: "v".into(),
+                epsilon: Some(0.25),
+                audit: true,
+                deadline_ms: Some(150),
+            },
+            Request::Release {
+                dataset: "data".into(),
+                query: AggKind::Count,
+                column: String::new(),
+                epsilon: None,
+                audit: false,
+                deadline_ms: None,
+            },
+            Request::Budget {
+                dataset: "data".into(),
+            },
+            Request::Audit {
+                dataset: "data".into(),
+                last: Some(3),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in &requests {
+            assert_eq!(&reparse_request(req), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn release_decodes_null_released_as_nan() {
+        // Non-finite values (a degenerate MLE fit can produce them) go
+        // over the wire as null; the decode side must hand back NaN, not
+        // a protocol error or a fake finite number.
+        let parsed = wire::parse(
+            "{\"ok\":true,\"query_id\":\"d/sum/v\",\"released\":null,\"epsilon\":0.1,\
+             \"noise_scale\":null,\"sample_size\":10,\"budget_remaining\":null}",
+        )
+        .unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Released(out) => {
+                assert!(out.released.is_nan());
+                assert!(out.noise_scale.is_nan());
+                assert_eq!(out.epsilon, 0.1);
+                assert_eq!(out.budget_remaining, None);
+            }
+            other => panic!("expected Released, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_decode_errors() {
+        for line in [
+            "{\"op\":\"mystery\"}",
+            "{\"op\":\"release\"}",
+            "{\"op\":\"release\",\"query\":\"sum\"}",
+            "{\"op\":\"release\",\"query\":\"median\",\"column\":\"v\"}",
+        ] {
+            let parsed = wire::parse(line).unwrap();
+            assert!(Request::from_json(&parsed).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let stats = SchedStats {
+            queued: 2,
+            peak_queued: 7,
+            submitted: 100,
+            completed: 98,
+            prepares: 3,
+            coalesced: 95,
+            shed_deadline: 1,
+            busy_rejected: 4,
+            batches: 9,
+            peak_batch: 12,
+        };
+        let line = Response::Stats(stats.clone()).to_line();
+        let parsed = wire::parse(line.trim()).unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Stats(got) => assert_eq!(got, stats),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+}

@@ -7,17 +7,24 @@
 //! thread per admitted connection, all sharing an
 //! `Arc<`[`ServerState`]`>`. A connection handles any number of
 //! requests, one line-delimited JSON object each (see [`crate::wire`]).
+//! Prepare/release work does not run on the connection thread: it is
+//! submitted to the [`Scheduler`]'s per-dataset queues and served by its
+//! worker pool, which coalesces identical queries and sheds expired
+//! deadlines (see [`crate::sched`]).
 //!
 //! # Shutdown
 //!
 //! The `shutdown` op (or [`Server::shutdown_handle`]) flags the state as
 //! draining and wakes the acceptor with a loopback connection. The
-//! acceptor stops admitting, then joins every worker — in-flight
+//! acceptor stops admitting, joins every connection worker — in-flight
 //! releases run to completion, so a drained shutdown never strands a
-//! ledgered spend that could still be delivered.
+//! ledgered spend that could still be delivered — and only then drains
+//! the scheduler pool.
 
-use crate::state::{AggKind, ReleaseOutcome, ServeError, ServerConfig, ServerState};
-use crate::wire::{self, Json};
+use crate::proto::{PreparedInfo, Request, Response};
+use crate::sched::{JobOp, JobOutput, Scheduler, SchedulerHandle};
+use crate::state::{ServeError, ServerConfig, ServerState};
+use crate::wire;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -27,6 +34,7 @@ use std::thread::JoinHandle;
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
+    sched: SchedulerHandle,
     addr: SocketAddr,
 }
 
@@ -34,7 +42,8 @@ impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
     /// builds the shared state — including the ledger replay, so a
     /// bind against an existing ledger restores every durable spend
-    /// before the first connection is admitted.
+    /// before the first connection is admitted — plus the scheduler
+    /// worker pool.
     ///
     /// # Errors
     ///
@@ -43,9 +52,11 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState::new(config)?);
+        let sched = Scheduler::start(Arc::clone(&state));
         Ok(Server {
             listener,
             state,
+            sched,
             addr,
         })
     }
@@ -60,6 +71,11 @@ impl Server {
         Arc::clone(&self.state)
     }
 
+    /// The scheduling core (tests and in-process embedding).
+    pub fn scheduler(&self) -> Arc<Scheduler> {
+        self.sched.scheduler()
+    }
+
     /// A handle that can request shutdown from another thread.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
@@ -68,13 +84,15 @@ impl Server {
         }
     }
 
-    /// Serves until shutdown, then drains in-flight connections.
+    /// Serves until shutdown, then drains in-flight connections and the
+    /// scheduler pool.
     ///
     /// # Errors
     ///
     /// Accept-loop I/O failures (individual connection errors are
     /// contained in their workers).
-    pub fn run(self) -> io::Result<()> {
+    pub fn run(mut self) -> io::Result<()> {
+        let sched = self.sched.scheduler();
         let mut workers: Vec<JoinHandle<()>> = Vec::new();
         for stream in self.listener.incoming() {
             if self.state.is_shutting_down() {
@@ -99,20 +117,24 @@ impl Server {
                 }
             };
             let state = Arc::clone(&self.state);
+            let sched = Arc::clone(&sched);
             let addr = self.addr;
             workers.push(std::thread::spawn(move || {
                 let _guard = guard;
-                if let Err(e) = serve_connection(stream, &state, addr) {
+                if let Err(e) = serve_connection(stream, &state, &sched, addr) {
                     // Client went away mid-request; nothing to clean up —
                     // budget durability was settled before any reply.
                     let _ = e;
                 }
             }));
         }
-        // Drain: every admitted connection finishes its in-flight work.
+        // Drain: every admitted connection finishes its in-flight work
+        // (the scheduler must still be running for their submits to
+        // complete), then the scheduler pool itself winds down.
         for w in workers {
             let _ = w.join();
         }
+        self.sched.drain();
         Ok(())
     }
 }
@@ -134,17 +156,14 @@ impl ShutdownHandle {
 }
 
 fn error_line(err: &ServeError) -> String {
-    format!(
-        "{{\"ok\":false,\"code\":{},\"error\":{}}}\n",
-        wire::json_str(err.code()),
-        wire::json_str(&err.to_string())
-    )
+    Response::from(err).to_line()
 }
 
 /// Serves one connection until EOF or `shutdown`.
 fn serve_connection(
     stream: TcpStream,
     state: &Arc<ServerState>,
+    sched: &Arc<Scheduler>,
     self_addr: SocketAddr,
 ) -> io::Result<()> {
     // Idle connections wake periodically so a draining shutdown is not
@@ -177,7 +196,7 @@ fn serve_connection(
             line.clear();
             continue;
         }
-        let (reply, is_shutdown) = respond(trimmed, state);
+        let (reply, is_shutdown) = respond(trimmed, state, sched);
         line.clear();
         writer.write_all(reply.as_bytes())?;
         writer.flush()?;
@@ -191,201 +210,157 @@ fn serve_connection(
 
 /// Dispatches one request line; returns the reply line and whether the
 /// request was a shutdown.
-fn respond(line: &str, state: &Arc<ServerState>) -> (String, bool) {
-    let request = match wire::parse(line) {
+fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (String, bool) {
+    let parsed = match wire::parse(line) {
         Ok(v) => v,
         Err(e) => return (error_line(&ServeError::BadRequest(e.to_string())), false),
     };
-    let op = request.str_of("op").unwrap_or("");
-    if state.is_shutting_down() && op != "ping" {
+    let request = match Request::from_json(&parsed) {
+        Ok(r) => r,
+        Err(msg) => return (error_line(&ServeError::BadRequest(msg)), false),
+    };
+    // Health checks and counters still answer while draining; everything
+    // else is refused.
+    if state.is_shutting_down() && !matches!(request, Request::Ping | Request::Stats) {
         return (error_line(&ServeError::ShuttingDown), false);
     }
-    match op {
-        "ping" => ("{\"ok\":true}\n".to_string(), false),
-        "datasets" => {
-            let names = state
-                .dataset_names()
-                .iter()
-                .map(|n| wire::json_str(n))
-                .collect::<Vec<_>>()
-                .join(",");
-            (format!("{{\"ok\":true,\"datasets\":[{names}]}}\n"), false)
-        }
-        "prepare" => (
-            handle_prepare(&request, state).unwrap_or_else(|e| error_line(&e)),
-            false,
-        ),
-        "release" => (
-            handle_release(&request, state).unwrap_or_else(|e| error_line(&e)),
-            false,
-        ),
-        "budget" => (
-            handle_budget(&request, state).unwrap_or_else(|e| error_line(&e)),
-            false,
-        ),
-        "audit" => (
-            handle_audit(&request, state).unwrap_or_else(|e| error_line(&e)),
-            false,
-        ),
-        "shutdown" => ("{\"ok\":true,\"draining\":true}\n".to_string(), true),
-        other => (
-            error_line(&ServeError::BadRequest(format!(
-                "unknown op '{other}' (ping|datasets|prepare|release|budget|audit|shutdown)"
+    let response = match request {
+        Request::Ping => Response::Ok,
+        Request::Datasets => Response::Datasets(state.dataset_names()),
+        Request::Prepare {
+            dataset,
+            query,
+            column,
+        } => match sched.submit(&dataset, query, &column, JobOp::Prepare, None) {
+            Ok(JobOutput::Prepared {
+                query_id,
+                sample_size,
+                cached,
+            }) => Response::Prepared(PreparedInfo {
+                query_id,
+                sample_size,
+                cached,
+            }),
+            Ok(other) => Response::from(&ServeError::Pipeline(format!(
+                "scheduler returned {other:?} for a prepare"
             ))),
-            false,
-        ),
-    }
-}
-
-fn query_fields(request: &Json) -> Result<(String, AggKind, String), ServeError> {
-    let dataset = request.str_of("dataset").unwrap_or("data").to_string();
-    let kind: AggKind = request
-        .str_of("query")
-        .ok_or_else(|| ServeError::BadRequest("missing 'query'".into()))?
-        .parse()
-        .map_err(ServeError::BadRequest)?;
-    let column = request.str_of("column").unwrap_or("").to_string();
-    if kind != AggKind::Count && column.is_empty() {
-        return Err(ServeError::BadRequest(
-            "'column' is required for sum/mean".into(),
-        ));
-    }
-    Ok((dataset, kind, column))
-}
-
-fn handle_prepare(request: &Json, state: &Arc<ServerState>) -> Result<String, ServeError> {
-    let (dataset, kind, column) = query_fields(request)?;
-    let (prepared, query_id, cached) = state.prepare(&dataset, kind, &column)?;
-    Ok(format!(
-        "{{\"ok\":true,\"query_id\":{},\"sample_size\":{},\"cached\":{}}}\n",
-        wire::json_str(&query_id),
-        prepared.sample_size(),
-        cached
-    ))
-}
-
-fn handle_release(request: &Json, state: &Arc<ServerState>) -> Result<String, ServeError> {
-    let (dataset, kind, column) = query_fields(request)?;
-    let epsilon = request.num_of("epsilon");
-    let want_audit = request.bool_of("audit").unwrap_or(false);
-    let outcome = state.release(&dataset, kind, &column, epsilon, want_audit)?;
-    Ok(release_line(&outcome))
-}
-
-fn release_line(outcome: &ReleaseOutcome) -> String {
-    let mut s = format!(
-        "{{\"ok\":true,\"query_id\":{},\"released\":{},\"epsilon\":{},\"noise_scale\":{},\"sample_size\":{}",
-        wire::json_str(&outcome.query_id),
-        wire::json_num(outcome.released),
-        wire::json_num(outcome.epsilon),
-        wire::json_num(outcome.noise_scale),
-        outcome.sample_size
-    );
-    match outcome.budget_remaining {
-        Some(rem) => s.push_str(&format!(",\"budget_remaining\":{}", wire::json_num(rem))),
-        None => s.push_str(",\"budget_remaining\":null"),
-    }
-    if let Some(audit) = &outcome.audit {
-        s.push_str(",\"audit\":");
-        s.push_str(&audit.to_json());
-    }
-    s.push_str("}\n");
-    s
-}
-
-fn handle_budget(request: &Json, state: &Arc<ServerState>) -> Result<String, ServeError> {
-    let dataset = request.str_of("dataset").unwrap_or("data");
-    let budget = state.budget_of(dataset)?;
-    Ok(match budget {
-        Some((total, spent, remaining)) => format!(
-            "{{\"ok\":true,\"dataset\":{},\"total\":{},\"spent\":{},\"remaining\":{}}}\n",
-            wire::json_str(dataset),
-            wire::json_num(total),
-            wire::json_num(spent),
-            wire::json_num(remaining)
-        ),
-        None => format!(
-            "{{\"ok\":true,\"dataset\":{},\"total\":null,\"spent\":null,\"remaining\":null}}\n",
-            wire::json_str(dataset)
-        ),
-    })
-}
-
-fn handle_audit(request: &Json, state: &Arc<ServerState>) -> Result<String, ServeError> {
-    let dataset = request.str_of("dataset").unwrap_or("data");
-    let last = request
-        .get("last")
-        .and_then(Json::as_u64)
-        .unwrap_or(u64::MAX) as usize;
-    let audits = state.audits_json(dataset, last)?;
-    Ok(format!(
-        "{{\"ok\":true,\"dataset\":{},\"audits\":[{}]}}\n",
-        wire::json_str(dataset),
-        audits.join(",")
-    ))
+            Err(e) => Response::from(&e),
+        },
+        Request::Release {
+            dataset,
+            query,
+            column,
+            epsilon,
+            audit,
+            deadline_ms,
+        } => match sched.submit(
+            &dataset,
+            query,
+            &column,
+            JobOp::Release {
+                epsilon,
+                want_audit: audit,
+            },
+            deadline_ms,
+        ) {
+            Ok(JobOutput::Released(outcome)) => Response::Released(outcome),
+            Ok(other) => Response::from(&ServeError::Pipeline(format!(
+                "scheduler returned {other:?} for a release"
+            ))),
+            Err(e) => Response::from(&e),
+        },
+        Request::Budget { dataset } => match state.budget_of(&dataset) {
+            Ok(budget) => Response::Budget { dataset, budget },
+            Err(e) => Response::from(&e),
+        },
+        Request::Audit { dataset, last } => {
+            match state.audits_of(&dataset, last.unwrap_or(u64::MAX) as usize) {
+                Ok(audits) => Response::Audits { dataset, audits },
+                Err(e) => Response::from(&e),
+            }
+        }
+        Request::Stats => Response::Stats(sched.stats()),
+        Request::Shutdown => return (Response::Draining.to_line(), true),
+    };
+    (response.to_line(), false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::state::DatasetSpec;
+    use crate::wire::Json;
 
-    fn respond_str(line: &str, state: &Arc<ServerState>) -> Json {
-        let (reply, _) = respond(line, state);
-        wire::parse(reply.trim()).expect("reply is valid JSON")
+    struct Fixture {
+        state: Arc<ServerState>,
+        sched: Arc<Scheduler>,
+        // Keeps the worker pool alive for the test's duration.
+        _handle: SchedulerHandle,
     }
 
-    fn test_state() -> Arc<ServerState> {
-        Arc::new(
-            ServerState::new(ServerConfig {
-                datasets: vec![DatasetSpec::synthetic("data", 1_500, 7)],
-                budget: Some(1.0),
-                epsilon: 0.2,
-                sample_size: 30,
-                threads: 2,
-                ..ServerConfig::default()
-            })
-            .unwrap(),
-        )
+    impl Fixture {
+        fn new() -> Fixture {
+            let state = Arc::new(
+                ServerState::new(ServerConfig {
+                    datasets: vec![DatasetSpec::synthetic("data", 1_500, 7)],
+                    budget: Some(1.0),
+                    epsilon: 0.2,
+                    sample_size: 30,
+                    threads: 2,
+                    ..ServerConfig::default()
+                })
+                .unwrap(),
+            );
+            let handle = Scheduler::start(Arc::clone(&state));
+            Fixture {
+                state,
+                sched: handle.scheduler(),
+                _handle: handle,
+            }
+        }
+
+        fn respond_str(&self, line: &str) -> Json {
+            let (reply, _) = respond(line, &self.state, &self.sched);
+            wire::parse(reply.trim()).expect("reply is valid JSON")
+        }
     }
 
     #[test]
     fn dispatch_covers_the_protocol_surface() {
-        let state = test_state();
-        assert_eq!(
-            respond_str(r#"{"op":"ping"}"#, &state).bool_of("ok"),
-            Some(true)
-        );
-        let ds = respond_str(r#"{"op":"datasets"}"#, &state);
+        let fx = Fixture::new();
+        assert_eq!(fx.respond_str(r#"{"op":"ping"}"#).bool_of("ok"), Some(true));
+        let ds = fx.respond_str(r#"{"op":"datasets"}"#);
         assert_eq!(ds.get("datasets").unwrap().as_arr().unwrap().len(), 1);
 
-        let p = respond_str(
-            r#"{"op":"prepare","dataset":"data","query":"sum","column":"v"}"#,
-            &state,
-        );
+        let p = fx.respond_str(r#"{"op":"prepare","dataset":"data","query":"sum","column":"v"}"#);
         assert_eq!(p.str_of("query_id"), Some("data/sum/v"));
         assert_eq!(p.bool_of("cached"), Some(false));
         assert_eq!(p.num_of("sample_size"), Some(30.0));
 
-        let r = respond_str(
+        let r = fx.respond_str(
             r#"{"op":"release","dataset":"data","query":"sum","column":"v","audit":true}"#,
-            &state,
         );
         assert_eq!(r.bool_of("ok"), Some(true));
         assert!(r.num_of("released").is_some());
         assert!((r.num_of("budget_remaining").unwrap() - 0.8).abs() < 1e-9);
         assert_eq!(r.get("audit").unwrap().str_of("query"), Some("sum"));
 
-        let b = respond_str(r#"{"op":"budget","dataset":"data"}"#, &state);
+        let b = fx.respond_str(r#"{"op":"budget","dataset":"data"}"#);
         assert!((b.num_of("spent").unwrap() - 0.2).abs() < 1e-9);
 
-        let a = respond_str(r#"{"op":"audit","dataset":"data"}"#, &state);
+        let a = fx.respond_str(r#"{"op":"audit","dataset":"data"}"#);
         assert_eq!(a.get("audits").unwrap().as_arr().unwrap().len(), 1);
+
+        let s = fx.respond_str(r#"{"op":"stats"}"#);
+        let sched = s.get("sched").unwrap();
+        assert_eq!(sched.get("prepares").unwrap().as_u64(), Some(1));
+        // The release coalesced onto the prepare's cached state.
+        assert_eq!(sched.get("coalesced").unwrap().as_u64(), Some(1));
     }
 
     #[test]
     fn dispatch_rejects_malformed_requests() {
-        let state = test_state();
+        let fx = Fixture::new();
         for (line, code) in [
             ("not json", "bad_request"),
             (r#"{"op":"mystery"}"#, "bad_request"),
@@ -397,7 +372,7 @@ mod tests {
             ),
             (r#"{"op":"budget","dataset":"x"}"#, "unknown_dataset"),
         ] {
-            let reply = respond_str(line, &state);
+            let reply = fx.respond_str(line);
             assert_eq!(reply.bool_of("ok"), Some(false), "{line}");
             assert_eq!(reply.str_of("code"), Some(code), "{line}");
         }
@@ -405,17 +380,15 @@ mod tests {
 
     #[test]
     fn shutdown_op_flags_and_refuses_new_work() {
-        let state = test_state();
-        let (reply, is_shutdown) = respond(r#"{"op":"shutdown"}"#, &state);
+        let fx = Fixture::new();
+        let (reply, is_shutdown) = respond(r#"{"op":"shutdown"}"#, &fx.state, &fx.sched);
         assert!(reply.contains("\"draining\":true"));
         assert!(is_shutdown);
-        state.begin_shutdown();
-        let refused = respond_str(r#"{"op":"release","query":"count"}"#, &state);
+        fx.state.begin_shutdown();
+        let refused = fx.respond_str(r#"{"op":"release","query":"count"}"#);
         assert_eq!(refused.str_of("code"), Some("shutting_down"));
-        // Health checks still answer while draining.
-        assert_eq!(
-            respond_str(r#"{"op":"ping"}"#, &state).bool_of("ok"),
-            Some(true)
-        );
+        // Health checks and counters still answer while draining.
+        assert_eq!(fx.respond_str(r#"{"op":"ping"}"#).bool_of("ok"), Some(true));
+        assert!(fx.respond_str(r#"{"op":"stats"}"#).get("sched").is_some());
     }
 }

@@ -9,17 +9,21 @@
 //! * the prepared-query cache is a separate mutex, so a release on one
 //!   dataset never waits on a prepare for another;
 //! * budget accounting and the ledger file share one mutex — a spend
-//!   must check, append and fsync atomically;
-//! * prepares (the expensive, engine-running phase) pass through a
-//!   counting [`Semaphore`] — the "max in-flight prepares" admission
-//!   control.
+//!   must check, append and fsync atomically.
+//!
+//! Admission control for the query path (bounded per-dataset queues,
+//! request coalescing, deadlines) lives one layer up in
+//! [`crate::sched::Scheduler`]; this module only provides the primitive
+//! operations the scheduler composes: [`ServerState::prepare`] and
+//! [`ServerState::release_prepared`].
 
 use crate::ledger::{spent_by_dataset, Ledger, SpendRecord};
+use crate::proto::ErrorCode;
 use dataflow::Context;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use upa_core::budget::BudgetAccountant;
 use upa_core::domain::EmpiricalSampler;
 use upa_core::query::MapReduceQuery;
@@ -162,8 +166,12 @@ pub struct ServerConfig {
     /// Maximum concurrently served connections; excess connections are
     /// refused with a `busy` error (bounded accept backlog).
     pub max_connections: usize,
-    /// Maximum concurrently *running* prepares; excess prepares queue.
+    /// Scheduler worker-pool size — the maximum concurrently *running*
+    /// prepares/releases; excess requests queue per dataset.
     pub max_inflight_prepares: usize,
+    /// Bound of each dataset's scheduler queue; a request arriving at a
+    /// full queue is refused with `busy`.
+    pub queue_capacity: usize,
     /// Serving-path fault injection (tests only).
     pub fault: ReleaseFault,
 }
@@ -180,6 +188,7 @@ impl Default for ServerConfig {
             threads: 0,
             max_connections: 64,
             max_inflight_prepares: 4,
+            queue_capacity: 64,
             fault: ReleaseFault::None,
         }
     }
@@ -194,8 +203,12 @@ pub enum ServeError {
     UnknownColumn { dataset: String, column: String },
     /// The request was malformed.
     BadRequest(String),
-    /// The server is at its connection cap.
+    /// The server is at a capacity bound (connection cap, or the
+    /// dataset's scheduler queue is full).
     Busy,
+    /// The request's `deadline_ms` expired before it could be served;
+    /// it was shed from the queue without charging any budget.
+    DeadlineExceeded,
     /// The server is draining for shutdown.
     ShuttingDown,
     /// The dataset's budget cannot cover the requested ε.
@@ -207,17 +220,19 @@ pub enum ServeError {
 }
 
 impl ServeError {
-    /// Stable machine-readable code.
-    pub fn code(&self) -> &'static str {
+    /// Stable machine-readable code, shared with the client through the
+    /// closed [`ErrorCode`] enum.
+    pub fn code(&self) -> ErrorCode {
         match self {
-            ServeError::UnknownDataset(_) => "unknown_dataset",
-            ServeError::UnknownColumn { .. } => "unknown_column",
-            ServeError::BadRequest(_) => "bad_request",
-            ServeError::Busy => "busy",
-            ServeError::ShuttingDown => "shutting_down",
-            ServeError::BudgetExhausted { .. } => "budget",
-            ServeError::Ledger(_) => "ledger",
-            ServeError::Pipeline(_) => "pipeline",
+            ServeError::UnknownDataset(_) => ErrorCode::UnknownDataset,
+            ServeError::UnknownColumn { .. } => ErrorCode::UnknownColumn,
+            ServeError::BadRequest(_) => ErrorCode::BadRequest,
+            ServeError::Busy => ErrorCode::Busy,
+            ServeError::DeadlineExceeded => ErrorCode::Deadline,
+            ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::BudgetExhausted { .. } => ErrorCode::Budget,
+            ServeError::Ledger(_) => ErrorCode::Ledger,
+            ServeError::Pipeline(_) => ErrorCode::Pipeline,
         }
     }
 }
@@ -230,7 +245,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "dataset '{dataset}' has no numeric column '{column}'")
             }
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
-            ServeError::Busy => write!(f, "server busy: connection limit reached"),
+            ServeError::Busy => write!(f, "server busy: at capacity (connection or queue limit)"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request could be served")
+            }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::BudgetExhausted {
                 remaining,
@@ -247,50 +265,8 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// A counting semaphore (std has none): `acquire` blocks until a permit
-/// frees, the guard releases on drop.
-#[derive(Debug)]
-pub struct Semaphore {
-    permits: Mutex<usize>,
-    cv: Condvar,
-}
-
-impl Semaphore {
-    /// A semaphore with `n` permits (at least 1).
-    pub fn new(n: usize) -> Self {
-        Semaphore {
-            permits: Mutex::new(n.max(1)),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Blocks until a permit is available.
-    pub fn acquire(&self) -> SemaphoreGuard<'_> {
-        let mut p = self.permits.lock().expect("semaphore poisoned");
-        while *p == 0 {
-            p = self.cv.wait(p).expect("semaphore poisoned");
-        }
-        *p -= 1;
-        SemaphoreGuard { sem: self }
-    }
-}
-
-/// Releases its permit on drop.
-#[derive(Debug)]
-pub struct SemaphoreGuard<'a> {
-    sem: &'a Semaphore,
-}
-
-impl Drop for SemaphoreGuard<'_> {
-    fn drop(&mut self) {
-        let mut p = self.sem.permits.lock().expect("semaphore poisoned");
-        *p += 1;
-        self.sem.cv.notify_one();
-    }
-}
-
 /// The serving aggregate's prepared state (phases 1–3 of Algorithm 1).
-type PreparedAgg = PreparedQuery<f64, (f64, f64), f64>;
+pub type PreparedAgg = PreparedQuery<f64, (f64, f64), f64>;
 
 /// Cache key: `(dataset, aggregate, column)`.
 type QueryKey = (String, AggKind, String);
@@ -333,7 +309,6 @@ pub struct ServerState {
     datasets: HashMap<String, DatasetState>,
     prepared: Mutex<HashMap<QueryKey, Arc<PreparedAgg>>>,
     budget: Mutex<BudgetState>,
-    prepare_gate: Semaphore,
     release_seq: AtomicUsize,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
@@ -390,7 +365,6 @@ impl ServerState {
                 accountants.insert(spec.name.clone(), BudgetAccountant::restore(total, used));
             }
         }
-        let gate = Semaphore::new(config.max_inflight_prepares);
         Ok(ServerState {
             ctx,
             datasets,
@@ -399,7 +373,6 @@ impl ServerState {
                 accountants,
                 ledger,
             }),
-            prepare_gate: gate,
             release_seq: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
@@ -494,10 +467,31 @@ impl ServerState {
         format!("{dataset}/{}/{column}", kind.as_str())
     }
 
+    /// The cached prepared state for `(dataset, kind, column)`, if any —
+    /// the scheduler's fast path and single-flight double-check.
+    pub fn cached_prepared(
+        &self,
+        dataset: &str,
+        kind: AggKind,
+        column: &str,
+    ) -> Option<Arc<PreparedAgg>> {
+        let key: QueryKey = (dataset.to_string(), kind, column.to_string());
+        self.prepared
+            .lock()
+            .expect("cache poisoned")
+            .get(&key)
+            .map(Arc::clone)
+    }
+
     /// Phases 1–3: prepares (or fetches from the shared cache) the query
     /// state. Returns `(prepared, query_id, cache_hit)`. The cache is
     /// shared across connections, so repeated releases of the same query
     /// reuse the engine work regardless of which client asked first.
+    ///
+    /// Concurrent callers with the same key may both run the engine (the
+    /// cache stays consistent — last insert wins); the scheduler's
+    /// single-flight layer is what guarantees one prepare per key under
+    /// concurrency.
     ///
     /// # Errors
     ///
@@ -515,15 +509,6 @@ impl ServerState {
         }
         let ds = self.dataset(dataset)?;
         let values = self.column_values(ds, kind, column)?;
-
-        // Admission control: at most `max_inflight_prepares` engine
-        // preparations run at once; the rest queue here.
-        let _permit = self.prepare_gate.acquire();
-        // Double-check after the wait — another worker may have prepared
-        // the same query while this one queued.
-        if let Some(p) = self.prepared.lock().expect("cache poisoned").get(&key) {
-            return Ok((Arc::clone(p), query_id, true));
-        }
         let data = self.ctx.parallelize_default(values.clone());
         let domain = EmpiricalSampler::new(values);
         let query = build_agg_query(kind);
@@ -590,7 +575,10 @@ impl ServerState {
     }
 
     /// The full release path: prepare (or cache-hit), charge + fsync the
-    /// spend, then draw the noisy output.
+    /// spend, then draw the noisy output. Convenience composition of
+    /// [`ServerState::prepare`] and [`ServerState::release_prepared`]
+    /// for in-process embedding; the daemon routes through the scheduler
+    /// instead so identical concurrent prepares coalesce.
     ///
     /// # Errors
     ///
@@ -609,14 +597,36 @@ impl ServerState {
             return Err(ServeError::BadRequest("epsilon must be positive".into()));
         }
         let (prepared, query_id, _cached) = self.prepare(dataset, kind, column)?;
+        self.release_prepared(dataset, &query_id, &prepared, Some(epsilon), want_audit)
+    }
 
+    /// Phase 4 against already-prepared state: charge + fsync the spend,
+    /// then draw one fresh noisy output from `prepared`. Every caller
+    /// sharing one `prepared` gets an independent Laplace draw, and the
+    /// budget is charged once per call — per release, not per prepare.
+    ///
+    /// # Errors
+    ///
+    /// Bad ε, budget/ledger refusals, or a pipeline failure.
+    pub fn release_prepared(
+        &self,
+        dataset: &str,
+        query_id: &str,
+        prepared: &Arc<PreparedAgg>,
+        epsilon: Option<f64>,
+        want_audit: bool,
+    ) -> Result<ReleaseOutcome, ServeError> {
+        let epsilon = epsilon.unwrap_or(self.config.epsilon);
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(ServeError::BadRequest("epsilon must be positive".into()));
+        }
         let seq = self.release_seq.fetch_add(1, Ordering::SeqCst);
         // Fault points sit outside every lock so an injected panic kills
         // only this worker, never poisons shared state.
         if self.config.fault == ReleaseFault::BeforeLedger(seq) {
             panic!("injected fault: release {seq} dies before the ledger append");
         }
-        let budget_remaining = self.spend(dataset, &query_id, epsilon)?;
+        let budget_remaining = self.spend(dataset, query_id, epsilon)?;
         if self.config.fault == ReleaseFault::AfterLedger(seq) {
             panic!("injected fault: release {seq} dies after the ledger fsync");
         }
@@ -627,7 +637,7 @@ impl ServerState {
             upa.set_epsilon(epsilon)
                 .map_err(|e: UpaError| ServeError::BadRequest(e.to_string()))?;
             let result = upa
-                .release(&prepared)
+                .release(prepared)
                 .map_err(|e| ServeError::Pipeline(e.to_string()))?;
             let audit = want_audit.then(|| {
                 let mut audit = upa.last_audit().cloned().expect("release records an audit");
@@ -639,7 +649,7 @@ impl ServerState {
             (result, audit)
         };
         Ok(ReleaseOutcome {
-            query_id,
+            query_id: query_id.to_string(),
             released: result.released,
             epsilon,
             noise_scale: result.max_sensitivity() / epsilon,
@@ -664,6 +674,19 @@ impl ServerState {
             .map(|a| (a.total(), a.spent(), a.remaining())))
     }
 
+    /// The dataset's most recent `last` audits, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Unknown dataset.
+    pub fn audits_of(&self, dataset: &str, last: usize) -> Result<Vec<QueryAudit>, ServeError> {
+        let ds = self.dataset(dataset)?;
+        let upa = ds.upa.lock().expect("engine poisoned");
+        let audits = upa.audits();
+        let skip = audits.len().saturating_sub(last);
+        Ok(audits.iter().skip(skip).cloned().collect())
+    }
+
     /// JSON audits of the dataset's most recent `last` releases, oldest
     /// first.
     ///
@@ -671,11 +694,11 @@ impl ServerState {
     ///
     /// Unknown dataset.
     pub fn audits_json(&self, dataset: &str, last: usize) -> Result<Vec<String>, ServeError> {
-        let ds = self.dataset(dataset)?;
-        let upa = ds.upa.lock().expect("engine poisoned");
-        let audits = upa.audits();
-        let skip = audits.len().saturating_sub(last);
-        Ok(audits.iter().skip(skip).map(QueryAudit::to_json).collect())
+        Ok(self
+            .audits_of(dataset, last)?
+            .iter()
+            .map(QueryAudit::to_json)
+            .collect())
     }
 }
 
@@ -768,7 +791,7 @@ mod tests {
         let err = state
             .release("data", AggKind::Sum, "v", None, false)
             .unwrap_err();
-        assert_eq!(err.code(), "budget");
+        assert_eq!(err.code(), ErrorCode::Budget);
         // The refused spend left no ledger line.
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents.lines().count(), 1);
@@ -783,21 +806,21 @@ mod tests {
                 .release("nope", AggKind::Count, "", None, false)
                 .unwrap_err()
                 .code(),
-            "unknown_dataset"
+            ErrorCode::UnknownDataset
         );
         assert_eq!(
             state
                 .release("data", AggKind::Sum, "wrong", None, false)
                 .unwrap_err()
                 .code(),
-            "unknown_column"
+            ErrorCode::UnknownColumn
         );
         assert_eq!(
             state
                 .release("data", AggKind::Sum, "v", Some(-1.0), false)
                 .unwrap_err()
                 .code(),
-            "bad_request"
+            ErrorCode::BadRequest
         );
     }
 
@@ -841,25 +864,26 @@ mod tests {
     }
 
     #[test]
-    fn semaphore_bounds_concurrency() {
-        let sem = Arc::new(Semaphore::new(2));
-        let peak = Arc::new(AtomicUsize::new(0));
-        let current = Arc::new(AtomicUsize::new(0));
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let (sem, peak, current) = (Arc::clone(&sem), Arc::clone(&peak), Arc::clone(&current));
-            handles.push(std::thread::spawn(move || {
-                let _g = sem.acquire();
-                let now = current.fetch_add(1, Ordering::SeqCst) + 1;
-                peak.fetch_max(now, Ordering::SeqCst);
-                std::thread::sleep(std::time::Duration::from_millis(5));
-                current.fetch_sub(1, Ordering::SeqCst);
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert!(peak.load(Ordering::SeqCst) <= 2, "permits exceeded");
+    fn release_prepared_draws_fresh_noise_per_caller() {
+        let state = state_with(Some(2.0), None);
+        let (prepared, query_id, _) = state.prepare("data", AggKind::Sum, "v").unwrap();
+        let a = state
+            .release_prepared("data", &query_id, &prepared, None, false)
+            .unwrap();
+        let b = state
+            .release_prepared("data", &query_id, &prepared, None, false)
+            .unwrap();
+        assert_ne!(a.released, b.released, "independent draws");
+        // Budget charged once per release, never per prepare.
+        let (_, spent, _) = state.budget_of("data").unwrap().unwrap();
+        assert!((spent - 0.8).abs() < 1e-9);
+        assert_eq!(
+            state
+                .release_prepared("data", &query_id, &prepared, Some(f64::NAN), false)
+                .unwrap_err()
+                .code(),
+            ErrorCode::BadRequest
+        );
     }
 
     #[test]
@@ -875,13 +899,16 @@ mod tests {
             .unwrap(),
         );
         let g1 = tight.admit_connection().unwrap();
-        assert_eq!(tight.admit_connection().unwrap_err().code(), "busy");
+        assert_eq!(
+            tight.admit_connection().unwrap_err().code(),
+            ErrorCode::Busy
+        );
         drop(g1);
         let _g2 = tight.admit_connection().unwrap();
         tight.begin_shutdown();
         assert_eq!(
             tight.admit_connection().unwrap_err().code(),
-            "shutting_down"
+            ErrorCode::ShuttingDown
         );
         drop(state);
     }

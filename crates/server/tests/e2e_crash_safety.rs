@@ -6,7 +6,7 @@
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use upa_server::{Client, ClientError};
+use upa_server::{Client, ClientError, ErrorCode};
 
 fn temp_ledger(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("upa_e2e_tests");
@@ -105,7 +105,7 @@ fn budget_survives_sigkill_and_restart() {
 
     // The default ε=0.4 no longer fits: refused, budget untouched.
     match client.release("data", "sum", "v", None, false).unwrap_err() {
-        ClientError::Server { code, .. } => assert_eq!(code, "budget"),
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::Budget),
         other => panic!("expected a budget refusal, got {other}"),
     }
     let budget = client.budget("data").unwrap().unwrap();

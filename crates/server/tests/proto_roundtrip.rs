@@ -1,0 +1,95 @@
+//! Property tests of the typed protocol: any [`Request`] the client can
+//! construct survives encode → wire-parse → decode unchanged, and every
+//! [`ErrorCode`] round-trips with any printable message. This is what
+//! keeps the two protocol ends from drifting — both speak only through
+//! these codecs.
+
+use proptest::prelude::*;
+use upa_server::{wire, AggKind, ErrorCode, Request, Response};
+
+fn ascii(bytes: Vec<u8>) -> String {
+    String::from_utf8(bytes).expect("generated printable ASCII")
+}
+
+fn kind_of(idx: usize) -> AggKind {
+    [AggKind::Count, AggKind::Sum, AggKind::Mean][idx]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every request shape, with adversarial printable-ASCII names
+    /// (including `"` and `\` to exercise the JSON escaper), decodes to
+    /// exactly the value that was encoded.
+    #[test]
+    fn any_request_round_trips(
+        op in 0usize..8,
+        dataset_bytes in prop::collection::vec(32u8..127, 1..12),
+        column_bytes in prop::collection::vec(32u8..127, 1..8),
+        kind_idx in 0usize..3,
+        epsilon in 0.001f64..4.0,
+        with_epsilon in 0u8..2,
+        audit in 0u8..2,
+        deadline in 0u64..100_000,
+        with_deadline in 0u8..2,
+        last in 0u64..500,
+        with_last in 0u8..2,
+    ) {
+        let dataset = ascii(dataset_bytes);
+        let column = ascii(column_bytes);
+        let request = match op {
+            0 => Request::Ping,
+            1 => Request::Datasets,
+            2 => Request::Prepare {
+                dataset,
+                query: kind_of(kind_idx),
+                column,
+            },
+            3 => Request::Release {
+                dataset,
+                query: kind_of(kind_idx),
+                column,
+                epsilon: (with_epsilon == 1).then_some(epsilon),
+                audit: audit == 1,
+                deadline_ms: (with_deadline == 1).then_some(deadline),
+            },
+            4 => Request::Budget { dataset },
+            5 => Request::Audit {
+                dataset,
+                last: (with_last == 1).then_some(last),
+            },
+            6 => Request::Stats,
+            _ => Request::Shutdown,
+        };
+        let parsed = wire::parse(&request.to_line());
+        prop_assert!(parsed.is_ok(), "encoded line must be valid JSON: {request:?}");
+        let decoded = Request::from_json(&parsed.unwrap());
+        prop_assert!(decoded.is_ok(), "encoded line must decode: {request:?}");
+        prop_assert_eq!(decoded.unwrap(), request);
+    }
+
+    /// Every member of the closed error-code set survives the wire with
+    /// any printable message attached.
+    #[test]
+    fn every_error_code_round_trips_with_any_message(
+        idx in 0usize..9,
+        message_bytes in prop::collection::vec(32u8..127, 0..24),
+    ) {
+        let code = ErrorCode::ALL[idx];
+        let message = ascii(message_bytes);
+        let line = Response::Error {
+            code,
+            message: message.clone(),
+        }
+        .to_line();
+        let parsed = wire::parse(line.trim());
+        prop_assert!(parsed.is_ok(), "error line must be valid JSON");
+        match Response::from_json(&parsed.unwrap()) {
+            Ok(Response::Error { code: got, message: got_message }) => {
+                prop_assert_eq!(got, code);
+                prop_assert_eq!(got_message, message);
+            }
+            other => prop_assert!(false, "expected an Error reply, got {other:?}"),
+        }
+    }
+}

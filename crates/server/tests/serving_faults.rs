@@ -11,7 +11,7 @@
 use std::path::PathBuf;
 use std::thread::JoinHandle;
 use upa_server::{
-    Client, ClientError, DatasetSpec, ReleaseFault, Server, ServerConfig, ShutdownHandle,
+    Client, ClientError, DatasetSpec, ErrorCode, ReleaseFault, Server, ServerConfig, ShutdownHandle,
 };
 
 fn temp_ledger(tag: &str) -> PathBuf {
@@ -152,7 +152,7 @@ fn connections_beyond_the_cap_are_refused_busy() {
 
     let mut refused = Client::connect(&addr).unwrap();
     match refused.ping().unwrap_err() {
-        ClientError::Server { code, .. } => assert_eq!(code, "busy"),
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::Busy),
         other => panic!("expected a busy refusal, got {other}"),
     }
 
