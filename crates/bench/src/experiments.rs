@@ -666,10 +666,16 @@ pub fn serve_throughput(cfg: &ExpConfig) {
         cfg.threads
     );
 
+    // A real (temp) ledger puts the append+fsync on the release path, so
+    // the scraped `upa_ledger_fsync_us` histogram measures actual I/O.
+    let ledger_path =
+        std::env::temp_dir().join(format!("upa-bench-serve-{}.ledger", std::process::id()));
+    let _ = std::fs::remove_file(&ledger_path);
     let server = Server::bind(
         ServerConfig {
             datasets: vec![DatasetSpec::synthetic("data", records, 97)],
             epsilon: 0.1,
+            ledger_path: Some(ledger_path.clone()),
             sample_size: 1_000.min(records),
             seed: cfg.seed,
             threads: cfg.threads,
@@ -730,12 +736,28 @@ pub fn serve_throughput(cfg: &ExpConfig) {
     let (steady, wall_s) = flood(clients);
     let (contended, contended_wall_s) = flood(contended_clients);
 
-    let stats = {
+    let (stats, metrics) = {
         let mut observer = Client::connect(&addr).expect("stats connect");
-        observer.stats().expect("stats reply")
+        let stats = observer.stats().expect("stats reply");
+        let metrics = observer.metrics().expect("metrics reply");
+        (stats, metrics)
     };
     handle.shutdown();
     join.join().expect("server thread").expect("server exits");
+    let _ = std::fs::remove_file(&ledger_path);
+
+    // Server-side latency breakdowns, from the same registry the
+    // `metrics` op scrapes (microsecond histograms).
+    let hist_pcts = |name: &str| -> (u64, u64) {
+        metrics
+            .snapshot
+            .histograms
+            .get(name)
+            .map(|h| (h.quantile(0.50), h.quantile(0.99)))
+            .unwrap_or((0, 0))
+    };
+    let (queue_p50, queue_p99) = hist_pcts("upa_queue_wait_us");
+    let (fsync_p50, fsync_p99) = hist_pcts("upa_ledger_fsync_us");
 
     let total = steady.len();
     let qps = total as f64 / wall_s.max(1e-9);
@@ -747,7 +769,8 @@ pub fn serve_throughput(cfg: &ExpConfig) {
         steady[total - 1],
     );
     let (c_p50, c_p99) = (percentile(&contended, 50.0), percentile(&contended, 99.0));
-    let coalesce_rate = stats.coalesce_rate();
+    let sched = &stats.sched;
+    let coalesce_rate = sched.coalesce_rate();
 
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec!["steady releases".into(), total.to_string()]);
@@ -773,16 +796,20 @@ pub fn serve_throughput(cfg: &ExpConfig) {
         format!("{c_p99:.0}"),
     ]);
     t.row(vec!["coalesce rate".into(), format!("{coalesce_rate:.4}")]);
-    t.row(vec!["engine prepares".into(), stats.prepares.to_string()]);
+    t.row(vec!["engine prepares".into(), sched.prepares.to_string()]);
     t.row(vec![
         "busy rejections".into(),
-        stats.busy_rejected.to_string(),
+        sched.busy_rejected.to_string(),
     ]);
     t.row(vec![
         "peak queue depth".into(),
-        stats.peak_queued.to_string(),
+        sched.peak_queued.to_string(),
     ]);
-    t.row(vec!["peak batch".into(), stats.peak_batch.to_string()]);
+    t.row(vec!["peak batch".into(), sched.peak_batch.to_string()]);
+    t.row(vec!["queue wait p50 (µs)".into(), queue_p50.to_string()]);
+    t.row(vec!["queue wait p99 (µs)".into(), queue_p99.to_string()]);
+    t.row(vec!["ledger fsync p50 (µs)".into(), fsync_p50.to_string()]);
+    t.row(vec!["ledger fsync p99 (µs)".into(), fsync_p99.to_string()]);
     t.print();
 
     let payload = format!(
@@ -796,15 +823,17 @@ pub fn serve_throughput(cfg: &ExpConfig) {
          \"p99_us\": {c_p99:.1}}},\n  \
          \"sched\": {{\"coalesce_rate\": {coalesce_rate:.4}, \"prepares\": {}, \
          \"coalesced\": {}, \"batches\": {}, \"peak_batch\": {}, \"peak_queued\": {}, \
-         \"busy_rejected\": {}, \"shed_deadline\": {}}}\n}}",
+         \"busy_rejected\": {}, \"shed_deadline\": {}}},\n  \
+         \"server_side_us\": {{\"queue_wait\": {{\"p50\": {queue_p50}, \"p99\": {queue_p99}}}, \
+         \"ledger_fsync\": {{\"p50\": {fsync_p50}, \"p99\": {fsync_p99}}}}}\n}}",
         cfg.threads,
-        stats.prepares,
-        stats.coalesced,
-        stats.batches,
-        stats.peak_batch,
-        stats.peak_queued,
-        stats.busy_rejected,
-        stats.shed_deadline
+        sched.prepares,
+        sched.coalesced,
+        sched.batches,
+        sched.peak_batch,
+        sched.peak_queued,
+        sched.busy_rejected,
+        sched.shed_deadline
     );
     match crate::report::write_bench_json("SERVE", &payload) {
         Ok(path) => println!("\nwrote serving metrics to {}", path.display()),

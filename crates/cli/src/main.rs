@@ -4,7 +4,8 @@
 //!
 //! * default — release an aggregate over a local CSV file;
 //! * `serve` — run an `upa-server` daemon over CSV files;
-//! * `query` — release an aggregate from a running daemon.
+//! * `query` — release an aggregate from a running daemon;
+//! * `metrics` — scrape (or `--watch`) a running daemon's metrics.
 
 use upa_core::QueryAudit;
 
@@ -44,6 +45,13 @@ fn main() {
                     }
                 }
                 Err(msg) => fail(&format!("error: {msg}"), 1),
+            }
+        }
+        Some("metrics") => {
+            let args = upa_cli::remote::MetricsArgs::parse(argv.skip(1))
+                .unwrap_or_else(|msg| fail(&msg, 2));
+            if let Err(msg) = upa_cli::remote::run_metrics(&args) {
+                fail(&format!("error: {msg}"), 1);
             }
         }
         _ => {

@@ -22,7 +22,7 @@ usage: upa-cli serve --input FILE.csv [--input FILE2.csv ...]
                      [--port P] [--budget E] [--ledger PATH]
                      [--epsilon E] [--sample-size N] [--seed S]
                      [--threads T] [--max-connections N] [--max-inflight N]
-                     [--queue-capacity N]
+                     [--queue-capacity N] [--slow-query-ms MS]
 
 Serves differentially private aggregates over the given CSV files. Each
 file becomes a dataset named after its stem (people.csv -> people), with
@@ -30,7 +30,9 @@ every fully numeric column queryable. --budget meters each dataset;
 --ledger makes spends crash-safe (replayed on restart). Port 0 picks an
 ephemeral port; the bound address is announced on the first stdout line.
 --max-inflight sizes the scheduler worker pool; --queue-capacity bounds
-each dataset's request queue (a full queue refuses with `busy`).";
+each dataset's request queue (a full queue refuses with `busy`).
+--slow-query-ms logs any request slower than MS at `warn` with its full
+trace (see `upa-cli metrics` and the server's `trace` op).";
 
 /// Usage text for `upa-cli query`.
 pub const QUERY_USAGE: &str = "\
@@ -74,6 +76,8 @@ pub struct ServeArgs {
     pub max_inflight: usize,
     /// Bounded per-dataset request queue capacity.
     pub queue_capacity: usize,
+    /// Slow-query log threshold in milliseconds (`None` disables it).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServeArgs {
@@ -91,6 +95,7 @@ impl Default for ServeArgs {
             max_connections: defaults.max_connections,
             max_inflight: defaults.max_inflight_prepares,
             queue_capacity: defaults.queue_capacity,
+            slow_query_ms: None,
         }
     }
 }
@@ -132,6 +137,12 @@ impl ServeArgs {
                 "--queue-capacity" => {
                     args.queue_capacity =
                         parse_num(&need(&mut it, "--queue-capacity")?, "--queue-capacity")?
+                }
+                "--slow-query-ms" => {
+                    args.slow_query_ms = Some(parse_num(
+                        &need(&mut it, "--slow-query-ms")?,
+                        "--slow-query-ms",
+                    )?)
                 }
                 "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
@@ -295,6 +306,10 @@ pub fn build_server_config(args: &ServeArgs) -> Result<ServerConfig, String> {
         max_connections: args.max_connections,
         max_inflight_prepares: args.max_inflight,
         queue_capacity: args.queue_capacity,
+        slow_query_ms: args.slow_query_ms,
+        trace_capacity: ServerConfig::default().trace_capacity,
+        // `serve` is a daemon: the structured event log goes to stderr.
+        log_stderr: true,
         fault: Default::default(),
     })
 }
@@ -365,6 +380,168 @@ pub fn run_remote_query(args: &QueryArgs) -> Result<RemoteRelease, String> {
         None
     };
     Ok(RemoteRelease { reply, budget })
+}
+
+/// Usage text for `upa-cli metrics`.
+pub const METRICS_USAGE: &str = "\
+usage: upa-cli metrics --addr HOST:PORT [--watch] [--interval-ms MS]
+                       [--count N] [--json]
+
+Scrapes a running daemon's `metrics` op. By default prints the
+Prometheus-style text exposition once. --json prints the structured
+snapshot instead. --watch re-scrapes every --interval-ms (default 1000)
+and renders a compact live summary; --count stops after N scrapes
+(0 = until interrupted).";
+
+/// Parsed `metrics` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsArgs {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Re-scrape and render a live summary.
+    pub watch: bool,
+    /// Milliseconds between watch scrapes.
+    pub interval_ms: u64,
+    /// Watch iterations (0 = until interrupted).
+    pub count: u64,
+    /// Print the structured snapshot as JSON instead of exposition.
+    pub json: bool,
+}
+
+impl Default for MetricsArgs {
+    fn default() -> Self {
+        MetricsArgs {
+            addr: String::new(),
+            watch: false,
+            interval_ms: 1000,
+            count: 0,
+            json: false,
+        }
+    }
+}
+
+impl MetricsArgs {
+    /// Parses `metrics` flags.
+    ///
+    /// # Errors
+    ///
+    /// A printable message for unknown or malformed flags.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<MetricsArgs, String> {
+        let mut args = MetricsArgs::default();
+        let mut it = argv.into_iter();
+        let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--addr" => args.addr = need(&mut it, "--addr")?,
+                "--watch" => args.watch = true,
+                "--interval-ms" => {
+                    args.interval_ms = parse_num(&need(&mut it, "--interval-ms")?, "--interval-ms")?
+                }
+                "--count" => args.count = parse_num(&need(&mut it, "--count")?, "--count")?,
+                "--json" => args.json = true,
+                "--help" | "-h" => return Err(METRICS_USAGE.to_string()),
+                other => return Err(format!("unknown flag '{other}'\n{METRICS_USAGE}")),
+            }
+        }
+        if args.addr.is_empty() {
+            return Err(format!("--addr is required\n{METRICS_USAGE}"));
+        }
+        Ok(args)
+    }
+}
+
+/// The value of `label` spliced into `name` (`upa_x{label="v"}` → `v`).
+fn label_value<'a>(name: &'a str, label: &str) -> Option<&'a str> {
+    let needle = format!("{label}=\"");
+    let start = name.find(&needle)? + needle.len();
+    let end = name[start..].find('"')? + start;
+    Some(&name[start..end])
+}
+
+/// Renders one compact `--watch` frame from a metrics snapshot.
+pub fn render_watch(snapshot: &upa_server::RegistrySnapshot) -> String {
+    let uptime = snapshot
+        .gauges
+        .get("upa_uptime_seconds")
+        .copied()
+        .unwrap_or(0.0);
+    let mut out = format!("-- upa-server metrics (uptime {uptime:.1}s) --\n");
+
+    let mut requests = Vec::new();
+    for (name, count) in &snapshot.counters {
+        if name.starts_with("upa_requests_total{") && *count > 0 {
+            if let Some(op) = label_value(name, "op") {
+                requests.push(format!("{op}={count}"));
+            }
+        }
+    }
+    if !requests.is_empty() {
+        out.push_str(&format!("requests: {}\n", requests.join(" ")));
+    }
+
+    for (title, name) in [
+        ("release latency", "upa_release_latency_us"),
+        ("queue wait", "upa_queue_wait_us"),
+        ("engine prepare", "upa_engine_prepare_us"),
+        ("ledger fsync", "upa_ledger_fsync_us"),
+    ] {
+        if let Some(h) = snapshot.histograms.get(name) {
+            if h.count > 0 {
+                out.push_str(&format!(
+                    "{title} µs: p50={} p99={} max={} (n={})\n",
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.max(),
+                    h.count
+                ));
+            }
+        }
+    }
+
+    let mut budgets = Vec::new();
+    for (name, v) in &snapshot.gauges {
+        if name.starts_with("upa_budget_epsilon_remaining{") {
+            if let Some(dataset) = label_value(name, "dataset") {
+                budgets.push(format!("{dataset}={v:.4}"));
+            }
+        }
+    }
+    if !budgets.is_empty() {
+        out.push_str(&format!("budget ε remaining: {}\n", budgets.join(" ")));
+    }
+    out
+}
+
+/// The `metrics` subcommand: scrape once (exposition or JSON), or
+/// `--watch` a live summary.
+///
+/// # Errors
+///
+/// Connection or protocol failures, as printable messages.
+pub fn run_metrics(args: &MetricsArgs) -> Result<(), String> {
+    let mut client =
+        Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
+    if !args.watch {
+        let reply = client.metrics().map_err(|e| e.to_string())?;
+        if args.json {
+            println!("{}", reply.snapshot.to_json());
+        } else {
+            print!("{}", reply.exposition);
+        }
+        return Ok(());
+    }
+    let mut scrapes = 0u64;
+    loop {
+        let reply = client.metrics().map_err(|e| e.to_string())?;
+        print!("{}", render_watch(&reply.snapshot));
+        scrapes += 1;
+        if args.count != 0 && scrapes >= args.count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
 }
 
 /// Formats a remote release for the terminal (the audit is rendered

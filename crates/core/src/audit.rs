@@ -60,6 +60,13 @@ impl QueryAudit {
             .sum()
     }
 
+    /// The spans re-rooted under `prefix` (each path becomes
+    /// `prefix/path`, depth + 1), for grafting the engine's stage tree
+    /// under an outer trace — e.g. a server request trace.
+    pub fn spans_rebased(&self, prefix: &str) -> Vec<StageSpan> {
+        self.spans.iter().map(|s| s.rebased(prefix)).collect()
+    }
+
     /// The spans reordered depth-first, parents before children, for
     /// display. Recorded order is completion order (children first).
     fn display_order(&self) -> Vec<&StageSpan> {

@@ -194,6 +194,24 @@ pub struct StageSpan {
     pub calls: u64,
 }
 
+impl StageSpan {
+    /// The span re-rooted under `prefix`: its path gains a
+    /// `prefix/` head and its depth shifts down one level. Used to
+    /// graft an engine span tree into an enclosing trace (e.g. a
+    /// server's per-request record) without colliding with the host's
+    /// own span namespace.
+    pub fn rebased(&self, prefix: &str) -> StageSpan {
+        StageSpan {
+            name: self.name.clone(),
+            path: format!("{prefix}/{}", self.path),
+            depth: self.depth + 1,
+            nanos: self.nanos,
+            records: self.records,
+            calls: self.calls,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct SpanState {
     /// Current path segments of open scopes.

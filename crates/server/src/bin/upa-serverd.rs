@@ -34,11 +34,19 @@ OPTIONS:
                           running prepares/releases) [default: 4]
     --queue-capacity N    Bounded per-dataset request queue; a full
                           queue refuses with `busy` [default: 64]
+    --slow-query-ms MS    Log requests slower than MS at `warn` with
+                          their full trace (disabled if absent)
+    --trace-capacity N    Finished request traces retained for the
+                          `trace` op [default: 256]
     --help                Show this help
 ";
 
 fn parse_args(args: &[String]) -> Result<(ServerConfig, u16), String> {
-    let mut config = ServerConfig::default();
+    let mut config = ServerConfig {
+        // The daemon's structured event log goes to stderr.
+        log_stderr: true,
+        ..ServerConfig::default()
+    };
     let mut port: u16 = 7878;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -103,6 +111,18 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, u16), String> {
                 config.queue_capacity = value(&mut i, arg)?
                     .parse()
                     .map_err(|e| format!("bad --queue-capacity: {e}"))?;
+            }
+            "--slow-query-ms" => {
+                config.slow_query_ms = Some(
+                    value(&mut i, arg)?
+                        .parse()
+                        .map_err(|e| format!("bad --slow-query-ms: {e}"))?,
+                );
+            }
+            "--trace-capacity" => {
+                config.trace_capacity = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --trace-capacity: {e}"))?;
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),

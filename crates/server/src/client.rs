@@ -11,8 +11,8 @@
 //! [`QueryAudit::render`] path as local ones — `upa-cli --stats` output
 //! is byte-identical whether the query ran in-process or over the wire.
 
-use crate::proto::{ErrorCode, Request, Response};
-use crate::sched::SchedStats;
+use crate::obs::TraceRecord;
+use crate::proto::{ErrorCode, MetricsReply, Request, Response, StatsReply};
 use crate::state::AggKind;
 use crate::wire;
 use std::io::{self, BufRead, BufReader, Write};
@@ -465,15 +465,49 @@ impl Client {
         }
     }
 
-    /// The server's scheduler counters.
+    /// The server's scheduler counters, uptime, and snapshot sequence.
     ///
     /// # Errors
     ///
     /// Transport, decode, or server errors.
-    pub fn stats(&mut self) -> Result<SchedStats, ClientError> {
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.request(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(Self::unexpected("stats", &other)),
+        }
+    }
+
+    /// The server's metrics scrape: Prometheus-style text exposition
+    /// plus the structured snapshot it was rendered from.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server errors.
+    pub fn metrics(&mut self) -> Result<MetricsReply, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(reply) => Ok(reply),
+            other => Err(Self::unexpected("metrics", &other)),
+        }
+    }
+
+    /// Finished request traces: the one with `id`, or the most recent
+    /// `last` (default 1), oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server errors.
+    pub fn traces(
+        &mut self,
+        id: Option<&str>,
+        last: Option<u64>,
+    ) -> Result<Vec<TraceRecord>, ClientError> {
+        let request = Request::Trace {
+            id: id.map(str::to_string),
+            last,
+        };
+        match self.request(&request)? {
+            Response::Traces(traces) => Ok(traces),
+            other => Err(Self::unexpected("trace", &other)),
         }
     }
 

@@ -20,6 +20,10 @@
 //! * [`proto`] — the typed wire protocol: [`proto::Request`],
 //!   [`proto::Response`], and the closed [`proto::ErrorCode`] set
 //!   shared by both sides;
+//! * [`obs`] — server-wide observability: the metrics registry
+//!   (counters, gauges, log-linear latency histograms), per-request
+//!   traces with engine-span grafting, and the structured JSON event
+//!   log behind the `metrics`/`trace` wire ops;
 //! * [`client::Client`] — the protocol client, with
 //!   [`client::Client::builder`] for timeouts and jittered retry on
 //!   `busy`;
@@ -31,6 +35,7 @@
 
 pub mod client;
 pub mod ledger;
+pub mod obs;
 pub mod proto;
 pub mod sched;
 pub mod server;
@@ -39,7 +44,10 @@ pub mod wire;
 
 pub use client::{BudgetReply, Client, ClientBuilder, ClientError, PrepareReply, ReleaseReply};
 pub use ledger::{Ledger, SpendRecord};
-pub use proto::{audit_from_json, ErrorCode, PreparedInfo, Request, Response};
+pub use obs::{HistogramSnapshot, Obs, RegistrySnapshot, Trace, TraceRecord, TraceStore};
+pub use proto::{
+    audit_from_json, ErrorCode, MetricsReply, PreparedInfo, Request, Response, StatsReply,
+};
 pub use sched::{JobOp, JobOutput, SchedStats, Scheduler, SchedulerHandle};
 pub use server::{Server, ShutdownHandle};
 pub use state::{AggKind, DatasetSpec, ReleaseFault, ServeError, ServerConfig, ServerState};

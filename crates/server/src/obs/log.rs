@@ -1,0 +1,189 @@
+//! The structured event log: one JSON object per line on stderr,
+//! leveled and request-ID-tagged.
+//!
+//! Events carry a millisecond wall-clock timestamp, a level, an event
+//! name, the request ID when one is in scope, and free-form typed
+//! fields. Tests (and in-process embedders) can attach a memory mirror
+//! with [`EventLog::capture`] — every line written after that is also
+//! appended to the returned buffer, so assertions never have to scrape
+//! a child's stderr when running in-process.
+
+use crate::wire;
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail.
+    Debug,
+    /// Normal operation.
+    Info,
+    /// Something degraded (slow queries, refusals).
+    Warn,
+    /// Something failed.
+    Error,
+}
+
+impl Level {
+    /// The stable lowercase spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A typed field value for [`EventLog::emit`].
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A string.
+    S(String),
+    /// An unsigned integer.
+    U(u64),
+    /// A float.
+    F(f64),
+    /// A boolean.
+    B(bool),
+    /// Pre-serialized JSON, embedded verbatim (e.g. a trace record).
+    Raw(String),
+}
+
+impl Value {
+    fn render(&self) -> String {
+        match self {
+            Value::S(s) => wire::json_str(s),
+            Value::U(n) => n.to_string(),
+            Value::F(v) => wire::json_num(*v),
+            Value::B(b) => b.to_string(),
+            Value::Raw(json) => json.clone(),
+        }
+    }
+}
+
+/// The log sink. Writes below `min_level` are dropped.
+#[derive(Debug)]
+pub struct EventLog {
+    min_level: Level,
+    to_stderr: bool,
+    capture: Mutex<Option<Arc<Mutex<Vec<String>>>>>,
+}
+
+impl EventLog {
+    /// A stderr-backed log emitting `min_level` and above.
+    pub fn new(min_level: Level) -> EventLog {
+        EventLog {
+            min_level,
+            to_stderr: true,
+            capture: Mutex::new(None),
+        }
+    }
+
+    /// A silent log: nothing reaches stderr until a [`EventLog::capture`]
+    /// mirror is attached. In-process embedders (tests, the bench
+    /// harness) default to this so per-request lines don't flood the
+    /// host's stderr.
+    pub fn quiet(min_level: Level) -> EventLog {
+        EventLog {
+            min_level,
+            to_stderr: false,
+            capture: Mutex::new(None),
+        }
+    }
+
+    /// A memory-only log (unit tests).
+    pub fn memory(min_level: Level) -> (EventLog, Arc<Mutex<Vec<String>>>) {
+        let log = EventLog {
+            min_level,
+            to_stderr: false,
+            capture: Mutex::new(None),
+        };
+        let buffer = log.capture();
+        (log, buffer)
+    }
+
+    /// Attaches (or returns the existing) memory mirror; every
+    /// subsequent line is appended to the returned buffer.
+    pub fn capture(&self) -> Arc<Mutex<Vec<String>>> {
+        let mut slot = self.capture.lock().expect("log capture poisoned");
+        Arc::clone(slot.get_or_insert_with(|| Arc::new(Mutex::new(Vec::new()))))
+    }
+
+    /// Emits one event line.
+    pub fn emit(
+        &self,
+        level: Level,
+        event: &str,
+        request_id: Option<&str>,
+        fields: &[(&str, Value)],
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut line = format!(
+            "{{\"ts_ms\":{ts_ms},\"level\":{},\"event\":{}",
+            wire::json_str(level.as_str()),
+            wire::json_str(event)
+        );
+        if let Some(id) = request_id {
+            line.push_str(&format!(",\"request_id\":{}", wire::json_str(id)));
+        }
+        for (key, value) in fields {
+            line.push_str(&format!(",{}:{}", wire::json_str(key), value.render()));
+        }
+        line.push('}');
+        if let Some(buffer) = self.capture.lock().expect("log capture poisoned").as_ref() {
+            buffer
+                .lock()
+                .expect("log buffer poisoned")
+                .push(line.clone());
+        }
+        if self.to_stderr {
+            eprintln!("{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_json_with_level_and_request_id() {
+        let (log, buffer) = EventLog::memory(Level::Info);
+        log.emit(
+            Level::Warn,
+            "slow_query",
+            Some("r-3"),
+            &[
+                ("total_us", Value::U(1500)),
+                ("dataset", Value::S("data".into())),
+                ("trace", Value::Raw("{\"spans\":[]}".into())),
+            ],
+        );
+        let lines = buffer.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        let v = wire::parse(&lines[0]).expect("log line is JSON");
+        assert_eq!(v.str_of("level"), Some("warn"));
+        assert_eq!(v.str_of("event"), Some("slow_query"));
+        assert_eq!(v.str_of("request_id"), Some("r-3"));
+        assert_eq!(v.num_of("total_us"), Some(1500.0));
+        assert!(v.get("trace").unwrap().get("spans").is_some());
+    }
+
+    #[test]
+    fn below_min_level_is_dropped() {
+        let (log, buffer) = EventLog::memory(Level::Warn);
+        log.emit(Level::Info, "request_complete", None, &[]);
+        assert!(buffer.lock().unwrap().is_empty());
+        log.emit(Level::Error, "boom", None, &[]);
+        assert_eq!(buffer.lock().unwrap().len(), 1);
+    }
+}

@@ -9,6 +9,7 @@
 //! protocol (one JSON object per `\n`-terminated line, `"ok"`
 //! discriminating success), so old clients interoperate.
 
+use crate::obs::{RegistrySnapshot, TraceRecord};
 use crate::sched::SchedStats;
 use crate::state::{AggKind, ReleaseOutcome, ServeError};
 use crate::wire::{self, Json};
@@ -125,8 +126,19 @@ pub enum Request {
         /// How many recent audits (all when absent).
         last: Option<u64>,
     },
-    /// Scheduler counters (queue depth, coalesced hits, shed requests).
+    /// Scheduler counters (queue depth, coalesced hits, shed requests),
+    /// plus uptime and a monotonic snapshot sequence number.
     Stats,
+    /// The full metrics registry: Prometheus-style text exposition plus
+    /// the structured JSON form (answered even while draining).
+    Metrics,
+    /// Retained request traces, by ID or the most recent `last`.
+    Trace {
+        /// A specific request ID (`r-N`); takes precedence over `last`.
+        id: Option<String>,
+        /// How many recent traces (1 when both fields are absent).
+        last: Option<u64>,
+    },
     /// Drain and stop the server.
     Shutdown,
 }
@@ -186,6 +198,18 @@ impl Request {
                 s
             }
             Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Metrics => "{\"op\":\"metrics\"}".to_string(),
+            Request::Trace { id, last } => {
+                let mut s = String::from("{\"op\":\"trace\"");
+                if let Some(id) = id {
+                    s.push_str(&format!(",\"id\":{}", wire::json_str(id)));
+                }
+                if let Some(n) = last {
+                    s.push_str(&format!(",\"last\":{n}"));
+                }
+                s.push('}');
+                s
+            }
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
         }
     }
@@ -228,9 +252,15 @@ impl Request {
                 last: v.get("last").and_then(Json::as_u64),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "trace" => Ok(Request::Trace {
+                id: v.str_of("id").map(str::to_string),
+                last: v.get("last").and_then(Json::as_u64),
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op '{other}' (ping|datasets|prepare|release|budget|audit|stats|shutdown)"
+                "unknown op '{other}' \
+                 (ping|datasets|prepare|release|budget|audit|stats|metrics|trace|shutdown)"
             )),
         }
     }
@@ -246,6 +276,42 @@ impl Request {
             return Err("'column' is required for sum/mean".into());
         }
         Ok((dataset, query, column))
+    }
+}
+
+/// The `stats` reply's body: scheduler counters plus process-scoped
+/// scrape bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReply {
+    /// Scheduler counters.
+    pub sched: SchedStats,
+    /// Seconds since the server state was built; a drop between scrapes
+    /// means a restart (and that every lifetime counter reset).
+    pub uptime_seconds: f64,
+    /// Monotonic per-process snapshot sequence number (increments on
+    /// every `stats` reply), for rate computation and restart detection.
+    pub seq: u64,
+}
+
+/// The `metrics` reply's body: the same snapshot twice — once as
+/// Prometheus-style text for scrapers, once structured for programs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReply {
+    /// Prometheus-style text exposition.
+    pub exposition: String,
+    /// The structured registry snapshot the exposition was rendered
+    /// from.
+    pub snapshot: RegistrySnapshot,
+}
+
+impl MetricsReply {
+    /// Renders the exposition from `snapshot` (the two fields can never
+    /// disagree on the server side).
+    pub fn new(snapshot: RegistrySnapshot) -> MetricsReply {
+        MetricsReply {
+            exposition: snapshot.exposition(),
+            snapshot,
+        }
     }
 }
 
@@ -288,8 +354,12 @@ pub enum Response {
         /// The audit records.
         audits: Vec<QueryAudit>,
     },
-    /// Scheduler counters.
-    Stats(SchedStats),
+    /// Scheduler counters plus uptime and scrape sequence.
+    Stats(StatsReply),
+    /// The metrics registry, as text exposition plus structured JSON.
+    Metrics(MetricsReply),
+    /// Retained request traces, oldest first.
+    Traces(Vec<TraceRecord>),
     /// Shutdown accepted; the server is draining.
     Draining,
     /// A refusal, with its stable code.
@@ -375,7 +445,25 @@ impl Response {
                     .collect::<Vec<_>>()
                     .join(",")
             ),
-            Response::Stats(stats) => format!("{{\"ok\":true,\"sched\":{}}}\n", stats.to_json()),
+            Response::Stats(reply) => format!(
+                "{{\"ok\":true,\"sched\":{},\"uptime_seconds\":{},\"seq\":{}}}\n",
+                reply.sched.to_json(),
+                wire::json_num(reply.uptime_seconds),
+                reply.seq
+            ),
+            Response::Metrics(reply) => format!(
+                "{{\"ok\":true,\"exposition\":{},\"metrics\":{}}}\n",
+                wire::json_str(&reply.exposition),
+                reply.snapshot.to_json()
+            ),
+            Response::Traces(traces) => format!(
+                "{{\"ok\":true,\"traces\":[{}]}}\n",
+                traces
+                    .iter()
+                    .map(TraceRecord::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
             Response::Draining => "{\"ok\":true,\"draining\":true}\n".to_string(),
             Response::Error { code, message } => format!(
                 "{{\"ok\":false,\"code\":{},\"error\":{}}}\n",
@@ -416,7 +504,32 @@ impl Response {
             ));
         }
         if let Some(sched) = v.get("sched") {
-            return SchedStats::from_json(sched).map(Response::Stats);
+            return SchedStats::from_json(sched).map(|sched| {
+                Response::Stats(StatsReply {
+                    sched,
+                    // Absent on replies from pre-observability servers;
+                    // zero is the honest "unknown" for both.
+                    uptime_seconds: v.num_of("uptime_seconds").unwrap_or(0.0),
+                    seq: v.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                })
+            });
+        }
+        if let Some(metrics) = v.get("metrics") {
+            let snapshot = RegistrySnapshot::from_json(metrics)
+                .ok_or_else(|| "malformed metrics snapshot in reply".to_string())?;
+            return Ok(Response::Metrics(MetricsReply {
+                exposition: v.str_of("exposition").unwrap_or("").to_string(),
+                snapshot,
+            }));
+        }
+        if let Some(arr) = v.get("traces").and_then(Json::as_arr) {
+            let traces = arr
+                .iter()
+                .map(|t| {
+                    TraceRecord::from_json(t).ok_or_else(|| "malformed trace in reply".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::Traces(traces));
         }
         if let Some(arr) = v.get("audits").and_then(Json::as_arr) {
             let audits = arr
@@ -622,6 +735,15 @@ mod tests {
                 last: Some(3),
             },
             Request::Stats,
+            Request::Metrics,
+            Request::Trace {
+                id: Some("r-12".into()),
+                last: None,
+            },
+            Request::Trace {
+                id: None,
+                last: Some(5),
+            },
             Request::Shutdown,
         ];
         for req in &requests {
@@ -665,23 +787,85 @@ mod tests {
 
     #[test]
     fn stats_response_round_trips() {
-        let stats = SchedStats {
-            queued: 2,
-            peak_queued: 7,
-            submitted: 100,
-            completed: 98,
-            prepares: 3,
-            coalesced: 95,
-            shed_deadline: 1,
-            busy_rejected: 4,
-            batches: 9,
-            peak_batch: 12,
+        let reply = StatsReply {
+            sched: SchedStats {
+                queued: 2,
+                peak_queued: 7,
+                submitted: 100,
+                completed: 98,
+                prepares: 3,
+                coalesced: 95,
+                shed_deadline: 1,
+                busy_rejected: 4,
+                batches: 9,
+                peak_batch: 12,
+            },
+            uptime_seconds: 12.5,
+            seq: 42,
         };
-        let line = Response::Stats(stats.clone()).to_line();
+        let line = Response::Stats(reply.clone()).to_line();
         let parsed = wire::parse(line.trim()).unwrap();
         match Response::from_json(&parsed).unwrap() {
-            Response::Stats(got) => assert_eq!(got, stats),
+            Response::Stats(got) => assert_eq!(got, reply),
             other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_reply_without_uptime_still_decodes() {
+        // A pre-observability server's reply shape: sched only.
+        let parsed = wire::parse(
+            "{\"ok\":true,\"sched\":{\"queued\":0,\"peak_queued\":0,\"submitted\":1,\
+             \"completed\":1,\"prepares\":1,\"coalesced\":0,\"shed_deadline\":0,\
+             \"busy_rejected\":0,\"batches\":1,\"peak_batch\":1}}",
+        )
+        .unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Stats(got) => {
+                assert_eq!(got.sched.submitted, 1);
+                assert_eq!(got.uptime_seconds, 0.0);
+                assert_eq!(got.seq, 0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        use crate::obs::Registry;
+        let registry = Registry::new();
+        registry
+            .counter("upa_requests_total{op=\"release\"}")
+            .add(3);
+        registry
+            .gauge("upa_budget_epsilon_remaining{dataset=\"d\"}")
+            .set(0.5);
+        registry.histogram("upa_release_latency_us").record(777);
+        let reply = MetricsReply::new(registry.snapshot());
+        let line = Response::Metrics(reply.clone()).to_line();
+        let parsed = wire::parse(line.trim()).unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Metrics(got) => {
+                assert_eq!(got, reply);
+                assert!(got.exposition.contains("upa_release_latency_us_count 1"));
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traces_response_round_trips() {
+        use crate::obs::Trace;
+        let t = Trace::new("r-9", "release", "data");
+        t.set_query_id("data/sum/v");
+        let now = std::time::Instant::now();
+        t.span("queue_wait", now, now);
+        let reply = vec![t.finish("ok")];
+        let line = Response::Traces(reply.clone()).to_line();
+        let parsed = wire::parse(line.trim()).unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Traces(got) => assert_eq!(got, reply),
+            other => panic!("expected Traces, got {other:?}"),
         }
     }
 }

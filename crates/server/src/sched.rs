@@ -48,6 +48,7 @@
 //! observable behaviour (connection drops without a reply) while the
 //! pool stays healthy.
 
+use crate::obs::Trace;
 use crate::state::{AggKind, PreparedAgg, ReleaseOutcome, ServeError, ServerState};
 use crate::wire::Json;
 use std::collections::{HashMap, VecDeque};
@@ -238,6 +239,10 @@ struct Job {
     column: String,
     op: JobOp,
     deadline: Option<Instant>,
+    /// When the job entered its queue — the start of its queue-wait span.
+    enqueued: Instant,
+    /// The submitting request's trace, when the connection opened one.
+    trace: Option<Trace>,
     slot: Arc<Slot>,
 }
 
@@ -372,6 +377,7 @@ impl Scheduler {
         column: &str,
         op: JobOp,
         deadline_ms: Option<u64>,
+        trace: Option<Trace>,
     ) -> Result<JobOutput, ServeError> {
         if let JobOp::Release {
             epsilon: Some(eps), ..
@@ -403,6 +409,8 @@ impl Scheduler {
                 column: column.to_string(),
                 op,
                 deadline,
+                enqueued: Instant::now(),
+                trace,
                 slot: Arc::clone(&slot),
             });
             qs.queued += 1;
@@ -435,8 +443,21 @@ impl Scheduler {
 
     // ---- worker side ----------------------------------------------------
 
+    /// Records how long `job` sat in its queue, into the histogram and
+    /// (when traced) the request's timeline. Called once per job at the
+    /// moment it leaves a queue — via `next_job` or `take_batch`.
+    fn note_dequeued(&self, job: &Job) {
+        let now = Instant::now();
+        let waited = now.checked_duration_since(job.enqueued).unwrap_or_default();
+        self.state.obs().m.queue_wait.record_duration(waited);
+        if let Some(t) = &job.trace {
+            t.span("queue_wait", job.enqueued, now);
+        }
+    }
+
     fn worker_loop(&self) {
         while let Some(job) = self.next_job() {
+            self.note_dequeued(&job);
             if job.expired() {
                 self.shed(job);
                 continue;
@@ -476,18 +497,24 @@ impl Scheduler {
     /// `first`'s dataset into one batch — they all share one prepare.
     fn take_batch(&self, first: Job) -> Vec<Job> {
         let mut batch = vec![first];
-        let mut qs = self.queues.lock().expect("queues poisoned");
-        if let Some(queue) = qs.queues.get_mut(&batch[0].dataset) {
-            let mut rest = VecDeque::with_capacity(queue.len());
-            while let Some(job) = queue.pop_front() {
-                if batch[0].same_query(&job) {
-                    batch.push(job);
-                } else {
-                    rest.push_back(job);
+        {
+            let mut qs = self.queues.lock().expect("queues poisoned");
+            if let Some(queue) = qs.queues.get_mut(&batch[0].dataset) {
+                let mut rest = VecDeque::with_capacity(queue.len());
+                while let Some(job) = queue.pop_front() {
+                    if batch[0].same_query(&job) {
+                        batch.push(job);
+                    } else {
+                        rest.push_back(job);
+                    }
                 }
+                *queue = rest;
+                qs.queued -= batch.len() - 1;
             }
-            *queue = rest;
-            qs.queued -= batch.len() - 1;
+        }
+        // The first job's dequeue was noted by `worker_loop`.
+        for job in &batch[1..] {
+            self.note_dequeued(job);
         }
         batch
     }
@@ -500,9 +527,14 @@ impl Scheduler {
 
     fn serve_batch(&self, batch: Vec<Job>) {
         let lead = &batch[0];
+        let prep_start = Instant::now();
         let prep = panic::catch_unwind(AssertUnwindSafe(|| {
             self.prepare_shared(&lead.dataset, lead.kind, &lead.column)
         }));
+        let prep_end = Instant::now();
+        let prep_dur = prep_end
+            .checked_duration_since(prep_start)
+            .unwrap_or_default();
         match prep {
             Err(payload) => {
                 let message = panic_message(payload);
@@ -518,10 +550,24 @@ impl Scheduler {
                 }
             }
             Ok(Ok((prepared, query_id, ran_prepare))) => {
+                let m = &self.state.obs().m;
+                if ran_prepare {
+                    m.engine_prepare.record_duration(prep_dur);
+                }
                 for (i, job) in batch.into_iter().enumerate() {
                     let leader_ran = ran_prepare && i == 0;
                     if !leader_ran {
                         self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                        m.coalesce_wait.record_duration(prep_dur);
+                    }
+                    if let Some(t) = &job.trace {
+                        t.set_query_id(&query_id);
+                        let name = if leader_ran {
+                            "engine_prepare"
+                        } else {
+                            "coalesce_wait"
+                        };
+                        t.span(name, prep_start, prep_end);
                     }
                     if job.expired() {
                         // The prepare is shared state, not this job's
@@ -541,12 +587,13 @@ impl Scheduler {
                             want_audit,
                         } => self
                             .state
-                            .release_prepared(
+                            .release_prepared_traced(
                                 &job.dataset,
                                 &query_id,
                                 &prepared,
                                 *epsilon,
                                 *want_audit,
+                                job.trace.as_ref(),
                             )
                             .map(|out| JobOutput::Released(Box::new(out))),
                     }));
@@ -677,7 +724,7 @@ mod tests {
         let (_state, handle) = sched_with(two_dataset_config());
         let sched = handle.scheduler();
         match sched
-            .submit("alpha", AggKind::Sum, "v", JobOp::Prepare, None)
+            .submit("alpha", AggKind::Sum, "v", JobOp::Prepare, None, None)
             .unwrap()
         {
             JobOutput::Prepared {
@@ -698,6 +745,7 @@ mod tests {
                     want_audit: false,
                 },
                 None,
+                None,
             )
             .unwrap()
         {
@@ -717,7 +765,7 @@ mod tests {
         let sched = handle.scheduler();
         assert_eq!(
             sched
-                .submit("nope", AggKind::Count, "", JobOp::Prepare, None)
+                .submit("nope", AggKind::Count, "", JobOp::Prepare, None, None)
                 .unwrap_err()
                 .code()
                 .as_str(),
@@ -733,6 +781,7 @@ mod tests {
                         epsilon: Some(-2.0),
                         want_audit: false
                     },
+                    None,
                     None,
                 )
                 .unwrap_err()
@@ -758,6 +807,7 @@ mod tests {
                     want_audit: false,
                 },
                 Some(0),
+                None,
             )
             .unwrap_err();
         assert_eq!(err, ServeError::DeadlineExceeded);
@@ -773,12 +823,12 @@ mod tests {
         let (_state, mut handle) = sched_with(two_dataset_config());
         let sched = handle.scheduler();
         sched
-            .submit("beta", AggKind::Mean, "v", JobOp::Prepare, None)
+            .submit("beta", AggKind::Mean, "v", JobOp::Prepare, None, None)
             .unwrap();
         handle.drain();
         assert_eq!(
             sched
-                .submit("beta", AggKind::Mean, "v", JobOp::Prepare, None)
+                .submit("beta", AggKind::Mean, "v", JobOp::Prepare, None, None)
                 .unwrap_err(),
             ServeError::ShuttingDown
         );
@@ -792,7 +842,7 @@ mod tests {
         for name in ["alpha", "beta", "alpha", "beta"] {
             let sched = Arc::clone(&sched);
             threads.push(std::thread::spawn(move || {
-                sched.submit(name, AggKind::Count, "", JobOp::Prepare, None)
+                sched.submit(name, AggKind::Count, "", JobOp::Prepare, None, None)
             }));
         }
         for t in threads {

@@ -21,7 +21,8 @@
 //! ledgered spend that could still be delivered — and only then drains
 //! the scheduler pool.
 
-use crate::proto::{PreparedInfo, Request, Response};
+use crate::obs::{Level, RegistrySnapshot, Trace, Value};
+use crate::proto::{ErrorCode, MetricsReply, PreparedInfo, Request, Response, StatsReply};
 use crate::sched::{JobOp, JobOutput, Scheduler, SchedulerHandle};
 use crate::state::{ServeError, ServerConfig, ServerState};
 use crate::wire;
@@ -208,22 +209,105 @@ fn serve_connection(
     }
 }
 
+/// The `upa_requests_total` label for a decoded request.
+fn op_name(r: &Request) -> &'static str {
+    match r {
+        Request::Ping => "ping",
+        Request::Datasets => "datasets",
+        Request::Prepare { .. } => "prepare",
+        Request::Release { .. } => "release",
+        Request::Budget { .. } => "budget",
+        Request::Audit { .. } => "audit",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Trace { .. } => "trace",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Composes the `metrics` scrape: the registry's live snapshot plus
+/// values computed at scrape time — scheduler counters
+/// (`upa_sched_*`), per-dataset budget gauges
+/// (`upa_budget_epsilon_{total,spent,remaining}{dataset="…"}`), uptime,
+/// and connection/cache occupancy.
+fn scrape(state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> RegistrySnapshot {
+    let obs = state.obs();
+    let mut snap = obs.registry().snapshot();
+    let s = sched.stats();
+    for (name, v) in [
+        ("upa_sched_submitted_total", s.submitted),
+        ("upa_sched_completed_total", s.completed),
+        ("upa_sched_prepares_total", s.prepares),
+        ("upa_sched_coalesced_total", s.coalesced),
+        ("upa_sched_shed_deadline_total", s.shed_deadline),
+        ("upa_sched_busy_rejected_total", s.busy_rejected),
+        ("upa_sched_batches_total", s.batches),
+    ] {
+        snap.counters.insert(name.to_string(), v);
+    }
+    for (name, v) in [
+        ("upa_sched_queued", s.queued as f64),
+        ("upa_sched_peak_queued", s.peak_queued as f64),
+        ("upa_sched_peak_batch", s.peak_batch as f64),
+        ("upa_uptime_seconds", obs.uptime_seconds()),
+        ("upa_connections_active", state.active_connections() as f64),
+        ("upa_prepared_cache_entries", state.prepared_len() as f64),
+    ] {
+        snap.gauges.insert(name.to_string(), v);
+    }
+    for (dataset, total, spent, remaining) in state.budgets() {
+        for (what, v) in [("total", total), ("spent", spent), ("remaining", remaining)] {
+            snap.gauges.insert(
+                format!("upa_budget_epsilon_{what}{{dataset=\"{dataset}\"}}"),
+                v,
+            );
+        }
+    }
+    snap
+}
+
 /// Dispatches one request line; returns the reply line and whether the
 /// request was a shutdown.
 fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (String, bool) {
+    let obs = Arc::clone(state.obs());
     let parsed = match wire::parse(line) {
         Ok(v) => v,
-        Err(e) => return (error_line(&ServeError::BadRequest(e.to_string())), false),
+        Err(e) => {
+            obs.m.count_request("invalid");
+            obs.m.count_error(ErrorCode::BadRequest);
+            return (error_line(&ServeError::BadRequest(e.to_string())), false);
+        }
     };
     let request = match Request::from_json(&parsed) {
         Ok(r) => r,
-        Err(msg) => return (error_line(&ServeError::BadRequest(msg)), false),
+        Err(msg) => {
+            obs.m.count_request("invalid");
+            obs.m.count_error(ErrorCode::BadRequest);
+            return (error_line(&ServeError::BadRequest(msg)), false);
+        }
     };
-    // Health checks and counters still answer while draining; everything
-    // else is refused.
-    if state.is_shutting_down() && !matches!(request, Request::Ping | Request::Stats) {
+    let op = op_name(&request);
+    obs.m.count_request(op);
+    // Health checks and observability still answer while draining;
+    // everything else is refused.
+    if state.is_shutting_down()
+        && !matches!(
+            request,
+            Request::Ping | Request::Stats | Request::Metrics | Request::Trace { .. }
+        )
+    {
+        obs.m.count_error(ErrorCode::ShuttingDown);
         return (error_line(&ServeError::ShuttingDown), false);
     }
+    // Prepare/release — the requests that move through the scheduler —
+    // get a request ID and a trace; the scheduler and release path
+    // record their spans into it.
+    let trace = match &request {
+        Request::Prepare { dataset, .. } | Request::Release { dataset, .. } => {
+            Some(Trace::new(obs.next_request_id(), op, dataset.clone()))
+        }
+        _ => None,
+    };
     let response = match request {
         Request::Ping => Response::Ok,
         Request::Datasets => Response::Datasets(state.dataset_names()),
@@ -231,7 +315,14 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (Str
             dataset,
             query,
             column,
-        } => match sched.submit(&dataset, query, &column, JobOp::Prepare, None) {
+        } => match sched.submit(
+            &dataset,
+            query,
+            &column,
+            JobOp::Prepare,
+            None,
+            trace.clone(),
+        ) {
             Ok(JobOutput::Prepared {
                 query_id,
                 sample_size,
@@ -262,6 +353,7 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (Str
                 want_audit: audit,
             },
             deadline_ms,
+            trace.clone(),
         ) {
             Ok(JobOutput::Released(outcome)) => Response::Released(outcome),
             Ok(other) => Response::from(&ServeError::Pipeline(format!(
@@ -279,9 +371,66 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (Str
                 Err(e) => Response::from(&e),
             }
         }
-        Request::Stats => Response::Stats(sched.stats()),
+        Request::Stats => Response::Stats(StatsReply {
+            sched: sched.stats(),
+            uptime_seconds: obs.uptime_seconds(),
+            seq: obs.next_stats_seq(),
+        }),
+        Request::Metrics => Response::Metrics(MetricsReply::new(scrape(state, sched))),
+        Request::Trace { id, last } => {
+            let traces = match id {
+                Some(id) => obs.traces().find(&id).into_iter().collect(),
+                None => obs.traces().recent(last.unwrap_or(1) as usize),
+            };
+            Response::Traces(traces)
+        }
         Request::Shutdown => return (Response::Draining.to_line(), true),
     };
+    if let Response::Error { code, .. } = &response {
+        obs.m.count_error(*code);
+    }
+    if let Some(t) = trace {
+        let outcome = match &response {
+            Response::Error { code, .. } => code.as_str().to_string(),
+            _ => "ok".to_string(),
+        };
+        let record = t.finish(&outcome);
+        if op == "release" {
+            obs.m.release_latency.record(record.total_us);
+        }
+        let slow = obs
+            .slow_query_us()
+            .is_some_and(|threshold| record.total_us >= threshold);
+        if slow {
+            obs.m.slow_queries.inc();
+            // A slow offender's log line carries its whole trace.
+            obs.log().emit(
+                Level::Warn,
+                "slow_query",
+                Some(&record.request_id),
+                &[
+                    ("op", Value::S(op.to_string())),
+                    ("dataset", Value::S(record.dataset.clone())),
+                    ("outcome", Value::S(outcome)),
+                    ("total_us", Value::U(record.total_us)),
+                    ("trace", Value::Raw(record.to_json())),
+                ],
+            );
+        } else {
+            obs.log().emit(
+                Level::Info,
+                "request_complete",
+                Some(&record.request_id),
+                &[
+                    ("op", Value::S(op.to_string())),
+                    ("dataset", Value::S(record.dataset.clone())),
+                    ("outcome", Value::S(outcome)),
+                    ("total_us", Value::U(record.total_us)),
+                ],
+            );
+        }
+        obs.traces().push(record);
+    }
     (response.to_line(), false)
 }
 

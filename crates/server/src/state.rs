@@ -18,12 +18,14 @@
 //! [`ServerState::release_prepared`].
 
 use crate::ledger::{spent_by_dataset, Ledger, SpendRecord};
+use crate::obs::{Obs, Trace};
 use crate::proto::ErrorCode;
 use dataflow::Context;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use upa_core::budget::BudgetAccountant;
 use upa_core::domain::EmpiricalSampler;
 use upa_core::query::MapReduceQuery;
@@ -172,6 +174,14 @@ pub struct ServerConfig {
     /// Bound of each dataset's scheduler queue; a request arriving at a
     /// full queue is refused with `busy`.
     pub queue_capacity: usize,
+    /// Requests slower than this many milliseconds are logged at `warn`
+    /// with their full trace (`None` disables slow-query logging).
+    pub slow_query_ms: Option<u64>,
+    /// How many finished request traces the `trace` op retains.
+    pub trace_capacity: usize,
+    /// Route the structured event log to stderr (the daemon turns this
+    /// on; in-process embedders stay silent).
+    pub log_stderr: bool,
     /// Serving-path fault injection (tests only).
     pub fault: ReleaseFault,
 }
@@ -189,6 +199,9 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_inflight_prepares: 4,
             queue_capacity: 64,
+            slow_query_ms: None,
+            trace_capacity: 256,
+            log_stderr: false,
             fault: ReleaseFault::None,
         }
     }
@@ -312,6 +325,7 @@ pub struct ServerState {
     release_seq: AtomicUsize,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
+    obs: Arc<Obs>,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -376,8 +390,18 @@ impl ServerState {
             release_seq: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
+            obs: Arc::new(Obs::new(
+                config.slow_query_ms,
+                config.trace_capacity,
+                config.log_stderr,
+            )),
             config,
         })
+    }
+
+    /// The observability hub (metrics registry, trace ring, event log).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// The engine context (shared by every dataset's `Upa`).
@@ -616,9 +640,33 @@ impl ServerState {
         epsilon: Option<f64>,
         want_audit: bool,
     ) -> Result<ReleaseOutcome, ServeError> {
+        self.release_prepared_traced(dataset, query_id, prepared, epsilon, want_audit, None)
+    }
+
+    /// [`ServerState::release_prepared`] with span recording: the
+    /// ledger-fsync and noise-draw timings land in the metrics
+    /// histograms always, and as spans on `trace` when one is threaded
+    /// through — along with the engine's audit span tree, rebased under
+    /// `engine/`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerState::release_prepared`].
+    pub fn release_prepared_traced(
+        &self,
+        dataset: &str,
+        query_id: &str,
+        prepared: &Arc<PreparedAgg>,
+        epsilon: Option<f64>,
+        want_audit: bool,
+        trace: Option<&Trace>,
+    ) -> Result<ReleaseOutcome, ServeError> {
         let epsilon = epsilon.unwrap_or(self.config.epsilon);
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(ServeError::BadRequest("epsilon must be positive".into()));
+        }
+        if let Some(t) = trace {
+            t.set_query_id(query_id);
         }
         let seq = self.release_seq.fetch_add(1, Ordering::SeqCst);
         // Fault points sit outside every lock so an injected panic kills
@@ -626,7 +674,19 @@ impl ServerState {
         if self.config.fault == ReleaseFault::BeforeLedger(seq) {
             panic!("injected fault: release {seq} dies before the ledger append");
         }
+        let spend_start = Instant::now();
         let budget_remaining = self.spend(dataset, query_id, epsilon)?;
+        if self.config.ledger_path.is_some() {
+            // The spend is dominated by the ledger append + fsync; only
+            // record it when a ledger is actually on the path.
+            self.obs
+                .m
+                .ledger_fsync
+                .record_duration(spend_start.elapsed());
+            if let Some(t) = trace {
+                t.span_since("ledger_fsync", spend_start);
+            }
+        }
         if self.config.fault == ReleaseFault::AfterLedger(seq) {
             panic!("injected fault: release {seq} dies after the ledger fsync");
         }
@@ -636,9 +696,20 @@ impl ServerState {
             let mut upa = ds.upa.lock().expect("engine poisoned");
             upa.set_epsilon(epsilon)
                 .map_err(|e: UpaError| ServeError::BadRequest(e.to_string()))?;
+            let noise_start = Instant::now();
             let result = upa
                 .release(prepared)
                 .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+            self.obs.m.noise_draw.record_duration(noise_start.elapsed());
+            if let Some(t) = trace {
+                t.span_since("noise_draw", noise_start);
+                // Graft the engine's view of this release under the
+                // server trace, whether or not the client asked for the
+                // audit payload.
+                if let Some(a) = upa.last_audit() {
+                    t.graft_engine(a.spans_rebased("engine"));
+                }
+            }
             let audit = want_audit.then(|| {
                 let mut audit = upa.last_audit().cloned().expect("release records an audit");
                 // The server's accountant is authoritative (the engine's
@@ -672,6 +743,20 @@ impl ServerState {
             .accountants
             .get(dataset)
             .map(|a| (a.total(), a.spent(), a.remaining())))
+    }
+
+    /// Every metered dataset's budget as `(name, total, spent,
+    /// remaining)`, sorted by name — the `metrics` op's per-dataset
+    /// ε-remaining gauges.
+    pub fn budgets(&self) -> Vec<(String, f64, f64, f64)> {
+        let budget = self.budget.lock().expect("budget poisoned");
+        let mut out: Vec<_> = budget
+            .accountants
+            .iter()
+            .map(|(name, a)| (name.clone(), a.total(), a.spent(), a.remaining()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// The dataset's most recent `last` audits, oldest first.

@@ -93,18 +93,30 @@ impl Json {
     }
 }
 
-/// A parse failure: byte offset plus message.
+/// A parse failure: byte offset, message, and a truncated echo of the
+/// input around the offending byte.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset of the failure.
     pub at: usize,
     /// What went wrong.
     pub message: String,
+    /// Up to [`ECHO_BYTES`] of input around the offset, `…`-elided at
+    /// truncated ends, so a protocol error names the offending text
+    /// without echoing an arbitrarily long line.
+    pub near: String,
 }
+
+/// Input bytes echoed around a parse failure (each side of the offset).
+pub const ECHO_BYTES: usize = 20;
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "invalid JSON at byte {}: {} (near '{}')",
+            self.at, self.message, self.near
+        )
     }
 }
 
@@ -130,6 +142,29 @@ pub fn parse(text: &str) -> Result<Json, ParseError> {
     Ok(v)
 }
 
+/// The `…`-elided window of `bytes` around `pos`, shrunk to UTF-8
+/// character boundaries so multi-byte input never echoes as mojibake.
+fn echo_near(bytes: &[u8], pos: usize) -> String {
+    let is_boundary = |i: usize| i >= bytes.len() || (bytes[i] & 0xC0) != 0x80;
+    let mut start = pos.saturating_sub(ECHO_BYTES).min(bytes.len());
+    while !is_boundary(start) {
+        start -= 1;
+    }
+    let mut end = (pos + ECHO_BYTES).min(bytes.len());
+    while !is_boundary(end) {
+        end += 1;
+    }
+    let mut out = String::new();
+    if start > 0 {
+        out.push('…');
+    }
+    out.push_str(&String::from_utf8_lossy(&bytes[start..end]));
+    if end < bytes.len() {
+        out.push('…');
+    }
+    out
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -140,6 +175,7 @@ impl Parser<'_> {
         ParseError {
             at: self.pos,
             message: message.to_string(),
+            near: echo_near(self.bytes, self.pos),
         }
     }
 
@@ -409,6 +445,36 @@ mod tests {
         }
         let err = parse("{\"a\":!}").unwrap_err();
         assert!(err.to_string().contains("byte"));
+        // A short line echoes in full, un-elided.
+        assert_eq!(err.near, "{\"a\":!}");
+        assert!(err.to_string().contains("(near '{\"a\":!}')"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_echo_a_truncated_window() {
+        // A long line is elided on both sides of the offending byte…
+        let long = format!("{{\"key\":\"{}\"!{}}}", "x".repeat(200), "y".repeat(200));
+        let err = parse(&long).unwrap_err();
+        assert_eq!(err.at, long.find('!').unwrap());
+        assert!(
+            err.near.starts_with('…') && err.near.ends_with('…'),
+            "{err}"
+        );
+        assert!(err.near.contains('!'), "echo must show the bad byte: {err}");
+        assert!(
+            err.near.chars().count() <= 2 * ECHO_BYTES + 2,
+            "echo too long: {err}"
+        );
+        // …a failure near the start keeps the line head un-elided…
+        let err = parse(&format!("!{}", "z".repeat(100))).unwrap_err();
+        assert!(
+            err.near.starts_with('!') && err.near.ends_with('…'),
+            "{err}"
+        );
+        // …and multi-byte input truncates on character boundaries
+        // rather than echoing mojibake.
+        let err = parse(&format!("\"{}", "é".repeat(100))).unwrap_err();
+        assert!(!err.near.contains('\u{FFFD}'), "split a UTF-8 char: {err}");
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Shared helpers for the server integration tests.
+
+/// Asserts Prometheus-text-exposition well-formedness: every line is a
+/// `# TYPE`/`# HELP` comment or a `name value` sample with a float
+/// value, and every family named in `required` is present.
+pub fn assert_exposition_well_formed(text: &str, required: &[&str]) {
+    let mut families = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("TYPE ") || rest.starts_with("HELP "),
+                "line {i}: unknown comment {line:?}"
+            );
+            continue;
+        }
+        // A sample: `name{labels} value` or `name value`, value a float.
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("line {i}: no value separator in {line:?}"));
+        assert!(!name.is_empty(), "line {i}: empty metric name");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "line {i}: value {value:?} is not a number in {line:?}"
+        );
+        let family = name.split('{').next().unwrap();
+        assert!(
+            family
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "line {i}: malformed family {family:?}"
+        );
+        families.insert(family.to_string());
+    }
+    for family in required {
+        assert!(
+            families.contains(*family),
+            "required family {family} missing; have {families:?}"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the log-linear latency histogram: across many
+//! random value distributions, every quantile estimate stays within one
+//! bucket width of the exact sorted order statistic, and snapshot
+//! merging is associative and commutative (so per-source snapshots
+//! combine in any order without changing any quantile).
+//!
+//! The harness is a hand-rolled xorshift PRNG — deterministic, seeded
+//! per case, and dependency-free.
+
+use upa_server::obs::histogram::{bucket_width, Histogram, HistogramSnapshot};
+
+/// xorshift64*: tiny, seedable, good enough to vary distributions.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A value in `0..bound`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Draws `n` values from one of several shapes — uniform at varying
+/// magnitudes, exponential-ish (bit-width-uniform), bimodal, constant —
+/// chosen by `case` so the suite covers qualitatively different tails.
+fn sample(case: u64, n: usize, rng: &mut Rng) -> Vec<u64> {
+    (0..n)
+        .map(|_| match case % 4 {
+            // Uniform over a magnitude that grows with the case index.
+            0 => rng.below(10u64.saturating_pow((case % 12) as u32 + 1)),
+            // Bit-width-uniform: heavy tail across ~50 binary scales
+            // (capped at 2^50 so a few thousand draws can't overflow
+            // the snapshot's u64 value sum).
+            1 => rng.next() >> (14 + rng.below(50) as u32),
+            // Bimodal: fast path near 100, slow path near 1e7.
+            2 => {
+                if rng.below(10) < 8 {
+                    50 + rng.below(100)
+                } else {
+                    10_000_000 + rng.below(1_000_000)
+                }
+            }
+            // Constant (degenerate distribution).
+            _ => 42 * (case + 1),
+        })
+        .collect()
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn quantiles_stay_within_one_bucket_width_of_exact() {
+    let quantiles = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+    for case in 0..64u64 {
+        let mut rng = Rng(0x9E3779B97F4A7C15 ^ (case + 1));
+        let n = 1 + rng.below(2_000) as usize;
+        let values = sample(case, n, &mut rng);
+        let snap = snapshot_of(&values);
+        assert_eq!(snap.count, values.len() as u64, "case {case}");
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &quantiles {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = snap.quantile(q);
+            assert!(
+                est.abs_diff(exact) <= bucket_width(exact),
+                "case {case} q={q}: estimate {est} is more than one bucket \
+                 width ({}) from exact {exact}",
+                bucket_width(exact)
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    for case in 0..32u64 {
+        let mut rng = Rng(0xD1B54A32D192ED03 ^ (case + 1));
+        let parts: Vec<HistogramSnapshot> = (0..3)
+            .map(|i| {
+                let n = rng.below(500) as usize;
+                snapshot_of(&sample(case + i, n, &mut rng))
+            })
+            .collect();
+        let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+
+        assert_eq!(a.merge(b), b.merge(a), "case {case}: merge must commute");
+        assert_eq!(
+            a.merge(b).merge(c),
+            a.merge(&b.merge(c)),
+            "case {case}: merge must associate"
+        );
+
+        // Merging is equivalent to having recorded everything into one
+        // histogram — the quantiles of the merged snapshot match.
+        let merged = a.merge(b).merge(c);
+        assert_eq!(merged.count, a.count + b.count + c.count);
+        assert_eq!(merged.sum, a.sum + b.sum + c.sum);
+        let empty = HistogramSnapshot::default();
+        assert_eq!(&merged.merge(&empty), &merged, "empty is the identity");
+    }
+}

@@ -13,6 +13,8 @@ use upa_server::{
     Client, ClientError, DatasetSpec, ErrorCode, Server, ServerConfig, ShutdownHandle,
 };
 
+mod common;
+
 fn start(config: ServerConfig) -> (String, ShutdownHandle, JoinHandle<std::io::Result<()>>) {
     let server = Server::bind(config, "127.0.0.1:0").expect("bind");
     let addr = server.local_addr().to_string();
@@ -94,15 +96,41 @@ fn full_queues_refuse_busy_and_lapsed_deadlines_shed() {
 
     // Every accepted request was served — busy only ever replaced
     // queueing, never dropped admitted work.
-    let stats = observer.stats().expect("stats");
+    let stats = observer.stats().expect("stats").sched;
     assert_eq!(stats.queued, 0, "{stats:?}");
     assert_eq!(stats.completed, stats.submitted, "{stats:?}");
-    assert_eq!(
+    // Admission control can also refuse with `busy` when reconnect churn
+    // momentarily exceeds the connection cap, so the scheduler's count
+    // is a lower bound on what clients observed.
+    assert!(
+        stats.busy_rejected <= busy.load(Ordering::Relaxed),
+        "queue refusals {} exceed observed busy {}: {stats:?}",
         stats.busy_rejected,
-        busy.load(Ordering::Relaxed),
-        "{stats:?}"
+        busy.load(Ordering::Relaxed)
     );
     assert_eq!(stats.submitted, served.load(Ordering::Relaxed), "{stats:?}");
+
+    // Mid-soak metrics scrape (the CI server-integration job leans on
+    // this): the exposition stays well-formed under live traffic and
+    // carries the serving-path families.
+    let metrics = observer.metrics().expect("metrics scrape");
+    common::assert_exposition_well_formed(
+        &metrics.exposition,
+        &[
+            "upa_requests_total",
+            "upa_release_latency_us",
+            "upa_queue_wait_us",
+            "upa_sched_submitted_total",
+            "upa_uptime_seconds",
+        ],
+    );
+    let released = served.load(Ordering::Relaxed);
+    let latency = &metrics.snapshot.histograms["upa_release_latency_us"];
+    assert!(
+        latency.count >= released,
+        "release-latency histogram saw {} of {released} releases",
+        latency.count
+    );
 
     // An unmeetable deadline is shed with the distinct `deadline` code…
     match observer
@@ -117,7 +145,7 @@ fn full_queues_refuse_busy_and_lapsed_deadlines_shed() {
         .release_with_deadline("data", "mean", "v", None, false, Some(60_000))
         .expect("a generous deadline is met");
     assert!(reply.released.is_finite());
-    let stats = observer.stats().expect("stats after shed");
+    let stats = observer.stats().expect("stats after shed").sched;
     assert_eq!(stats.shed_deadline, 1, "{stats:?}");
 
     handle.shutdown();

@@ -80,7 +80,7 @@ fn identical_concurrent_queries_coalesce_to_one_prepare() {
     );
 
     // Exactly one prepare ran; everyone else coalesced.
-    let stats = observer.stats().expect("stats");
+    let stats = observer.stats().expect("stats").sched;
     assert_eq!(
         stats.prepares, 1,
         "64 identical queries must share a single engine prepare: {stats:?}"
