@@ -638,13 +638,17 @@ pub fn perf_hotpath(cfg: &ExpConfig) {
 // ---------------------------------------------------------------------------
 
 /// Serving benchmark: an in-process `upa-server` on a loopback socket,
-/// hammered by concurrent clients in two phases. The steady phase
-/// measures the cached serving path at the configured client count; the
-/// contended phase quadruples the clients so the scheduler's coalescing
-/// is what keeps latency bounded — its p99 and the server's coalesce
-/// rate are the headline numbers. Everything is printed and written to
+/// hammered by concurrent clients in three phases. The steady and
+/// contended phases carry a generous `deadline_ms` so every request
+/// takes the scheduler (queue, coalescing, worker pool) — the contended
+/// phase quadruples the clients so coalescing is what keeps latency
+/// bounded. The fast-path phase then drops the deadline: cached releases
+/// are served on their connection threads (zero queue) with spends
+/// group-committed, and its qps/p99 plus the fsyncs-per-release ratio
+/// are the headline numbers. Everything is printed and written to
 /// `BENCH_SERVE.json` (override with `UPA_BENCH_SERVE_OUT`; client and
-/// request counts with `UPA_BENCH_CLIENTS` / `UPA_BENCH_SERVE_REQUESTS`).
+/// request counts with `UPA_BENCH_CLIENTS` / `UPA_BENCH_SERVE_REQUESTS` /
+/// `UPA_BENCH_FASTPATH_REQUESTS`).
 pub fn serve_throughput(cfg: &ExpConfig) {
     use upa_server::{Client, DatasetSpec, Server, ServerConfig};
 
@@ -656,13 +660,15 @@ pub fn serve_throughput(cfg: &ExpConfig) {
     };
     let clients = read_env("UPA_BENCH_CLIENTS", 4).max(1);
     let contended_clients = (clients * 4).max(8);
-    let requests = read_env("UPA_BENCH_SERVE_REQUESTS", 50).max(1);
+    let requests = read_env("UPA_BENCH_SERVE_REQUESTS", 64).max(1);
+    let fastpath_requests = read_env("UPA_BENCH_FASTPATH_REQUESTS", 400).max(1);
     let records = cfg.orders.max(1) * 25;
 
     println!("== Serving throughput: upa-server under concurrent clients ==");
     println!(
         "({records} records, {clients} steady / {contended_clients} contended clients x \
-         {requests} releases each, {} engine threads)\n",
+         {requests} scheduled releases each, then {contended_clients} x {fastpath_requests} \
+         fast-path releases, {} engine threads)\n",
         cfg.threads
     );
 
@@ -690,17 +696,22 @@ pub fn serve_throughput(cfg: &ExpConfig) {
     let handle = server.shutdown_handle();
     let join = std::thread::spawn(move || server.run());
 
-    // Pay the one-off prepare outside the measured window so the
-    // percentiles describe steady-state (cached, zero-stage) serving.
+    // Pay the one-off prepare outside any measured window so the
+    // percentiles describe steady-state (cached, zero-stage) serving,
+    // then warm the serving path itself — connections, the prepared
+    // cache, the group committer — with a short unmeasured burst.
     {
         let mut warm = Client::connect(&addr).expect("warm-up connect");
-        warm.release("data", "sum", "v", None, false)
-            .expect("warm-up release");
+        for _ in 0..8 {
+            warm.release("data", "sum", "v", None, false)
+                .expect("warm-up release");
+        }
     }
 
-    // One flood of `n` clients x `requests` releases; returns the sorted
-    // latencies and the phase's wall time.
-    let flood = |n: usize| -> (Vec<f64>, f64) {
+    // One flood of `n` clients x `per_client` releases; a deadline opts
+    // every request into the scheduler, `None` rides the zero-queue fast
+    // path once cached. Returns the sorted latencies and the wall time.
+    let flood = |n: usize, per_client: usize, deadline_ms: Option<u64>| -> (Vec<f64>, f64) {
         let phase_start = Instant::now();
         let mut workers = Vec::new();
         for _ in 0..n {
@@ -710,11 +721,11 @@ pub fn serve_throughput(cfg: &ExpConfig) {
                     .retry_busy(8)
                     .connect(&addr)
                     .expect("client connect");
-                let mut latencies_us = Vec::with_capacity(requests);
-                for _ in 0..requests {
+                let mut latencies_us = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
                     let start = Instant::now();
                     client
-                        .release("data", "sum", "v", None, false)
+                        .release_with_deadline("data", "sum", "v", None, false, deadline_ms)
                         .expect("release delivers");
                     latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
                 }
@@ -732,9 +743,21 @@ pub fn serve_throughput(cfg: &ExpConfig) {
         let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
         sorted[idx]
     };
+    let counter = |m: &upa_server::MetricsReply, name: &str| -> u64 {
+        m.snapshot.counters.get(name).copied().unwrap_or(0)
+    };
 
-    let (steady, wall_s) = flood(clients);
-    let (contended, contended_wall_s) = flood(contended_clients);
+    let (steady, wall_s) = flood(clients, requests, Some(600_000));
+    let (contended, contended_wall_s) = flood(contended_clients, requests, Some(600_000));
+
+    // Snapshot the fsync counter on the phase boundary so the fast-path
+    // phase's batching ratio is isolated from the scheduled phases.
+    let fsyncs_before_fastpath = {
+        let mut observer = Client::connect(&addr).expect("pre-fastpath connect");
+        let m = observer.metrics().expect("metrics reply");
+        counter(&m, "upa_ledger_fsyncs_total")
+    };
+    let (fastpath, fastpath_wall_s) = flood(contended_clients, fastpath_requests, None);
 
     let (stats, metrics) = {
         let mut observer = Client::connect(&addr).expect("stats connect");
@@ -758,6 +781,14 @@ pub fn serve_throughput(cfg: &ExpConfig) {
     };
     let (queue_p50, queue_p99) = hist_pcts("upa_queue_wait_us");
     let (fsync_p50, fsync_p99) = hist_pcts("upa_ledger_fsync_us");
+    let (batch_p50, _) = hist_pcts("upa_ledger_batch_size");
+    let (commit_wait_p50, commit_wait_p99) = hist_pcts("upa_ledger_commit_wait_us");
+    let batch_max = metrics
+        .snapshot
+        .histograms
+        .get("upa_ledger_batch_size")
+        .map(|h| h.max())
+        .unwrap_or(0);
 
     let total = steady.len();
     let qps = total as f64 / wall_s.max(1e-9);
@@ -769,6 +800,12 @@ pub fn serve_throughput(cfg: &ExpConfig) {
         steady[total - 1],
     );
     let (c_p50, c_p99) = (percentile(&contended, 50.0), percentile(&contended, 99.0));
+    let fastpath_total = fastpath.len();
+    let fastpath_qps = fastpath_total as f64 / fastpath_wall_s.max(1e-9);
+    let (f_p50, f_p99) = (percentile(&fastpath, 50.0), percentile(&fastpath, 99.0));
+    let fastpath_hits = counter(&metrics, "upa_fastpath_hits_total");
+    let fastpath_fsyncs =
+        counter(&metrics, "upa_ledger_fsyncs_total").saturating_sub(fsyncs_before_fastpath);
     let sched = &stats.sched;
     let coalesce_rate = sched.coalesce_rate();
 
@@ -795,6 +832,29 @@ pub fn serve_throughput(cfg: &ExpConfig) {
         "contended p99 latency (µs)".into(),
         format!("{c_p99:.0}"),
     ]);
+    t.row(vec![
+        "fast-path releases".into(),
+        fastpath_total.to_string(),
+    ]);
+    t.row(vec![
+        "fast-path throughput (qps)".into(),
+        format!("{fastpath_qps:.0}"),
+    ]);
+    t.row(vec![
+        "fast-path p50 latency (µs)".into(),
+        format!("{f_p50:.0}"),
+    ]);
+    t.row(vec![
+        "fast-path p99 latency (µs)".into(),
+        format!("{f_p99:.0}"),
+    ]);
+    t.row(vec![
+        "fast-path fsyncs".into(),
+        format!(
+            "{fastpath_fsyncs} ({:.1} spends/fsync)",
+            fastpath_total as f64 / (fastpath_fsyncs.max(1)) as f64
+        ),
+    ]);
     t.row(vec!["coalesce rate".into(), format!("{coalesce_rate:.4}")]);
     t.row(vec!["engine prepares".into(), sched.prepares.to_string()]);
     t.row(vec![
@@ -810,6 +870,16 @@ pub fn serve_throughput(cfg: &ExpConfig) {
     t.row(vec!["queue wait p99 (µs)".into(), queue_p99.to_string()]);
     t.row(vec!["ledger fsync p50 (µs)".into(), fsync_p50.to_string()]);
     t.row(vec!["ledger fsync p99 (µs)".into(), fsync_p99.to_string()]);
+    t.row(vec!["ledger batch p50".into(), batch_p50.to_string()]);
+    t.row(vec!["ledger batch max".into(), batch_max.to_string()]);
+    t.row(vec![
+        "commit wait p50 (µs)".into(),
+        commit_wait_p50.to_string(),
+    ]);
+    t.row(vec![
+        "commit wait p99 (µs)".into(),
+        commit_wait_p99.to_string(),
+    ]);
     t.print();
 
     let payload = format!(
@@ -821,11 +891,16 @@ pub fn serve_throughput(cfg: &ExpConfig) {
          \"p99\": {p99:.1}, \"max\": {max:.1}}},\n  \
          \"contended\": {{\"qps\": {contended_qps:.1}, \"p50_us\": {c_p50:.1}, \
          \"p99_us\": {c_p99:.1}}},\n  \
+         \"fastpath\": {{\"releases\": {fastpath_total}, \"qps\": {fastpath_qps:.1}, \
+         \"p50_us\": {f_p50:.1}, \"p99_us\": {f_p99:.1}, \"hits\": {fastpath_hits}, \
+         \"fsyncs\": {fastpath_fsyncs}}},\n  \
          \"sched\": {{\"coalesce_rate\": {coalesce_rate:.4}, \"prepares\": {}, \
          \"coalesced\": {}, \"batches\": {}, \"peak_batch\": {}, \"peak_queued\": {}, \
          \"busy_rejected\": {}, \"shed_deadline\": {}}},\n  \
          \"server_side_us\": {{\"queue_wait\": {{\"p50\": {queue_p50}, \"p99\": {queue_p99}}}, \
-         \"ledger_fsync\": {{\"p50\": {fsync_p50}, \"p99\": {fsync_p99}}}}}\n}}",
+         \"ledger_fsync\": {{\"p50\": {fsync_p50}, \"p99\": {fsync_p99}}}, \
+         \"commit_wait\": {{\"p50\": {commit_wait_p50}, \"p99\": {commit_wait_p99}}}}},\n  \
+         \"ledger_batch\": {{\"p50\": {batch_p50}, \"max\": {batch_max}}}\n}}",
         cfg.threads,
         sched.prepares,
         sched.coalesced,

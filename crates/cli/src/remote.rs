@@ -23,16 +23,21 @@ usage: upa-cli serve --input FILE.csv [--input FILE2.csv ...]
                      [--epsilon E] [--sample-size N] [--seed S]
                      [--threads T] [--max-connections N] [--max-inflight N]
                      [--queue-capacity N] [--slow-query-ms MS]
+                     [--ledger-commit-us US] [--cache-capacity N]
 
 Serves differentially private aggregates over the given CSV files. Each
 file becomes a dataset named after its stem (people.csv -> people), with
 every fully numeric column queryable. --budget meters each dataset;
---ledger makes spends crash-safe (replayed on restart). Port 0 picks an
+--ledger makes spends crash-safe (replayed on restart), and
+--ledger-commit-us sizes the group-commit window within which concurrent
+spends share one fsync (0 = every spend fsyncs alone). Port 0 picks an
 ephemeral port; the bound address is announced on the first stdout line.
 --max-inflight sizes the scheduler worker pool; --queue-capacity bounds
-each dataset's request queue (a full queue refuses with `busy`).
---slow-query-ms logs any request slower than MS at `warn` with its full
-trace (see `upa-cli metrics` and the server's `trace` op).";
+each dataset's request queue (a full queue refuses with `busy`);
+--cache-capacity bounds the prepared-query LRU cache whose hits skip the
+queue entirely (0 = unbounded). --slow-query-ms logs any request slower
+than MS at `warn` with its full trace (see `upa-cli metrics` and the
+server's `trace` op).";
 
 /// Usage text for `upa-cli query`.
 pub const QUERY_USAGE: &str = "\
@@ -78,6 +83,11 @@ pub struct ServeArgs {
     pub queue_capacity: usize,
     /// Slow-query log threshold in milliseconds (`None` disables it).
     pub slow_query_ms: Option<u64>,
+    /// Group-commit window in microseconds (0 = commit every spend
+    /// alone).
+    pub ledger_commit_us: u64,
+    /// Prepared-query LRU cache capacity (0 = unbounded).
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeArgs {
@@ -96,6 +106,8 @@ impl Default for ServeArgs {
             max_inflight: defaults.max_inflight_prepares,
             queue_capacity: defaults.queue_capacity,
             slow_query_ms: None,
+            ledger_commit_us: defaults.ledger_commit_us,
+            cache_capacity: defaults.cache_capacity,
         }
     }
 }
@@ -143,6 +155,16 @@ impl ServeArgs {
                         &need(&mut it, "--slow-query-ms")?,
                         "--slow-query-ms",
                     )?)
+                }
+                "--ledger-commit-us" => {
+                    args.ledger_commit_us = parse_num(
+                        &need(&mut it, "--ledger-commit-us")?,
+                        "--ledger-commit-us",
+                    )?
+                }
+                "--cache-capacity" => {
+                    args.cache_capacity =
+                        parse_num(&need(&mut it, "--cache-capacity")?, "--cache-capacity")?
                 }
                 "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
@@ -307,6 +329,8 @@ pub fn build_server_config(args: &ServeArgs) -> Result<ServerConfig, String> {
         max_inflight_prepares: args.max_inflight,
         queue_capacity: args.queue_capacity,
         slow_query_ms: args.slow_query_ms,
+        ledger_commit_us: args.ledger_commit_us,
+        cache_capacity: args.cache_capacity,
         trace_capacity: ServerConfig::default().trace_capacity,
         // `serve` is a daemon: the structured event log goes to stderr.
         log_stderr: true,
@@ -577,7 +601,8 @@ mod tests {
         let a = ServeArgs::parse(argv(
             "--input a.csv --input b.csv --port 0 --budget 2.0 --ledger l.jsonl \
              --epsilon 0.3 --sample-size 64 --seed 7 --threads 2 \
-             --max-connections 8 --max-inflight 2 --queue-capacity 16",
+             --max-connections 8 --max-inflight 2 --queue-capacity 16 \
+             --ledger-commit-us 500 --cache-capacity 32",
         ))
         .unwrap();
         assert_eq!(a.inputs, vec!["a.csv", "b.csv"]);
@@ -587,6 +612,8 @@ mod tests {
         assert_eq!(a.epsilon, 0.3);
         assert_eq!(a.max_inflight, 2);
         assert_eq!(a.queue_capacity, 16);
+        assert_eq!(a.ledger_commit_us, 500);
+        assert_eq!(a.cache_capacity, 32);
         assert!(
             ServeArgs::parse(argv("--port 1")).is_err(),
             "input required"

@@ -169,6 +169,24 @@ impl RangeEnforcer {
         outcome
     }
 
+    /// Records a query signature without running the separation loop.
+    ///
+    /// Used for *cached* re-releases of an already-enforced query: the
+    /// partition outputs are byte-identical to the recorded first
+    /// release, so the loop in [`RangeEnforcer::enforce`] could only
+    /// flag the query against its own history and mangle a legitimate
+    /// repeat. The signature is still recorded so genuinely new queries
+    /// keep being compared against every answered release.
+    pub fn record(&mut self, signature: QuerySignature) {
+        self.history.push(signature);
+    }
+
+    /// The most recently recorded signature (what the release that just
+    /// ran pushed), if any.
+    pub fn last_signature(&self) -> Option<&QuerySignature> {
+        self.history.last()
+    }
+
     /// Clears the history (test/bench helper; production deployments must
     /// never clear it).
     pub fn reset(&mut self) {

@@ -25,6 +25,12 @@ OPTIONS:
                           column `v` holding `i % MOD` [default MOD: 97]
     --budget EPS          Total privacy budget per dataset (unmetered if absent)
     --ledger PATH         Crash-safe budget ledger file (replayed on start)
+    --ledger-commit-us US Group-commit window: concurrent spends arriving
+                          within US microseconds share one fsync
+                          (0 = every spend fsyncs alone) [default: 200]
+    --cache-capacity N    Prepared-query LRU cache capacity; cached
+                          releases skip the scheduler queue entirely
+                          (0 = unbounded) [default: 256]
     --epsilon EPS         Default per-release epsilon [default: 0.1]
     --sample-size N       UPA sample size n [default: 1000]
     --seed N              RNG seed [default: 0xDA7A]
@@ -76,6 +82,16 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, u16), String> {
             }
             "--ledger" => {
                 config.ledger_path = Some(PathBuf::from(value(&mut i, arg)?));
+            }
+            "--ledger-commit-us" => {
+                config.ledger_commit_us = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --ledger-commit-us: {e}"))?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value(&mut i, arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-capacity: {e}"))?;
             }
             "--epsilon" => {
                 config.epsilon = value(&mut i, arg)?

@@ -203,6 +203,10 @@ fn open_stream(
         match attempt {
             Ok(stream) => {
                 stream.set_read_timeout(builder.read_timeout)?;
+                // Request/reply over one connection: Nagle would hold
+                // each small request until the previous segment's
+                // (delayed) ACK, stalling every exchange ~40ms.
+                stream.set_nodelay(true)?;
                 let reader = BufReader::new(stream.try_clone()?);
                 return Ok((reader, stream));
             }
@@ -290,10 +294,14 @@ impl Client {
         // request can hit a broken pipe while a perfectly good refusal
         // sits in the receive buffer. Try the read even if the write
         // failed and prefer whatever the server managed to say.
+        // One write syscall per request (line + terminator together): a
+        // split write means a second tiny TCP segment that Nagle holds
+        // back until the first is ACKed.
+        let mut line = request.to_line();
+        line.push('\n');
         let written = self
             .writer
-            .write_all(request.to_line().as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
+            .write_all(line.as_bytes())
             .and_then(|()| self.writer.flush());
         let mut line = String::new();
         match self.reader.read_line(&mut line) {

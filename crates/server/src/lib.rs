@@ -13,10 +13,15 @@
 //!   (concurrent identical queries share one prepare while each draws
 //!   its own noisy release), and `deadline_ms` shedding;
 //! * [`state::ServerState`] — the shared serving state: per-dataset
-//!   engines, a cross-connection prepared-query cache (repeat releases
-//!   are zero-stage), and per-dataset budget accountants;
-//! * [`ledger::Ledger`] — the append-only, fsync-before-release spend
-//!   log that makes budget accounting survive `SIGKILL`;
+//!   engines, a cross-connection LRU prepared-query cache (repeat
+//!   releases are zero-stage and skip the scheduler entirely — the
+//!   zero-queue fast path), and lock-free sharded budget accounting
+//!   ([`state::AtomicBudget`]);
+//! * [`ledger::Ledger`] — the append-only, checksummed,
+//!   fsync-before-release spend log that makes budget accounting
+//!   survive `SIGKILL`, fronted by the group-committing
+//!   [`ledger::GroupCommitLedger`] so concurrent releases share one
+//!   fsync;
 //! * [`proto`] — the typed wire protocol: [`proto::Request`],
 //!   [`proto::Response`], and the closed [`proto::ErrorCode`] set
 //!   shared by both sides;
@@ -43,11 +48,13 @@ pub mod state;
 pub mod wire;
 
 pub use client::{BudgetReply, Client, ClientBuilder, ClientError, PrepareReply, ReleaseReply};
-pub use ledger::{Ledger, SpendRecord};
+pub use ledger::{GroupCommitLedger, Ledger, LedgerObs, SpendRecord};
 pub use obs::{HistogramSnapshot, Obs, RegistrySnapshot, Trace, TraceRecord, TraceStore};
 pub use proto::{
     audit_from_json, ErrorCode, MetricsReply, PreparedInfo, Request, Response, StatsReply,
 };
 pub use sched::{JobOp, JobOutput, SchedStats, Scheduler, SchedulerHandle};
 pub use server::{Server, ShutdownHandle};
-pub use state::{AggKind, DatasetSpec, ReleaseFault, ServeError, ServerConfig, ServerState};
+pub use state::{
+    AggKind, AtomicBudget, DatasetSpec, ReleaseFault, ServeError, ServerConfig, ServerState,
+};

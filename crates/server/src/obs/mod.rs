@@ -54,6 +54,23 @@ pub struct ServerMetrics {
     pub noise_draw: Arc<Histogram>,
     /// Ledger append + fsync duration.
     pub ledger_fsync: Arc<Histogram>,
+    /// Actual `fsync` syscalls issued by the group committer — grows
+    /// strictly slower than the release count whenever batching happens.
+    pub ledger_fsyncs: Arc<Counter>,
+    /// Spend records per committed ledger batch.
+    pub ledger_batch_size: Arc<Histogram>,
+    /// Time a spend waited on its batch's shared fsync (enqueue →
+    /// durable).
+    pub ledger_commit_wait: Arc<Histogram>,
+    /// Releases served on the zero-queue fast path (prepare cached, no
+    /// scheduler involvement).
+    pub fastpath_hits: Arc<Counter>,
+    /// Prepared-query cache hits at dispatch.
+    pub cache_hits: Arc<Counter>,
+    /// Prepared-query cache misses at dispatch.
+    pub cache_misses: Arc<Counter>,
+    /// LRU evictions from the prepared-query cache.
+    pub cache_evictions: Arc<Counter>,
     /// Requests over the configured slow-query threshold.
     pub slow_queries: Arc<Counter>,
     requests: HashMap<&'static str, Arc<Counter>>,
@@ -88,6 +105,13 @@ impl ServerMetrics {
             engine_prepare: registry.histogram("upa_engine_prepare_us"),
             noise_draw: registry.histogram("upa_noise_draw_us"),
             ledger_fsync: registry.histogram("upa_ledger_fsync_us"),
+            ledger_fsyncs: registry.counter("upa_ledger_fsyncs_total"),
+            ledger_batch_size: registry.histogram("upa_ledger_batch_size"),
+            ledger_commit_wait: registry.histogram("upa_ledger_commit_wait_us"),
+            fastpath_hits: registry.counter("upa_fastpath_hits_total"),
+            cache_hits: registry.counter("upa_prepared_cache_hits_total"),
+            cache_misses: registry.counter("upa_prepared_cache_misses_total"),
+            cache_evictions: registry.counter("upa_prepared_cache_evictions_total"),
             slow_queries: registry.counter("upa_slow_queries_total"),
             requests,
             errors,

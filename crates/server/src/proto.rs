@@ -383,93 +383,123 @@ impl From<&ServeError> for Response {
 impl Response {
     /// Serializes to one `\n`-terminated protocol line.
     pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write_line(&mut out);
+        out
+    }
+
+    /// Appends the `\n`-terminated protocol line to `out`. The serving
+    /// hot path reuses one per-connection buffer across replies, so a
+    /// release costs zero reply-side allocations once the buffer has
+    /// grown to steady state.
+    pub fn write_line(&self, out: &mut String) {
+        use std::fmt::Write;
         match self {
-            Response::Ok => "{\"ok\":true}\n".to_string(),
+            Response::Ok => out.push_str("{\"ok\":true}\n"),
             Response::Datasets(names) => {
-                let names = names
-                    .iter()
-                    .map(|n| wire::json_str(n))
-                    .collect::<Vec<_>>()
-                    .join(",");
-                format!("{{\"ok\":true,\"datasets\":[{names}]}}\n")
+                out.push_str("{\"ok\":true,\"datasets\":[");
+                for (i, n) in names.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    wire::push_json_str(out, n);
+                }
+                out.push_str("]}\n");
             }
-            Response::Prepared(info) => format!(
-                "{{\"ok\":true,\"query_id\":{},\"sample_size\":{},\"cached\":{}}}\n",
-                wire::json_str(&info.query_id),
-                info.sample_size,
-                info.cached
-            ),
-            Response::Released(outcome) => {
-                let mut s = format!(
-                    "{{\"ok\":true,\"query_id\":{},\"released\":{},\"epsilon\":{},\
-                     \"noise_scale\":{},\"sample_size\":{}",
-                    wire::json_str(&outcome.query_id),
-                    wire::json_num(outcome.released),
-                    wire::json_num(outcome.epsilon),
-                    wire::json_num(outcome.noise_scale),
-                    outcome.sample_size
+            Response::Prepared(info) => {
+                out.push_str("{\"ok\":true,\"query_id\":");
+                wire::push_json_str(out, &info.query_id);
+                let _ = write!(
+                    out,
+                    ",\"sample_size\":{},\"cached\":{}}}\n",
+                    info.sample_size, info.cached
                 );
+            }
+            Response::Released(outcome) => {
+                out.push_str("{\"ok\":true,\"query_id\":");
+                wire::push_json_str(out, &outcome.query_id);
+                out.push_str(",\"released\":");
+                wire::push_json_num(out, outcome.released);
+                out.push_str(",\"epsilon\":");
+                wire::push_json_num(out, outcome.epsilon);
+                out.push_str(",\"noise_scale\":");
+                wire::push_json_num(out, outcome.noise_scale);
+                let _ = write!(out, ",\"sample_size\":{}", outcome.sample_size);
                 match outcome.budget_remaining {
                     Some(rem) => {
-                        s.push_str(&format!(",\"budget_remaining\":{}", wire::json_num(rem)));
+                        out.push_str(",\"budget_remaining\":");
+                        wire::push_json_num(out, rem);
                     }
-                    None => s.push_str(",\"budget_remaining\":null"),
+                    None => out.push_str(",\"budget_remaining\":null"),
                 }
                 if let Some(audit) = &outcome.audit {
-                    s.push_str(",\"audit\":");
-                    s.push_str(&audit.to_json());
+                    out.push_str(",\"audit\":");
+                    out.push_str(&audit.to_json());
                 }
-                s.push_str("}\n");
-                s
+                out.push_str("}\n");
             }
-            Response::Budget { dataset, budget } => match budget {
-                Some((total, spent, remaining)) => format!(
-                    "{{\"ok\":true,\"dataset\":{},\"total\":{},\"spent\":{},\"remaining\":{}}}\n",
-                    wire::json_str(dataset),
-                    wire::json_num(*total),
-                    wire::json_num(*spent),
-                    wire::json_num(*remaining)
-                ),
-                None => format!(
-                    "{{\"ok\":true,\"dataset\":{},\"total\":null,\"spent\":null,\
-                     \"remaining\":null}}\n",
-                    wire::json_str(dataset)
-                ),
-            },
-            Response::Audits { dataset, audits } => format!(
-                "{{\"ok\":true,\"dataset\":{},\"audits\":[{}]}}\n",
-                wire::json_str(dataset),
-                audits
-                    .iter()
-                    .map(QueryAudit::to_json)
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ),
-            Response::Stats(reply) => format!(
-                "{{\"ok\":true,\"sched\":{},\"uptime_seconds\":{},\"seq\":{}}}\n",
-                reply.sched.to_json(),
-                wire::json_num(reply.uptime_seconds),
-                reply.seq
-            ),
-            Response::Metrics(reply) => format!(
-                "{{\"ok\":true,\"exposition\":{},\"metrics\":{}}}\n",
-                wire::json_str(&reply.exposition),
-                reply.snapshot.to_json()
-            ),
-            Response::Traces(traces) => format!(
-                "{{\"ok\":true,\"traces\":[{}]}}\n",
-                traces
-                    .iter()
-                    .map(TraceRecord::to_json)
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ),
-            Response::Draining => "{\"ok\":true,\"draining\":true}\n".to_string(),
-            Response::Error { code, message } => format!(
-                "{{\"ok\":false,\"code\":{},\"error\":{}}}\n",
-                wire::json_str(code.as_str()),
-                wire::json_str(message)
-            ),
+            Response::Budget { dataset, budget } => {
+                out.push_str("{\"ok\":true,\"dataset\":");
+                wire::push_json_str(out, dataset);
+                match budget {
+                    Some((total, spent, remaining)) => {
+                        out.push_str(",\"total\":");
+                        wire::push_json_num(out, *total);
+                        out.push_str(",\"spent\":");
+                        wire::push_json_num(out, *spent);
+                        out.push_str(",\"remaining\":");
+                        wire::push_json_num(out, *remaining);
+                        out.push_str("}\n");
+                    }
+                    None => {
+                        out.push_str(",\"total\":null,\"spent\":null,\"remaining\":null}\n");
+                    }
+                }
+            }
+            Response::Audits { dataset, audits } => {
+                out.push_str("{\"ok\":true,\"dataset\":");
+                wire::push_json_str(out, dataset);
+                out.push_str(",\"audits\":[");
+                for (i, a) in audits.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&a.to_json());
+                }
+                out.push_str("]}\n");
+            }
+            Response::Stats(reply) => {
+                out.push_str("{\"ok\":true,\"sched\":");
+                out.push_str(&reply.sched.to_json());
+                out.push_str(",\"uptime_seconds\":");
+                wire::push_json_num(out, reply.uptime_seconds);
+                let _ = write!(out, ",\"seq\":{}}}\n", reply.seq);
+            }
+            Response::Metrics(reply) => {
+                out.push_str("{\"ok\":true,\"exposition\":");
+                wire::push_json_str(out, &reply.exposition);
+                out.push_str(",\"metrics\":");
+                out.push_str(&reply.snapshot.to_json());
+                out.push_str("}\n");
+            }
+            Response::Traces(traces) => {
+                out.push_str("{\"ok\":true,\"traces\":[");
+                for (i, t) in traces.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&t.to_json());
+                }
+                out.push_str("]}\n");
+            }
+            Response::Draining => out.push_str("{\"ok\":true,\"draining\":true}\n"),
+            Response::Error { code, message } => {
+                out.push_str("{\"ok\":false,\"code\":");
+                wire::push_json_str(out, code.as_str());
+                out.push_str(",\"error\":");
+                wire::push_json_str(out, message);
+                out.push_str("}\n");
+            }
         }
     }
 

@@ -7,10 +7,18 @@
 //! thread per admitted connection, all sharing an
 //! `Arc<`[`ServerState`]`>`. A connection handles any number of
 //! requests, one line-delimited JSON object each (see [`crate::wire`]).
-//! Prepare/release work does not run on the connection thread: it is
-//! submitted to the [`Scheduler`]'s per-dataset queues and served by its
-//! worker pool, which coalesces identical queries and sheds expired
-//! deadlines (see [`crate::sched`]).
+//!
+//! # The zero-queue fast path
+//!
+//! A release whose `(dataset, aggregate, column)` prepare is already
+//! cached skips the scheduler entirely: the connection thread reserves
+//! budget against the dataset's lock-free shard, submits its spend to
+//! the group-commit ledger, draws the Laplace sample and replies —
+//! microseconds of server work plus one *shared* fsync. Only cache-miss
+//! prepares (and requests carrying a `deadline_ms`, which opt into
+//! queue-aware shedding) are submitted to the [`Scheduler`]'s
+//! per-dataset queues and served by its worker pool, which coalesces
+//! identical queries and sheds expired deadlines (see [`crate::sched`]).
 //!
 //! # Shutdown
 //!
@@ -26,7 +34,7 @@ use crate::proto::{ErrorCode, MetricsReply, PreparedInfo, Request, Response, Sta
 use crate::sched::{JobOp, JobOutput, Scheduler, SchedulerHandle};
 use crate::state::{ServeError, ServerConfig, ServerState};
 use crate::wire;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -171,9 +179,16 @@ fn serve_connection(
     // held hostage by a client that keeps its socket open silently;
     // in-flight requests (which are past `read_line`) still complete.
     stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    // Replies are small and latency-bound; never let Nagle hold one back
+    // for a delayed ACK. (Each reply is a single buffered write anyway.)
+    stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
+    let mut writer = BufWriter::new(stream);
     let mut line = String::new();
+    // One reply buffer for the connection's lifetime: replies serialize
+    // into it in place, so the steady-state release path allocates
+    // nothing on the reply side.
+    let mut reply = String::new();
     loop {
         // On timeout `line` keeps any partial bytes already received —
         // the next pass resumes the same line.
@@ -197,7 +212,8 @@ fn serve_connection(
             line.clear();
             continue;
         }
-        let (reply, is_shutdown) = respond(trimmed, state, sched);
+        reply.clear();
+        let is_shutdown = respond(trimmed, state, sched, &mut reply);
         line.clear();
         writer.write_all(reply.as_bytes())?;
         writer.flush()?;
@@ -266,16 +282,17 @@ fn scrape(state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> RegistrySnapshot 
     snap
 }
 
-/// Dispatches one request line; returns the reply line and whether the
-/// request was a shutdown.
-fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (String, bool) {
+/// Dispatches one request line, appending the reply line to `reply`;
+/// returns whether the request was a shutdown.
+fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>, reply: &mut String) -> bool {
     let obs = Arc::clone(state.obs());
     let parsed = match wire::parse(line) {
         Ok(v) => v,
         Err(e) => {
             obs.m.count_request("invalid");
             obs.m.count_error(ErrorCode::BadRequest);
-            return (error_line(&ServeError::BadRequest(e.to_string())), false);
+            Response::from(&ServeError::BadRequest(e.to_string())).write_line(reply);
+            return false;
         }
     };
     let request = match Request::from_json(&parsed) {
@@ -283,7 +300,8 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (Str
         Err(msg) => {
             obs.m.count_request("invalid");
             obs.m.count_error(ErrorCode::BadRequest);
-            return (error_line(&ServeError::BadRequest(msg)), false);
+            Response::from(&ServeError::BadRequest(msg)).write_line(reply);
+            return false;
         }
     };
     let op = op_name(&request);
@@ -297,7 +315,8 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (Str
         )
     {
         obs.m.count_error(ErrorCode::ShuttingDown);
-        return (error_line(&ServeError::ShuttingDown), false);
+        Response::from(&ServeError::ShuttingDown).write_line(reply);
+        return false;
     }
     // Prepare/release — the requests that move through the scheduler —
     // get a request ID and a trace; the scheduler and release path
@@ -344,23 +363,58 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (Str
             epsilon,
             audit,
             deadline_ms,
-        } => match sched.submit(
-            &dataset,
-            query,
-            &column,
-            JobOp::Release {
-                epsilon,
-                want_audit: audit,
-            },
-            deadline_ms,
-            trace.clone(),
-        ) {
-            Ok(JobOutput::Released(outcome)) => Response::Released(outcome),
-            Ok(other) => Response::from(&ServeError::Pipeline(format!(
-                "scheduler returned {other:?} for a release"
-            ))),
-            Err(e) => Response::from(&e),
-        },
+        } => {
+            // Zero-queue fast path: a cached prepare means phases 1–3
+            // are paid for, so the release is served right here on the
+            // connection thread — lock-free budget reserve, group-commit
+            // fsync, one Laplace draw. Requests carrying a deadline opt
+            // into queue-aware shedding and take the scheduler instead.
+            let cached = if deadline_ms.is_none() {
+                let hit = state.cached_prepared(&dataset, query, &column);
+                if hit.is_some() {
+                    obs.m.cache_hits.inc();
+                } else {
+                    obs.m.cache_misses.inc();
+                }
+                hit
+            } else {
+                None
+            };
+            match cached {
+                Some(prepared) => {
+                    obs.m.fastpath_hits.inc();
+                    let query_id = ServerState::query_id(&dataset, query, &column);
+                    match state.release_prepared_traced(
+                        &dataset,
+                        &query_id,
+                        &prepared,
+                        epsilon,
+                        audit,
+                        trace.as_ref(),
+                    ) {
+                        Ok(outcome) => Response::Released(Box::new(outcome)),
+                        Err(e) => Response::from(&e),
+                    }
+                }
+                None => match sched.submit(
+                    &dataset,
+                    query,
+                    &column,
+                    JobOp::Release {
+                        epsilon,
+                        want_audit: audit,
+                    },
+                    deadline_ms,
+                    trace.clone(),
+                ) {
+                    Ok(JobOutput::Released(outcome)) => Response::Released(outcome),
+                    Ok(other) => Response::from(&ServeError::Pipeline(format!(
+                        "scheduler returned {other:?} for a release"
+                    ))),
+                    Err(e) => Response::from(&e),
+                },
+            }
+        }
         Request::Budget { dataset } => match state.budget_of(&dataset) {
             Ok(budget) => Response::Budget { dataset, budget },
             Err(e) => Response::from(&e),
@@ -384,7 +438,10 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (Str
             };
             Response::Traces(traces)
         }
-        Request::Shutdown => return (Response::Draining.to_line(), true),
+        Request::Shutdown => {
+            Response::Draining.write_line(reply);
+            return true;
+        }
     };
     if let Response::Error { code, .. } = &response {
         obs.m.count_error(*code);
@@ -431,7 +488,8 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> (Str
         }
         obs.traces().push(record);
     }
-    (response.to_line(), false)
+    response.write_line(reply);
+    false
 }
 
 #[cfg(test)]
@@ -469,7 +527,8 @@ mod tests {
         }
 
         fn respond_str(&self, line: &str) -> Json {
-            let (reply, _) = respond(line, &self.state, &self.sched);
+            let mut reply = String::new();
+            respond(line, &self.state, &self.sched, &mut reply);
             wire::parse(reply.trim()).expect("reply is valid JSON")
         }
     }
@@ -503,8 +562,52 @@ mod tests {
         let s = fx.respond_str(r#"{"op":"stats"}"#);
         let sched = s.get("sched").unwrap();
         assert_eq!(sched.get("prepares").unwrap().as_u64(), Some(1));
-        // The release coalesced onto the prepare's cached state.
+        // The release found the prepare's cached state at dispatch and
+        // took the zero-queue fast path — it never reached the
+        // scheduler, so nothing coalesced.
+        assert_eq!(sched.get("coalesced").unwrap().as_u64(), Some(0));
+        assert_eq!(sched.get("submitted").unwrap().as_u64(), Some(1));
+        let m = &fx.state.obs().m;
+        assert_eq!(m.fastpath_hits.get(), 1);
+        assert_eq!(m.cache_hits.get(), 1);
+        assert_eq!(m.cache_misses.get(), 0);
+    }
+
+    #[test]
+    fn deadline_releases_take_the_scheduler_even_when_cached() {
+        let fx = Fixture::new();
+        fx.respond_str(r#"{"op":"prepare","dataset":"data","query":"sum","column":"v"}"#);
+        let r = fx.respond_str(
+            r#"{"op":"release","dataset":"data","query":"sum","column":"v","deadline_ms":60000}"#,
+        );
+        assert_eq!(r.bool_of("ok"), Some(true));
+        // A deadline opts into queue-aware shedding: the release went
+        // through the scheduler (coalescing onto the cached state), not
+        // the fast path.
+        assert_eq!(fx.state.obs().m.fastpath_hits.get(), 0);
+        let s = fx.respond_str(r#"{"op":"stats"}"#);
+        let sched = s.get("sched").unwrap();
+        assert_eq!(sched.get("submitted").unwrap().as_u64(), Some(2));
         assert_eq!(sched.get("coalesced").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn fastpath_release_spends_and_draws_fresh_noise() {
+        let fx = Fixture::new();
+        fx.respond_str(r#"{"op":"prepare","dataset":"data","query":"sum","column":"v"}"#);
+        let a = fx
+            .respond_str(r#"{"op":"release","dataset":"data","query":"sum","column":"v"}"#)
+            .num_of("released")
+            .unwrap();
+        let b = fx
+            .respond_str(r#"{"op":"release","dataset":"data","query":"sum","column":"v"}"#)
+            .num_of("released")
+            .unwrap();
+        assert_ne!(a, b, "independent Laplace draws on the fast path");
+        assert_eq!(fx.state.obs().m.fastpath_hits.get(), 2);
+        // Both fast-path releases charged budget.
+        let budget = fx.respond_str(r#"{"op":"budget","dataset":"data"}"#);
+        assert!((budget.num_of("spent").unwrap() - 0.4).abs() < 1e-9);
     }
 
     #[test]
@@ -530,7 +633,8 @@ mod tests {
     #[test]
     fn shutdown_op_flags_and_refuses_new_work() {
         let fx = Fixture::new();
-        let (reply, is_shutdown) = respond(r#"{"op":"shutdown"}"#, &fx.state, &fx.sched);
+        let mut reply = String::new();
+        let is_shutdown = respond(r#"{"op":"shutdown"}"#, &fx.state, &fx.sched, &mut reply);
         assert!(reply.contains("\"draining\":true"));
         assert!(is_shutdown);
         fx.state.begin_shutdown();

@@ -6,27 +6,36 @@
 //!
 //! * each dataset owns its [`upa_core::Upa`] engine behind its own mutex
 //!   (RNG, enforcer history and audits are per-dataset serial state);
-//! * the prepared-query cache is a separate mutex, so a release on one
-//!   dataset never waits on a prepare for another;
-//! * budget accounting and the ledger file share one mutex — a spend
-//!   must check, append and fsync atomically.
+//! * the prepared-query cache is an LRU behind its own short-hold mutex,
+//!   so a release on one dataset never waits on a prepare for another;
+//! * budget accounting is **sharded and lock-free**: each dataset's
+//!   spent-ε lives in an [`AtomicBudget`] (CAS on the `f64` bit
+//!   pattern), so concurrent releases on different — or the same —
+//!   dataset reserve budget without any mutex;
+//! * durability is the group-commit ledger's job
+//!   ([`crate::ledger::GroupCommitLedger`]): a spend reserves
+//!   atomically, submits its record, and blocks on the shared fsync. A
+//!   failed fsync refunds the reservation, so an I/O failure never
+//!   leaks accounted-but-lost budget.
 //!
 //! Admission control for the query path (bounded per-dataset queues,
 //! request coalescing, deadlines) lives one layer up in
 //! [`crate::sched::Scheduler`]; this module only provides the primitive
 //! operations the scheduler composes: [`ServerState::prepare`] and
-//! [`ServerState::release_prepared`].
+//! [`ServerState::release_prepared`]. The connection layer additionally
+//! serves cache-hit releases directly ([`ServerState::cached_prepared`]
+//! plus [`ServerState::release_prepared_traced`]) without queueing —
+//! the zero-queue fast path.
 
-use crate::ledger::{spent_by_dataset, Ledger, SpendRecord};
+use crate::ledger::{spent_by_dataset, GroupCommitLedger, Ledger, LedgerObs, SpendRecord};
 use crate::obs::{Obs, Trace};
 use crate::proto::ErrorCode;
 use dataflow::Context;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
-use upa_core::budget::BudgetAccountant;
+use std::time::{Duration, Instant};
 use upa_core::domain::EmpiricalSampler;
 use upa_core::query::MapReduceQuery;
 use upa_core::{PreparedQuery, QueryAudit, Upa, UpaConfig, UpaError};
@@ -174,6 +183,15 @@ pub struct ServerConfig {
     /// Bound of each dataset's scheduler queue; a request arriving at a
     /// full queue is refused with `busy`.
     pub queue_capacity: usize,
+    /// Group-commit window in microseconds: how long the ledger's
+    /// committer thread lingers for straggling submitters before the
+    /// shared fsync. A lone writer always commits immediately; `0`
+    /// disables lingering entirely (batching then comes only from
+    /// arrivals during the previous fsync).
+    pub ledger_commit_us: u64,
+    /// Prepared-query cache capacity; the least-recently-used entry is
+    /// evicted on overflow. `0` means unbounded.
+    pub cache_capacity: usize,
     /// Requests slower than this many milliseconds are logged at `warn`
     /// with their full trace (`None` disables slow-query logging).
     pub slow_query_ms: Option<u64>,
@@ -199,6 +217,8 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_inflight_prepares: 4,
             queue_capacity: 64,
+            ledger_commit_us: 200,
+            cache_capacity: 256,
             slow_query_ms: None,
             trace_capacity: 256,
             log_stderr: false,
@@ -289,11 +309,151 @@ struct DatasetState {
     upa: Mutex<Upa>,
 }
 
-struct BudgetState {
-    /// Per-dataset accountants (present only when a budget is set).
-    accountants: HashMap<String, BudgetAccountant>,
-    /// The durable log (present only when a ledger path is set).
-    ledger: Option<Ledger>,
+/// One dataset's lock-free budget shard: `total` is immutable, `spent`
+/// is the `f64` bit pattern in an atomic, advanced by CAS. Reservations
+/// are the serving fast path's admission check — no mutex, no queue.
+#[derive(Debug)]
+pub struct AtomicBudget {
+    total: f64,
+    spent_bits: AtomicU64,
+}
+
+impl AtomicBudget {
+    fn new(total: f64, spent: f64) -> AtomicBudget {
+        AtomicBudget {
+            total,
+            spent_bits: AtomicU64::new(spent.to_bits()),
+        }
+    }
+
+    /// The configured total ε.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε charged so far.
+    pub fn spent(&self) -> f64 {
+        f64::from_bits(self.spent_bits.load(Ordering::Acquire))
+    }
+
+    /// ε still available (clamped at zero).
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent()).max(0.0)
+    }
+
+    /// Atomically reserves `epsilon`, returning the remaining budget
+    /// after the charge; refuses (returning the untouched remaining)
+    /// when the budget cannot cover it. The `1e-12` tolerance matches
+    /// [`upa_core::budget::BudgetAccountant::try_spend`], so a budget
+    /// sized as an exact multiple of ε fills to the last release.
+    pub fn try_reserve(&self, epsilon: f64) -> Result<f64, f64> {
+        loop {
+            let cur_bits = self.spent_bits.load(Ordering::Acquire);
+            let cur = f64::from_bits(cur_bits);
+            let next = cur + epsilon;
+            if next > self.total + 1e-12 {
+                return Err((self.total - cur).max(0.0));
+            }
+            if self
+                .spent_bits
+                .compare_exchange(
+                    cur_bits,
+                    next.to_bits(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return Ok((self.total - next).max(0.0));
+            }
+        }
+    }
+
+    /// Returns a reservation whose spend never became durable (ledger
+    /// write/fsync failure). Clamped at zero so a refund can never
+    /// manufacture budget.
+    pub fn refund(&self, epsilon: f64) {
+        loop {
+            let cur_bits = self.spent_bits.load(Ordering::Acquire);
+            let next = (f64::from_bits(cur_bits) - epsilon).max(0.0);
+            if self
+                .spent_bits
+                .compare_exchange(
+                    cur_bits,
+                    next.to_bits(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+struct CacheEntry {
+    prepared: Arc<PreparedAgg>,
+    last_used: u64,
+}
+
+/// The LRU-bounded prepared-query cache. The mutex guards only map
+/// lookups and recency stamps (nanoseconds of hold time); the heavy
+/// engine work happens outside it.
+struct PreparedCache {
+    capacity: usize,
+    clock: AtomicU64,
+    entries: Mutex<HashMap<QueryKey, CacheEntry>>,
+}
+
+impl PreparedCache {
+    fn new(capacity: usize) -> PreparedCache {
+        PreparedCache {
+            capacity,
+            clock: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get(&self, key: &QueryKey) -> Option<Arc<PreparedAgg>> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        entries.get_mut(key).map(|e| {
+            e.last_used = stamp;
+            Arc::clone(&e.prepared)
+        })
+    }
+
+    /// Inserts (or refreshes) `key`; returns `true` when a
+    /// least-recently-used entry was evicted to make room.
+    fn insert(&self, key: QueryKey, prepared: Arc<PreparedAgg>) -> bool {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        let mut evicted = false;
+        if self.capacity > 0 && !entries.contains_key(&key) && entries.len() >= self.capacity {
+            if let Some(oldest) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                entries.remove(&oldest);
+                evicted = true;
+            }
+        }
+        entries.insert(
+            key,
+            CacheEntry {
+                prepared,
+                last_used: stamp,
+            },
+        );
+        evicted
+    }
 }
 
 /// The outcome of a successful release.
@@ -320,8 +480,13 @@ pub struct ServerState {
     config: ServerConfig,
     ctx: Context,
     datasets: HashMap<String, DatasetState>,
-    prepared: Mutex<HashMap<QueryKey, Arc<PreparedAgg>>>,
-    budget: Mutex<BudgetState>,
+    prepared: PreparedCache,
+    /// Per-dataset budget shards (empty when unmetered). The map itself
+    /// is immutable after startup, so reads need no lock.
+    budgets: HashMap<String, AtomicBudget>,
+    /// The group-commit ledger (present only when a ledger path is set);
+    /// internally synchronized, shared by every connection thread.
+    ledger: Option<GroupCommitLedger>,
     release_seq: AtomicUsize,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
@@ -350,16 +515,30 @@ impl ServerState {
         } else {
             Context::with_threads(config.threads)
         };
+        let obs = Arc::new(Obs::new(
+            config.slow_query_ms,
+            config.trace_capacity,
+            config.log_stderr,
+        ));
         let (ledger, replayed) = match &config.ledger_path {
             Some(path) => {
                 let (ledger, records) = Ledger::open(path)?;
-                (Some(ledger), records)
+                let group = GroupCommitLedger::spawn(
+                    ledger,
+                    Duration::from_micros(config.ledger_commit_us),
+                    Some(LedgerObs {
+                        fsyncs: Arc::clone(&obs.m.ledger_fsyncs),
+                        batch_size: Arc::clone(&obs.m.ledger_batch_size),
+                        commit_wait: Arc::clone(&obs.m.ledger_commit_wait),
+                    }),
+                );
+                (Some(group), records)
             }
             None => (None, Vec::new()),
         };
         let spent = spent_by_dataset(&replayed);
         let mut datasets = HashMap::new();
-        let mut accountants = HashMap::new();
+        let mut budgets = HashMap::new();
         for (i, spec) in config.datasets.iter().enumerate() {
             let upa_config = UpaConfig {
                 epsilon: config.epsilon,
@@ -376,25 +555,19 @@ impl ServerState {
             );
             if let Some(total) = config.budget {
                 let used = spent.get(&spec.name).copied().unwrap_or(0.0);
-                accountants.insert(spec.name.clone(), BudgetAccountant::restore(total, used));
+                budgets.insert(spec.name.clone(), AtomicBudget::new(total, used));
             }
         }
         Ok(ServerState {
             ctx,
             datasets,
-            prepared: Mutex::new(HashMap::new()),
-            budget: Mutex::new(BudgetState {
-                accountants,
-                ledger,
-            }),
+            prepared: PreparedCache::new(config.cache_capacity),
+            budgets,
+            ledger,
             release_seq: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
-            obs: Arc::new(Obs::new(
-                config.slow_query_ms,
-                config.trace_capacity,
-                config.log_stderr,
-            )),
+            obs,
             config,
         })
     }
@@ -423,7 +596,7 @@ impl ServerState {
 
     /// Number of cached prepared queries.
     pub fn prepared_len(&self) -> usize {
-        self.prepared.lock().expect("cache poisoned").len()
+        self.prepared.len()
     }
 
     // ---- shutdown & admission ------------------------------------------
@@ -492,7 +665,9 @@ impl ServerState {
     }
 
     /// The cached prepared state for `(dataset, kind, column)`, if any —
-    /// the scheduler's fast path and single-flight double-check.
+    /// the zero-queue fast path's dispatch check, and the scheduler's
+    /// single-flight double-check. A hit refreshes the entry's LRU
+    /// recency.
     pub fn cached_prepared(
         &self,
         dataset: &str,
@@ -500,11 +675,7 @@ impl ServerState {
         column: &str,
     ) -> Option<Arc<PreparedAgg>> {
         let key: QueryKey = (dataset.to_string(), kind, column.to_string());
-        self.prepared
-            .lock()
-            .expect("cache poisoned")
-            .get(&key)
-            .map(Arc::clone)
+        self.prepared.get(&key)
     }
 
     /// Phases 1–3: prepares (or fetches from the shared cache) the query
@@ -528,8 +699,8 @@ impl ServerState {
     ) -> Result<(Arc<PreparedAgg>, String, bool), ServeError> {
         let query_id = Self::query_id(dataset, kind, column);
         let key: QueryKey = (dataset.to_string(), kind, column.to_string());
-        if let Some(p) = self.prepared.lock().expect("cache poisoned").get(&key) {
-            return Ok((Arc::clone(p), query_id, true));
+        if let Some(p) = self.prepared.get(&key) {
+            return Ok((p, query_id, true));
         }
         let ds = self.dataset(dataset)?;
         let values = self.column_values(ds, kind, column)?;
@@ -542,10 +713,9 @@ impl ServerState {
                 .map_err(|e| ServeError::Pipeline(e.to_string()))?
         };
         let prepared = Arc::new(prepared);
-        self.prepared
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, Arc::clone(&prepared));
+        if self.prepared.insert(key, Arc::clone(&prepared)) {
+            self.obs.m.cache_evictions.inc();
+        }
         Ok((prepared, query_id, false))
     }
 
@@ -554,48 +724,47 @@ impl ServerState {
     /// `Ok`, the spend survives any crash; the caller may then (and only
     /// then) compute and deliver the noisy output.
     ///
+    /// Lock-free: the budget check-and-reserve is one CAS on the
+    /// dataset's [`AtomicBudget`] shard; durability is a submission to
+    /// the group-commit ledger, which blocks until the record — batched
+    /// with every concurrent spend — survives one shared fsync. A
+    /// refused reservation leaves no ledger trace; a failed fsync
+    /// refunds the reservation, so an I/O failure never leaks
+    /// accounted-but-lost budget.
+    ///
     /// # Errors
     ///
     /// Budget exhaustion, or a ledger append/fsync failure (in which
-    /// case nothing was charged).
+    /// case nothing stays charged).
     pub fn spend(
         &self,
         dataset: &str,
         query_id: &str,
         epsilon: f64,
     ) -> Result<Option<f64>, ServeError> {
-        let mut budget = self.budget.lock().expect("budget poisoned");
-        // Check the accountant *before* the ledger append so a refused
-        // spend leaves no trace, but charge it only after the fsync
-        // succeeds so an I/O failure does not leak accounted-but-lost
-        // budget.
-        if let Some(acc) = budget.accountants.get(dataset) {
-            if acc.remaining() + 1e-12 < epsilon {
-                return Err(ServeError::BudgetExhausted {
-                    remaining: acc.remaining(),
-                    requested: epsilon,
-                });
-            }
-        }
-        if let Some(ledger) = budget.ledger.as_mut() {
-            ledger
-                .append(&SpendRecord {
-                    dataset: dataset.to_string(),
-                    query_id: query_id.to_string(),
-                    epsilon,
-                })
-                .map_err(|e| ServeError::Ledger(e.to_string()))?;
-        }
-        match budget.accountants.get_mut(dataset) {
-            Some(acc) => acc
-                .try_spend(epsilon)
-                .map(|()| Some(acc.remaining()))
-                .map_err(|remaining| ServeError::BudgetExhausted {
+        let reserved = match self.budgets.get(dataset) {
+            Some(shard) => Some(shard.try_reserve(epsilon).map_err(|remaining| {
+                ServeError::BudgetExhausted {
                     remaining,
                     requested: epsilon,
-                }),
-            None => Ok(None),
+                }
+            })?),
+            None => None,
+        };
+        if let Some(ledger) = &self.ledger {
+            let submitted = ledger.submit(&SpendRecord {
+                dataset: dataset.to_string(),
+                query_id: query_id.to_string(),
+                epsilon,
+            });
+            if let Err(msg) = submitted {
+                if let Some(shard) = self.budgets.get(dataset) {
+                    shard.refund(epsilon);
+                }
+                return Err(ServeError::Ledger(msg));
+            }
         }
+        Ok(reserved)
     }
 
     /// The full release path: prepare (or cache-hit), charge + fsync the
@@ -738,22 +907,20 @@ impl ServerState {
     /// Unknown dataset.
     pub fn budget_of(&self, dataset: &str) -> Result<Option<(f64, f64, f64)>, ServeError> {
         self.dataset(dataset)?;
-        let budget = self.budget.lock().expect("budget poisoned");
-        Ok(budget
-            .accountants
+        Ok(self
+            .budgets
             .get(dataset)
-            .map(|a| (a.total(), a.spent(), a.remaining())))
+            .map(|b| (b.total(), b.spent(), b.remaining())))
     }
 
     /// Every metered dataset's budget as `(name, total, spent,
     /// remaining)`, sorted by name — the `metrics` op's per-dataset
     /// ε-remaining gauges.
     pub fn budgets(&self) -> Vec<(String, f64, f64, f64)> {
-        let budget = self.budget.lock().expect("budget poisoned");
-        let mut out: Vec<_> = budget
-            .accountants
+        let mut out: Vec<_> = self
+            .budgets
             .iter()
-            .map(|(name, a)| (name.clone(), a.total(), a.spent(), a.remaining()))
+            .map(|(name, b)| (name.clone(), b.total(), b.spent(), b.remaining()))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -996,6 +1163,76 @@ mod tests {
             ErrorCode::ShuttingDown
         );
         drop(state);
+    }
+
+    #[test]
+    fn atomic_budget_reserves_refunds_and_fills_exactly() {
+        let b = AtomicBudget::new(1.0, 0.0);
+        // Ten tenths fill the budget exactly despite float rounding.
+        for _ in 0..10 {
+            b.try_reserve(0.1).expect("within budget");
+        }
+        let refused = b.try_reserve(0.1).unwrap_err();
+        assert!(refused < 1e-9, "remaining should be ~0, got {refused}");
+        // A refund restores exactly one reservation's worth.
+        b.refund(0.1);
+        assert!(b.try_reserve(0.1).is_ok());
+        // Refunds clamp at zero — they can never manufacture budget.
+        let empty = AtomicBudget::new(0.5, 0.1);
+        empty.refund(5.0);
+        assert_eq!(empty.spent(), 0.0);
+        assert_eq!(empty.remaining(), 0.5);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_oversell_the_budget() {
+        let b = Arc::new(AtomicBudget::new(1.0, 0.0));
+        let granted = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            let granted = Arc::clone(&granted);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    if b.try_reserve(0.1).is_ok() {
+                        granted.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(granted.load(Ordering::SeqCst), 10, "exactly 1.0/0.1 grants");
+        assert!(b.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn lru_cache_evicts_the_coldest_entry_at_capacity() {
+        let state = Arc::new(
+            ServerState::new(ServerConfig {
+                datasets: vec![DatasetSpec::synthetic("data", 2_000, 9)],
+                epsilon: 0.4,
+                sample_size: 40,
+                threads: 2,
+                cache_capacity: 2,
+                ..ServerConfig::default()
+            })
+            .unwrap(),
+        );
+        state.prepare("data", AggKind::Sum, "v").unwrap();
+        state.prepare("data", AggKind::Mean, "v").unwrap();
+        assert_eq!(state.prepared_len(), 2);
+        // Touch `sum` so `mean` is the LRU victim when `count` arrives.
+        assert!(state.cached_prepared("data", AggKind::Sum, "v").is_some());
+        state.prepare("data", AggKind::Count, "").unwrap();
+        assert_eq!(state.prepared_len(), 2, "capacity bound holds");
+        assert!(state.cached_prepared("data", AggKind::Sum, "v").is_some());
+        assert!(
+            state.cached_prepared("data", AggKind::Mean, "v").is_none(),
+            "the least-recently-used entry was evicted"
+        );
+        assert_eq!(state.obs().m.cache_evictions.get(), 1);
     }
 
     #[test]

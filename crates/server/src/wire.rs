@@ -365,6 +365,15 @@ impl Parser<'_> {
 /// characters.
 pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    push_json_str(&mut out, s);
+    out
+}
+
+/// Appends `s` as a JSON string to `out` — the allocation-free form of
+/// [`json_str`] the serving hot path builds replies with.
+pub fn push_json_str(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.reserve(s.len() + 2);
     out.push('"');
     for c in s.chars() {
         match c {
@@ -373,21 +382,31 @@ pub fn json_str(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out.push('"');
-    out
 }
 
 /// JSON number; non-finite floats (which JSON cannot represent) become
 /// `null`.
 pub fn json_num(v: f64) -> String {
+    let mut out = String::new();
+    push_json_num(&mut out, v);
+    out
+}
+
+/// Appends `v` as a JSON number (`null` when non-finite) to `out` — the
+/// allocation-free form of [`json_num`].
+pub fn push_json_num(out: &mut String, v: f64) {
+    use std::fmt::Write;
     if v.is_finite() {
-        format!("{v}")
+        let _ = write!(out, "{v}");
     } else {
-        String::from("null")
+        out.push_str("null");
     }
 }
 

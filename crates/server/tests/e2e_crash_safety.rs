@@ -2,10 +2,18 @@
 //! clients spending budget, `SIGKILL`, and a restart against the same
 //! ledger. The budget must reflect every release that was delivered
 //! before the kill, and an over-budget query must stay refused.
+//!
+//! The second test aims the kill at the group-commit window itself:
+//! a wide `--ledger-commit-us` keeps batches in flight continuously, so
+//! the `SIGKILL` lands mid-batch — and still, no release a client ever
+//! received may be missing from the replayed ledger (durable spends
+//! without a delivered release are fine; the converse never is).
 
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use upa_server::{Client, ClientError, ErrorCode};
 
 fn temp_ledger(tag: &str) -> PathBuf {
@@ -19,22 +27,23 @@ fn temp_ledger(tag: &str) -> PathBuf {
 /// Spawns the daemon on an ephemeral port and parses the announced
 /// address from its first stdout line.
 fn spawn_daemon(ledger: &PathBuf) -> (Child, String) {
+    spawn_daemon_with(ledger, &["--budget", "1.0", "--epsilon", "0.4"])
+}
+
+fn spawn_daemon_with(ledger: &PathBuf, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_upa-serverd"))
         .args([
             "--port",
             "0",
             "--synthetic",
             "data=4000:97",
-            "--budget",
-            "1.0",
-            "--epsilon",
-            "0.4",
             "--sample-size",
             "50",
             "--threads",
             "2",
-            "--ledger",
         ])
+        .args(extra)
+        .arg("--ledger")
         .arg(ledger)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -119,6 +128,110 @@ fn budget_survives_sigkill_and_restart() {
         .release("data", "sum", "v", Some(0.2), false)
         .expect("a fitting charge is served");
     assert!(last.budget_remaining.unwrap() < 1e-9);
+
+    let _ = client.shutdown();
+    child2.wait().expect("daemon drains and exits");
+    let _ = std::fs::remove_file(&ledger);
+}
+
+/// `SIGKILL` aimed into the group-commit window: with a wide
+/// `--ledger-commit-us` and several clients hammering cached releases,
+/// batches are continuously in flight when the kill lands. The fail-closed
+/// invariant under test: every release a client *received* has a durable
+/// spend after replay. (Spends that were made durable but whose replies
+/// never left the socket are allowed — budget leaks toward safety.)
+#[test]
+fn sigkill_mid_batch_never_loses_a_delivered_release() {
+    const WORKERS: usize = 4;
+    const EPSILON: f64 = 0.01;
+    let ledger = temp_ledger("sigkill_batch");
+    let (mut child, addr) = spawn_daemon_with(
+        &ledger,
+        &[
+            "--budget",
+            "100.0",
+            "--epsilon",
+            "0.01",
+            // A wide window keeps a batch open almost permanently under
+            // this load, so the kill lands mid-batch.
+            "--ledger-commit-us",
+            "3000",
+        ],
+    );
+
+    // Warm the prepared cache so the flood below rides the fast path
+    // (connection-thread releases, group-committed spends).
+    let mut warm = Client::connect(&addr).expect("connect");
+    warm.release("data", "mean", "v", None, false)
+        .expect("warmup release");
+    let delivered = Arc::new(AtomicU64::new(1)); // the warmup counts
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for _ in 0..WORKERS {
+        let addr = addr.clone();
+        let delivered = Arc::clone(&delivered);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return, // raced the kill
+            };
+            while !stop.load(Ordering::Relaxed) {
+                match client.release("data", "mean", "v", None, false) {
+                    Ok(reply) => {
+                        assert!(reply.released.is_finite());
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Any error here is the kill tearing the connection
+                    // (or, theoretically, budget exhaustion — 100.0 / 0.01
+                    // is far beyond this test's runtime). Stop either way.
+                    Err(_) => return,
+                }
+            }
+        }));
+    }
+
+    // Let batches churn, then kill without warning.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let delivered = delivered.load(Ordering::Relaxed);
+    assert!(delivered > 1, "the flood delivered something before the kill");
+
+    // Restart on the same ledger (replay tolerates — truncates — a torn
+    // tail from the kill). Every delivered release must be accounted.
+    let (mut child2, addr2) = spawn_daemon_with(
+        &ledger,
+        &["--budget", "100.0", "--epsilon", "0.01", "--ledger-commit-us", "3000"],
+    );
+    let mut client = Client::connect(&addr2).expect("reconnect");
+    let budget = client.budget("data").expect("budget op").expect("metered");
+    let floor = delivered as f64 * EPSILON;
+    assert!(
+        budget.spent >= floor - 1e-6,
+        "{delivered} delivered releases need {floor} ε durable, ledger replayed only {}",
+        budget.spent
+    );
+    // The converse bound: at most one spend per worker connection can be
+    // durable-but-undelivered at the kill (its reply died in the socket),
+    // plus the in-flight batch is bounded by the worker count.
+    let ceiling = (delivered + 2 * WORKERS as u64) as f64 * EPSILON;
+    assert!(
+        budget.spent <= ceiling + 1e-6,
+        "replayed spend {} exceeds every possible charge ({ceiling})",
+        budget.spent
+    );
+
+    // The survivor still serves: the replayed state is live, not wedged.
+    let after = client
+        .release("data", "mean", "v", None, false)
+        .expect("post-restart release");
+    assert!(after.released.is_finite());
 
     let _ = client.shutdown();
     child2.wait().expect("daemon drains and exits");

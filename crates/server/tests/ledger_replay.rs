@@ -4,8 +4,10 @@
 
 use proptest::prelude::*;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 use upa_core::budget::BudgetAccountant;
-use upa_server::{Ledger, SpendRecord};
+use upa_server::{GroupCommitLedger, Ledger, SpendRecord};
 
 fn temp_path(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("upa_ledger_replay_tests");
@@ -50,6 +52,64 @@ proptest! {
         );
         let restored = BudgetAccountant::restore(total, replayed_spent);
         prop_assert!((restored.remaining() - live.remaining()).abs() < 1e-9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Group commit changes batching and on-disk interleaving, never
+    /// accounting: N spends submitted concurrently through the
+    /// group-commit front replay to the same accountant state as the
+    /// same N spends charged serially.
+    #[test]
+    fn concurrent_group_commit_replays_like_serial(
+        charges in prop::collection::vec(0.001f64..0.2, 1..24),
+        window_us in 0u64..800,
+        case in 0u64..u64::MAX,
+    ) {
+        // Serial baseline: one accountant charged in order. The total is
+        // sized so every charge fits — acceptance is not under test here,
+        // durability-equivalence is.
+        let total = 16.0;
+        let mut serial = BudgetAccountant::new(total);
+        for eps in &charges {
+            serial.try_spend(*eps).expect("all charges fit");
+        }
+
+        let path = temp_path(&format!("group_{case}"));
+        let _ = std::fs::remove_file(&path);
+        let (ledger, initial) = Ledger::open(&path).unwrap();
+        prop_assert!(initial.is_empty());
+        let group = Arc::new(GroupCommitLedger::spawn(
+            ledger,
+            Duration::from_micros(window_us),
+            None,
+        ));
+        let mut threads = Vec::new();
+        for (i, eps) in charges.iter().enumerate() {
+            let group = Arc::clone(&group);
+            let eps = *eps;
+            threads.push(std::thread::spawn(move || {
+                group.submit(&SpendRecord {
+                    dataset: "data".into(),
+                    query_id: format!("data/sum/col{i}"),
+                    epsilon: eps,
+                })
+            }));
+        }
+        for t in threads {
+            t.join().unwrap().expect("group submit succeeds");
+        }
+        drop(group);
+
+        let (_, replayed) = Ledger::open(&path).unwrap();
+        prop_assert_eq!(replayed.len(), charges.len());
+        let spent = upa_server::ledger::spent_by_dataset(&replayed);
+        let replayed_spent = spent.get("data").copied().unwrap_or(0.0);
+        prop_assert!(
+            (replayed_spent - serial.spent()).abs() < 1e-9,
+            "concurrent replay {} vs serial {}", replayed_spent, serial.spent()
+        );
+        let restored = BudgetAccountant::restore(total, replayed_spent);
+        prop_assert!((restored.remaining() - serial.remaining()).abs() < 1e-9);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -3,6 +3,12 @@
 //! occupied is not a refusal), and a request whose `deadline_ms` lapses
 //! in the queue is shed with `deadline` without charging budget.
 //!
+//! The flood carries a generous `deadline_ms` so every request opts
+//! into the scheduler queue (a plain cached release would take the
+//! zero-queue fast path and never see admission control); the fast path
+//! itself is smoked at the end — a cached no-deadline release must land
+//! as a `fastpath_hits` tick, not a scheduler submission.
+//!
 //! The CI server-integration job runs this as its saturation soak
 //! (`UPA_SOAK_WAVES` scales the flood).
 
@@ -60,7 +66,10 @@ fn full_queues_refuse_busy_and_lapsed_deadlines_shed() {
             threads.push(std::thread::spawn(move || {
                 let mut client = Client::connect(&addr).expect("connect");
                 for _ in 0..REQUESTS_PER_FLOODER {
-                    match client.release("data", "mean", "v", None, false) {
+                    // The deadline routes every request through the
+                    // bounded queues; 60s never actually lapses.
+                    match client.release_with_deadline("data", "mean", "v", None, false, Some(60_000))
+                    {
                         Ok(reply) => {
                             assert!(reply.released.is_finite());
                             served.fetch_add(1, Ordering::Relaxed);
@@ -110,6 +119,15 @@ fn full_queues_refuse_busy_and_lapsed_deadlines_shed() {
     );
     assert_eq!(stats.submitted, served.load(Ordering::Relaxed), "{stats:?}");
 
+    // Fast-path smoke under the soak: `mean/v` is cached by now, so a
+    // plain (no-deadline) release must be served on the connection
+    // thread — a `fastpath_hits` tick, not a scheduler submission.
+    let fast = observer
+        .release("data", "mean", "v", None, false)
+        .expect("cached release takes the fast path");
+    assert!(fast.released.is_finite());
+    served.fetch_add(1, Ordering::Relaxed);
+
     // Mid-soak metrics scrape (the CI server-integration job leans on
     // this): the exposition stays well-formed under live traffic and
     // carries the serving-path families.
@@ -120,9 +138,24 @@ fn full_queues_refuse_busy_and_lapsed_deadlines_shed() {
             "upa_requests_total",
             "upa_release_latency_us",
             "upa_queue_wait_us",
+            "upa_fastpath_hits_total",
+            "upa_prepared_cache_hits_total",
             "upa_sched_submitted_total",
             "upa_uptime_seconds",
         ],
+    );
+    let fastpath_hits = metrics.snapshot.counters["upa_fastpath_hits_total"];
+    assert!(fastpath_hits >= 1, "cached release must count a fast-path hit");
+    let sched_after = observer.stats().expect("stats").sched;
+    assert_eq!(
+        sched_after.submitted, stats.submitted,
+        "the fast-path release must not reach the scheduler"
+    );
+    // Every request was either scheduled or fast-pathed; none vanished.
+    assert_eq!(
+        sched_after.submitted + fastpath_hits,
+        served.load(Ordering::Relaxed),
+        "{sched_after:?}"
     );
     let released = served.load(Ordering::Relaxed);
     let latency = &metrics.snapshot.histograms["upa_release_latency_us"];

@@ -1,8 +1,10 @@
-//! The scheduler's headline guarantee, over real TCP connections:
+//! The serving path's headline guarantee, over real TCP connections:
 //! 64 simultaneous identical queries run **exactly one** engine
 //! prepare, every client still gets its **own independent** noisy
-//! release, and the budget is charged once per release — coalescing
-//! shares work, never noise and never spends.
+//! release, and the budget is charged once per release. The racers that
+//! arrive before the prepare finishes coalesce onto it in the
+//! scheduler; everyone after the cache fills rides the zero-queue fast
+//! path — shared work, never shared noise, never shared spends.
 
 use std::collections::HashSet;
 use std::sync::{Arc, Barrier};
@@ -79,19 +81,23 @@ fn identical_concurrent_queries_coalesce_to_one_prepare() {
         budget.spent
     );
 
-    // Exactly one prepare ran; everyone else coalesced.
+    // Exactly one prepare ran. Clients that raced in before it finished
+    // coalesced onto it in the scheduler; everyone who arrived after the
+    // cache filled was served on the fast path without queueing.
     let stats = observer.stats().expect("stats").sched;
     assert_eq!(
         stats.prepares, 1,
         "64 identical queries must share a single engine prepare: {stats:?}"
     );
-    assert_eq!(stats.coalesced, (CLIENTS - 1) as u64, "{stats:?}");
-    assert_eq!(stats.completed, CLIENTS as u64);
+    assert_eq!(stats.coalesced, stats.submitted - 1, "{stats:?}");
+    assert_eq!(stats.completed, stats.submitted, "{stats:?}");
     assert_eq!(stats.shed_deadline, 0);
-    assert!(
-        stats.coalesce_rate() > 0.9,
-        "coalesce rate {} should exceed 0.9",
-        stats.coalesce_rate()
+    let fastpath = observer.metrics().expect("metrics").snapshot.counters
+        ["upa_fastpath_hits_total"];
+    assert_eq!(
+        stats.submitted + fastpath,
+        CLIENTS as u64,
+        "every client was either scheduled or fast-pathed: {stats:?}"
     );
 
     handle.shutdown();
