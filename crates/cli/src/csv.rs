@@ -1,183 +1,43 @@
-//! A minimal, dependency-free CSV reader (RFC 4180 subset).
+//! CSV parsing for the CLI — re-exported from [`upa_store::csv`].
 //!
-//! Supports comma separation, `"`-quoted fields with embedded commas,
-//! doubled-quote escapes and both `\n` and `\r\n` line endings. This is
-//! intentionally small: the CLI only needs to pull one numeric column
-//! out of a headered file.
+//! The parser moved into the store crate when it became the ingest
+//! path's parser too; the CLI keeps this module so `upa_cli::csv::parse`
+//! and friends stay where users (and `sql.rs`) expect them. One parser,
+//! two front doors: a CSV that ingests cleanly also queries cleanly.
 
-/// A parsed CSV document: header plus records.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CsvDocument {
-    /// Column names from the first row.
-    pub header: Vec<String>,
-    /// Data rows (each the same arity as the header).
-    pub rows: Vec<Vec<String>>,
-}
-
-/// CSV parsing errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CsvError {
-    /// The input had no header row.
-    Empty,
-    /// A row's field count differed from the header's; payload is the
-    /// 1-based line number.
-    ArityMismatch(usize),
-    /// A quoted field was never closed.
-    UnterminatedQuote,
-    /// The requested column does not exist; payload is the column name.
-    UnknownColumn(String),
-    /// A cell could not be parsed as a number; payload is
-    /// `(line, content)`.
-    NotNumeric(usize, String),
-}
-
-impl std::fmt::Display for CsvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CsvError::Empty => write!(f, "input has no header row"),
-            CsvError::ArityMismatch(line) => {
-                write!(f, "line {line}: field count differs from header")
-            }
-            CsvError::UnterminatedQuote => write!(f, "unterminated quoted field"),
-            CsvError::UnknownColumn(c) => write!(f, "no column named '{c}'"),
-            CsvError::NotNumeric(line, cell) => {
-                write!(f, "line {line}: '{cell}' is not a number")
-            }
-        }
-    }
-}
-
-impl std::error::Error for CsvError {}
-
-/// Splits one logical CSV line (no newline handling — the caller feeds
-/// whole records).
-fn parse_record(line: &str) -> Result<Vec<String>, CsvError> {
-    let mut fields = Vec::new();
-    let mut field = String::new();
-    let mut chars = line.chars().peekable();
-    let mut in_quotes = false;
-    loop {
-        match chars.next() {
-            None => {
-                if in_quotes {
-                    return Err(CsvError::UnterminatedQuote);
-                }
-                fields.push(std::mem::take(&mut field));
-                return Ok(fields);
-            }
-            Some('"') if in_quotes => {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    field.push('"');
-                } else {
-                    in_quotes = false;
-                }
-            }
-            Some('"') if field.is_empty() && !in_quotes => in_quotes = true,
-            Some(',') if !in_quotes => fields.push(std::mem::take(&mut field)),
-            Some(c) => field.push(c),
-        }
-    }
-}
-
-/// Parses a CSV document with a header row.
-///
-/// # Errors
-///
-/// Returns a [`CsvError`] for an empty input, ragged rows or unclosed
-/// quotes. Blank lines are skipped.
-pub fn parse(text: &str) -> Result<CsvDocument, CsvError> {
-    let mut lines = text
-        .lines()
-        .map(|l| l.strip_suffix('\r').unwrap_or(l))
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (_, header_line) = lines.next().ok_or(CsvError::Empty)?;
-    let header = parse_record(header_line)?;
-    let mut rows = Vec::new();
-    for (i, line) in lines {
-        let row = parse_record(line)?;
-        if row.len() != header.len() {
-            return Err(CsvError::ArityMismatch(i + 1));
-        }
-        rows.push(row);
-    }
-    Ok(CsvDocument { header, rows })
-}
-
-impl CsvDocument {
-    /// Extracts a column as `f64` values.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CsvError::UnknownColumn`] or [`CsvError::NotNumeric`].
-    pub fn numeric_column(&self, name: &str) -> Result<Vec<f64>, CsvError> {
-        let idx = self
-            .header
-            .iter()
-            .position(|h| h == name)
-            .ok_or_else(|| CsvError::UnknownColumn(name.to_string()))?;
-        self.rows
-            .iter()
-            .enumerate()
-            .map(|(i, row)| {
-                row[idx]
-                    .trim()
-                    .parse::<f64>()
-                    .map_err(|_| CsvError::NotNumeric(i + 2, row[idx].clone()))
-            })
-            .collect()
-    }
-}
+pub use upa_store::csv::{parse, CsvDocument, CsvError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parses_simple_document() {
-        let doc = parse("a,b\n1,2\n3,4\n").unwrap();
-        assert_eq!(doc.header, vec!["a", "b"]);
-        assert_eq!(doc.rows, vec![vec!["1", "2"], vec!["3", "4"]]);
-    }
-
-    #[test]
-    fn handles_quotes_and_escapes() {
-        let doc = parse("name,note\nalice,\"hello, world\"\nbob,\"say \"\"hi\"\"\"\n").unwrap();
-        assert_eq!(doc.rows[0][1], "hello, world");
-        assert_eq!(doc.rows[1][1], "say \"hi\"");
-    }
-
-    #[test]
-    fn handles_crlf_and_blank_lines() {
-        let doc = parse("a,b\r\n1,2\r\n\r\n3,4\r\n").unwrap();
-        assert_eq!(doc.rows.len(), 2);
-    }
-
-    #[test]
-    fn rejects_bad_inputs() {
-        assert_eq!(parse(""), Err(CsvError::Empty));
-        assert!(matches!(parse("a,b\n1\n"), Err(CsvError::ArityMismatch(_))));
-        assert_eq!(parse("a\n\"oops\n"), Err(CsvError::UnterminatedQuote));
-    }
-
-    #[test]
-    fn numeric_column_extraction() {
-        let doc = parse("age,name\n41,alice\n17,bob\n").unwrap();
-        assert_eq!(doc.numeric_column("age").unwrap(), vec![41.0, 17.0]);
+    fn not_numeric_error_names_line_column_and_cell() {
+        let doc = parse("age,name\n41,alice\nx7,bob\n").unwrap();
+        let err = doc.numeric_column("age").unwrap_err();
+        // The message must point the user at the exact offending cell:
+        // file line (header is line 1), column name, and the raw text.
+        assert_eq!(
+            err.to_string(),
+            "line 3, column 'age': 'x7' is not a number"
+        );
         assert!(matches!(
-            doc.numeric_column("name"),
-            Err(CsvError::NotNumeric(2, _))
+            err,
+            CsvError::NotNumeric { line: 3, ref column, ref cell }
+                if column == "age" && cell == "x7"
         ));
+    }
+
+    #[test]
+    fn reexport_covers_the_full_parse_surface() {
+        let doc = parse("a,b\n1,\"two, three\"\n").unwrap();
+        assert_eq!(doc.header, vec!["a", "b"]);
+        assert_eq!(doc.rows[0][1], "two, three");
+        assert_eq!(doc.numeric_column("a").unwrap(), vec![1.0]);
         assert!(matches!(
-            doc.numeric_column("zz"),
+            doc.numeric_column("missing"),
             Err(CsvError::UnknownColumn(_))
         ));
-    }
-
-    #[test]
-    fn empty_field_is_empty_string() {
-        let doc = parse("a,b\n,2\n").unwrap();
-        assert_eq!(doc.rows[0][0], "");
+        assert_eq!(parse(""), Err(CsvError::Empty));
     }
 }

@@ -12,6 +12,7 @@
 pub mod csv;
 pub mod remote;
 pub mod sql;
+pub mod store_cmd;
 
 use dataflow::Context;
 use upa_core::domain::EmpiricalSampler;

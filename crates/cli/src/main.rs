@@ -3,9 +3,12 @@
 //! Three modes:
 //!
 //! * default — release an aggregate over a local CSV file;
-//! * `serve` — run an `upa-server` daemon over CSV files;
+//! * `serve` — run an `upa-server` daemon over CSV files and/or a
+//!   persistent columnar store;
 //! * `query` — release an aggregate from a running daemon;
-//! * `metrics` — scrape (or `--watch`) a running daemon's metrics.
+//! * `metrics` — scrape (or `--watch`) a running daemon's metrics;
+//! * `ingest` — publish a CSV into a persistent columnar store;
+//! * `datasets` — list a store directory's or a daemon's datasets.
 
 use upa_core::QueryAudit;
 
@@ -44,6 +47,22 @@ fn main() {
                         print_stats(release.reply.audit.as_ref());
                     }
                 }
+                Err(msg) => fail(&format!("error: {msg}"), 1),
+            }
+        }
+        Some("ingest") => {
+            let args = upa_cli::store_cmd::IngestArgs::parse(argv.skip(1))
+                .unwrap_or_else(|msg| fail(&msg, 2));
+            match upa_cli::store_cmd::run_ingest(&args) {
+                Ok(report) => println!("{report}"),
+                Err(msg) => fail(&format!("error: {msg}"), 1),
+            }
+        }
+        Some("datasets") => {
+            let args = upa_cli::store_cmd::DatasetsArgs::parse(argv.skip(1))
+                .unwrap_or_else(|msg| fail(&msg, 2));
+            match upa_cli::store_cmd::run_datasets(&args) {
+                Ok(listing) => println!("{listing}"),
                 Err(msg) => fail(&format!("error: {msg}"), 1),
             }
         }

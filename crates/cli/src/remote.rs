@@ -18,16 +18,22 @@ use upa_server::{Client, DatasetSpec, Server, ServerConfig};
 
 /// Usage text for `upa-cli serve`.
 pub const SERVE_USAGE: &str = "\
-usage: upa-cli serve --input FILE.csv [--input FILE2.csv ...]
+usage: upa-cli serve [--input FILE.csv ...] [--store DIR]
+                     [--attach NAME ...] [--allow-admin]
                      [--port P] [--budget E] [--ledger PATH]
                      [--epsilon E] [--sample-size N] [--seed S]
                      [--threads T] [--max-connections N] [--max-inflight N]
                      [--queue-capacity N] [--slow-query-ms MS]
                      [--ledger-commit-us US] [--cache-capacity N]
 
-Serves differentially private aggregates over the given CSV files. Each
-file becomes a dataset named after its stem (people.csv -> people), with
-every fully numeric column queryable. --budget meters each dataset;
+Serves differentially private aggregates over the given CSV files
+and/or a persistent columnar store. Each --input file becomes a dataset
+named after its stem (people.csv -> people), with every fully numeric
+column queryable. --store DIR opens a columnar dataset store (see
+`upa-cli ingest`): --attach serves a stored dataset from startup, and
+--allow-admin enables the ingest/attach/detach wire ops so datasets can
+be managed while the daemon runs. A --store daemon may start with no
+datasets at all. --budget meters each dataset;
 --ledger makes spends crash-safe (replayed on restart), and
 --ledger-commit-us sizes the group-commit window within which concurrent
 spends share one fsync (0 = every spend fsyncs alone). Port 0 picks an
@@ -88,6 +94,12 @@ pub struct ServeArgs {
     pub ledger_commit_us: u64,
     /// Prepared-query LRU cache capacity (0 = unbounded).
     pub cache_capacity: usize,
+    /// Persistent columnar store directory (enables the catalog).
+    pub store: Option<PathBuf>,
+    /// Store datasets to attach at startup.
+    pub attach: Vec<String>,
+    /// Enable the admin wire ops (ingest/attach/detach).
+    pub allow_admin: bool,
 }
 
 impl Default for ServeArgs {
@@ -108,6 +120,9 @@ impl Default for ServeArgs {
             slow_query_ms: None,
             ledger_commit_us: defaults.ledger_commit_us,
             cache_capacity: defaults.cache_capacity,
+            store: None,
+            attach: Vec::new(),
+            allow_admin: false,
         }
     }
 }
@@ -157,21 +172,29 @@ impl ServeArgs {
                     )?)
                 }
                 "--ledger-commit-us" => {
-                    args.ledger_commit_us = parse_num(
-                        &need(&mut it, "--ledger-commit-us")?,
-                        "--ledger-commit-us",
-                    )?
+                    args.ledger_commit_us =
+                        parse_num(&need(&mut it, "--ledger-commit-us")?, "--ledger-commit-us")?
                 }
                 "--cache-capacity" => {
                     args.cache_capacity =
                         parse_num(&need(&mut it, "--cache-capacity")?, "--cache-capacity")?
                 }
+                "--store" => args.store = Some(PathBuf::from(need(&mut it, "--store")?)),
+                "--attach" => args.attach.push(need(&mut it, "--attach")?),
+                "--allow-admin" => args.allow_admin = true,
                 "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
             }
         }
-        if args.inputs.is_empty() {
-            return Err(format!("at least one --input is required\n{SERVE_USAGE}"));
+        if !args.attach.is_empty() && args.store.is_none() {
+            return Err(format!("--attach requires --store\n{SERVE_USAGE}"));
+        }
+        // A store-backed daemon may start empty; only a daemon with no
+        // possible data source at all is an error.
+        if args.inputs.is_empty() && args.store.is_none() {
+            return Err(format!(
+                "no data source: pass --input and/or --store\n{SERVE_USAGE}"
+            ));
         }
         Ok(args)
     }
@@ -335,6 +358,9 @@ pub fn build_server_config(args: &ServeArgs) -> Result<ServerConfig, String> {
         // `serve` is a daemon: the structured event log goes to stderr.
         log_stderr: true,
         fault: Default::default(),
+        store_path: args.store.clone(),
+        attach: args.attach.clone(),
+        allow_admin: args.allow_admin,
     })
 }
 
@@ -616,9 +642,29 @@ mod tests {
         assert_eq!(a.cache_capacity, 32);
         assert!(
             ServeArgs::parse(argv("--port 1")).is_err(),
-            "input required"
+            "some data source required"
         );
         assert!(ServeArgs::parse(argv("--input a.csv --nope")).is_err());
+    }
+
+    #[test]
+    fn parses_store_serve_flags() {
+        let a = ServeArgs::parse(argv(
+            "--store ./s --attach people --attach trips --allow-admin",
+        ))
+        .unwrap();
+        assert!(a.inputs.is_empty(), "a store-only daemon is valid");
+        assert_eq!(a.store, Some(PathBuf::from("./s")));
+        assert_eq!(a.attach, vec!["people", "trips"]);
+        assert!(a.allow_admin);
+        let config = build_server_config(&a).unwrap();
+        assert_eq!(config.store_path, Some(PathBuf::from("./s")));
+        assert_eq!(config.attach, vec!["people", "trips"]);
+        assert!(config.allow_admin);
+        assert!(
+            ServeArgs::parse(argv("--attach x")).is_err(),
+            "--attach requires --store"
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Crash-safe ingest, end to end: `SIGKILL` a real `upa-cli ingest`
+//! process mid-write and verify the half-written dataset is invisible —
+//! the store lists nothing, a load refuses, and only a `.tmp-*` debris
+//! directory (never a manifest) remains. A clean re-ingest of the same
+//! name must then succeed, proving the debris doesn't wedge the store.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use upa_store::{Store, StoreError, MANIFEST_FILE};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("upa_ingest_kill_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn write_csv(path: &PathBuf, rows: usize) {
+    let mut text = String::from("v,w\n");
+    for i in 0..rows {
+        text.push_str(&format!("{},{}\n", i % 100, (i % 7) as f64 + 0.5));
+    }
+    std::fs::write(path, text).expect("write csv");
+}
+
+#[test]
+fn sigkill_mid_ingest_leaves_no_visible_dataset() {
+    let root = temp_dir("mid");
+    let store_dir = root.join("store");
+    let csv = root.join("numbers.csv");
+    write_csv(&csv, 5_000);
+
+    // Slow each chunk write down so the kill reliably lands between the
+    // first chunk file and the manifest publish.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_upa-cli"))
+        .arg("ingest")
+        .arg(&csv)
+        .arg("--store")
+        .arg(&store_dir)
+        .args(["--chunk-rows", "256"])
+        .env("UPA_STORE_INGEST_DELAY_MS", "50")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn upa-cli ingest");
+
+    // Wait until the ingest has actually started writing its temp dir,
+    // then kill it mid-flight.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let tmp_started = loop {
+        if let Ok(entries) = std::fs::read_dir(&store_dir) {
+            let tmp = entries
+                .flatten()
+                .any(|e| e.file_name().to_string_lossy().starts_with(".tmp-"));
+            if tmp {
+                break true;
+            }
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(tmp_started, "ingest never started writing its temp dir");
+    child.kill().expect("SIGKILL the ingest");
+    let _ = child.wait();
+
+    // "Restart": a fresh Store over the same directory. The torn ingest
+    // must be invisible.
+    let store = Store::open(&store_dir).expect("store opens after the crash");
+    assert_eq!(
+        store.datasets().expect("list"),
+        Vec::<String>::new(),
+        "a half-written dataset must not be listed"
+    );
+    assert!(
+        matches!(store.load("numbers", None), Err(StoreError::NotFound(_))),
+        "a half-written dataset must not load"
+    );
+    assert!(
+        !store_dir.join("numbers").join(MANIFEST_FILE).exists(),
+        "no manifest may exist for the torn ingest"
+    );
+
+    // The wreckage is only ever a hidden temp dir; re-ingesting the
+    // same dataset cleanly must succeed despite it.
+    let status = Command::new(env!("CARGO_BIN_EXE_upa-cli"))
+        .arg("ingest")
+        .arg(&csv)
+        .arg("--store")
+        .arg(&store_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("re-run upa-cli ingest");
+    assert!(status.success(), "clean re-ingest failed");
+    let loaded = store.load("numbers", None).expect("dataset now loads");
+    assert_eq!(loaded.rows, 5_000);
+    assert_eq!(loaded.columns.len(), 2);
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -23,6 +23,13 @@ OPTIONS:
     --synthetic NAME=ROWS[:MOD]
                           Serve a synthetic dataset (repeatable); one
                           column `v` holding `i % MOD` [default MOD: 97]
+    --store DIR           Persistent columnar dataset store directory;
+                          enables the catalog (ingest/attach/detach).
+                          An empty store is valid — attach later.
+    --attach NAME         Attach a store dataset at startup (repeatable;
+                          requires --store)
+    --allow-admin         Enable the admin wire ops (ingest, attach,
+                          detach) [default: disabled]
     --budget EPS          Total privacy budget per dataset (unmetered if absent)
     --ledger PATH         Crash-safe budget ledger file (replayed on start)
     --ledger-commit-us US Group-commit window: concurrent spends arriving
@@ -82,6 +89,15 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, u16), String> {
             }
             "--ledger" => {
                 config.ledger_path = Some(PathBuf::from(value(&mut i, arg)?));
+            }
+            "--store" => {
+                config.store_path = Some(PathBuf::from(value(&mut i, arg)?));
+            }
+            "--attach" => {
+                config.attach.push(value(&mut i, arg)?);
+            }
+            "--allow-admin" => {
+                config.allow_admin = true;
             }
             "--ledger-commit-us" => {
                 config.ledger_commit_us = value(&mut i, arg)?
@@ -145,8 +161,14 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, u16), String> {
         }
         i += 1;
     }
-    if config.datasets.is_empty() {
-        return Err("at least one --synthetic dataset is required".into());
+    if !config.attach.is_empty() && config.store_path.is_none() {
+        return Err("--attach requires --store".into());
+    }
+    // A store-backed server may legitimately start empty and have
+    // datasets attached later; only a server with no possible data
+    // source is a configuration error.
+    if config.datasets.is_empty() && config.store_path.is_none() {
+        return Err("no data source: pass --synthetic and/or --store".into());
     }
     Ok((config, port))
 }

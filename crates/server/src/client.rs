@@ -12,8 +12,9 @@
 //! is byte-identical whether the query ran in-process or over the wire.
 
 use crate::obs::TraceRecord;
-use crate::proto::{ErrorCode, MetricsReply, Request, Response, StatsReply};
+use crate::proto::{DatasetsReply, ErrorCode, MetricsReply, Request, Response, StatsReply};
 use crate::state::AggKind;
+use crate::state::AttachOutcome;
 use crate::wire;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -345,9 +346,74 @@ impl Client {
     ///
     /// Transport, decode, or server errors.
     pub fn datasets(&mut self) -> Result<Vec<String>, ClientError> {
+        self.datasets_info().map(|reply| reply.names)
+    }
+
+    /// The full catalog view: served dataset names, per-dataset detail,
+    /// and on-disk datasets available to attach.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server errors.
+    pub fn datasets_info(&mut self) -> Result<DatasetsReply, ClientError> {
         match self.request(&Request::Datasets)? {
-            Response::Datasets(names) => Ok(names),
+            Response::Datasets(reply) => Ok(reply),
             other => Err(Self::unexpected("datasets", &other)),
+        }
+    }
+
+    /// Attaches (or hot-reloads) a store dataset into serving. Admin op:
+    /// the server must run with `--allow-admin`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server errors (including `admin` when the
+    /// server has admin ops disabled and `store` for catalog failures).
+    pub fn attach(&mut self, dataset: &str) -> Result<AttachOutcome, ClientError> {
+        let request = Request::Attach {
+            dataset: dataset.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Attached(outcome) => Ok(outcome),
+            other => Err(Self::unexpected("attach", &other)),
+        }
+    }
+
+    /// Detaches a served dataset (its spent budget is retained for
+    /// re-attach). Admin op: the server must run with `--allow-admin`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server errors.
+    pub fn detach(&mut self, dataset: &str) -> Result<(), ClientError> {
+        let request = Request::Detach {
+            dataset: dataset.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Detached { .. } => Ok(()),
+            other => Err(Self::unexpected("detach", &other)),
+        }
+    }
+
+    /// Asks the server to ingest a CSV file from its local filesystem
+    /// into the store. Admin op: the server must run with
+    /// `--allow-admin`. Returns `(dataset, rows)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server errors.
+    pub fn ingest(
+        &mut self,
+        path: &str,
+        dataset: Option<&str>,
+    ) -> Result<(String, u64), ClientError> {
+        let request = Request::Ingest {
+            path: path.to_string(),
+            dataset: dataset.map(str::to_string),
+        };
+        match self.request(&request)? {
+            Response::Ingested { dataset, rows, .. } => Ok((dataset, rows)),
+            other => Err(Self::unexpected("ingest", &other)),
         }
     }
 

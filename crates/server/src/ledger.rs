@@ -411,7 +411,9 @@ impl Drop for GroupCommitLedger {
         // committer's last drain; fail its ticket rather than strand it.
         let leftovers = std::mem::take(&mut *self.shared.queue.lock().expect("ledger queue"));
         for pending in leftovers {
-            pending.ticket.resolve(Err("ledger shut down before commit".into()));
+            pending
+                .ticket
+                .resolve(Err("ledger shut down before commit".into()));
         }
     }
 }

@@ -51,10 +51,12 @@ pub use client::{BudgetReply, Client, ClientBuilder, ClientError, PrepareReply, 
 pub use ledger::{GroupCommitLedger, Ledger, LedgerObs, SpendRecord};
 pub use obs::{HistogramSnapshot, Obs, RegistrySnapshot, Trace, TraceRecord, TraceStore};
 pub use proto::{
-    audit_from_json, ErrorCode, MetricsReply, PreparedInfo, Request, Response, StatsReply,
+    audit_from_json, DatasetsReply, ErrorCode, MetricsReply, PreparedInfo, Request, Response,
+    StatsReply,
 };
 pub use sched::{JobOp, JobOutput, SchedStats, Scheduler, SchedulerHandle};
 pub use server::{Server, ShutdownHandle};
 pub use state::{
-    AggKind, AtomicBudget, DatasetSpec, ReleaseFault, ServeError, ServerConfig, ServerState,
+    AggKind, AtomicBudget, AttachOutcome, DatasetInfo, DatasetSpec, ReleaseFault, ServeError,
+    ServerConfig, ServerState,
 };

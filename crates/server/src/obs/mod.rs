@@ -33,9 +33,9 @@ use std::time::Instant;
 
 /// The wire ops counted under `upa_requests_total{op=…}`; `invalid`
 /// counts lines that failed to parse into any op.
-const OPS: [&str; 11] = [
+const OPS: [&str; 14] = [
     "ping", "datasets", "prepare", "release", "budget", "audit", "stats", "metrics", "trace",
-    "shutdown", "invalid",
+    "ingest", "attach", "detach", "shutdown", "invalid",
 ];
 
 /// Pre-registered hot-path handles, so recording a request never takes
@@ -73,6 +73,12 @@ pub struct ServerMetrics {
     pub cache_evictions: Arc<Counter>,
     /// Requests over the configured slow-query threshold.
     pub slow_queries: Arc<Counter>,
+    /// End-to-end `attach` latency (chunk load, checksum verification,
+    /// catalog swap).
+    pub store_attach: Arc<Histogram>,
+    /// End-to-end `ingest` latency (CSV parse, chunk writes, fsyncs,
+    /// atomic publish).
+    pub store_ingest: Arc<Histogram>,
     requests: HashMap<&'static str, Arc<Counter>>,
     errors: HashMap<&'static str, Arc<Counter>>,
 }
@@ -113,6 +119,8 @@ impl ServerMetrics {
             cache_misses: registry.counter("upa_prepared_cache_misses_total"),
             cache_evictions: registry.counter("upa_prepared_cache_evictions_total"),
             slow_queries: registry.counter("upa_slow_queries_total"),
+            store_attach: registry.histogram("upa_store_attach_us"),
+            store_ingest: registry.histogram("upa_store_ingest_us"),
             requests,
             errors,
         }

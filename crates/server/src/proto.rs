@@ -11,7 +11,7 @@
 
 use crate::obs::{RegistrySnapshot, TraceRecord};
 use crate::sched::SchedStats;
-use crate::state::{AggKind, ReleaseOutcome, ServeError};
+use crate::state::{AggKind, AttachOutcome, DatasetInfo, ReleaseOutcome, ServeError};
 use crate::wire::{self, Json};
 use upa_core::QueryAudit;
 
@@ -38,11 +38,15 @@ pub enum ErrorCode {
     Ledger,
     /// The pipeline failed.
     Pipeline,
+    /// An admin op arrived on a server without `--allow-admin`.
+    Admin,
+    /// A dataset-store operation failed.
+    Store,
 }
 
 impl ErrorCode {
     /// Every code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 9] = [
+    pub const ALL: [ErrorCode; 11] = [
         ErrorCode::UnknownDataset,
         ErrorCode::UnknownColumn,
         ErrorCode::BadRequest,
@@ -52,6 +56,8 @@ impl ErrorCode {
         ErrorCode::Budget,
         ErrorCode::Ledger,
         ErrorCode::Pipeline,
+        ErrorCode::Admin,
+        ErrorCode::Store,
     ];
 
     /// The stable wire spelling.
@@ -66,6 +72,8 @@ impl ErrorCode {
             ErrorCode::Budget => "budget",
             ErrorCode::Ledger => "ledger",
             ErrorCode::Pipeline => "pipeline",
+            ErrorCode::Admin => "admin",
+            ErrorCode::Store => "store",
         }
     }
 
@@ -139,6 +147,25 @@ pub enum Request {
         /// How many recent traces (1 when both fields are absent).
         last: Option<u64>,
     },
+    /// Ingest a server-local CSV file into the store (admin-gated).
+    Ingest {
+        /// Server-local path of the CSV file.
+        path: String,
+        /// Dataset name (defaults to the file stem).
+        dataset: Option<String>,
+    },
+    /// Attach (or reload) a store dataset into the serving set
+    /// (admin-gated).
+    Attach {
+        /// Dataset name.
+        dataset: String,
+    },
+    /// Detach a dataset from the serving set (admin-gated); its spent ε
+    /// survives for a later re-attach.
+    Detach {
+        /// Dataset name.
+        dataset: String,
+    },
     /// Drain and stop the server.
     Shutdown,
 }
@@ -210,6 +237,22 @@ impl Request {
                 s.push('}');
                 s
             }
+            Request::Ingest { path, dataset } => {
+                let mut s = format!("{{\"op\":\"ingest\",\"path\":{}", wire::json_str(path));
+                if let Some(d) = dataset {
+                    s.push_str(&format!(",\"dataset\":{}", wire::json_str(d)));
+                }
+                s.push('}');
+                s
+            }
+            Request::Attach { dataset } => format!(
+                "{{\"op\":\"attach\",\"dataset\":{}}}",
+                wire::json_str(dataset)
+            ),
+            Request::Detach { dataset } => format!(
+                "{{\"op\":\"detach\",\"dataset\":{}}}",
+                wire::json_str(dataset)
+            ),
             Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
         }
     }
@@ -257,10 +300,30 @@ impl Request {
                 id: v.str_of("id").map(str::to_string),
                 last: v.get("last").and_then(Json::as_u64),
             }),
+            "ingest" => Ok(Request::Ingest {
+                path: v
+                    .str_of("path")
+                    .ok_or_else(|| "missing 'path'".to_string())?
+                    .to_string(),
+                dataset: v.str_of("dataset").map(str::to_string),
+            }),
+            "attach" => Ok(Request::Attach {
+                dataset: v
+                    .str_of("dataset")
+                    .ok_or_else(|| "missing 'dataset'".to_string())?
+                    .to_string(),
+            }),
+            "detach" => Ok(Request::Detach {
+                dataset: v
+                    .str_of("dataset")
+                    .ok_or_else(|| "missing 'dataset'".to_string())?
+                    .to_string(),
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown op '{other}' \
-                 (ping|datasets|prepare|release|budget|audit|stats|metrics|trace|shutdown)"
+                 (ping|datasets|prepare|release|budget|audit|stats|metrics|trace\
+                 |ingest|attach|detach|shutdown)"
             )),
         }
     }
@@ -315,6 +378,19 @@ impl MetricsReply {
     }
 }
 
+/// The `datasets` reply's body: the served names (the v1 shape), plus
+/// per-dataset shape details and any store datasets published on disk
+/// but not attached.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatasetsReply {
+    /// Served dataset names, sorted (the v1 `datasets` array).
+    pub names: Vec<String>,
+    /// Shape details for each served dataset, sorted by name.
+    pub info: Vec<DatasetInfo>,
+    /// Store datasets on disk but not currently served, sorted.
+    pub available: Vec<String>,
+}
+
 /// A successful `prepare` reply's body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedInfo {
@@ -332,8 +408,29 @@ pub struct PreparedInfo {
 pub enum Response {
     /// Bare success (`ping`).
     Ok,
-    /// The served dataset names.
-    Datasets(Vec<String>),
+    /// The served datasets (names, shapes, and unattached store
+    /// datasets).
+    Datasets(DatasetsReply),
+    /// A dataset was attached (or reloaded) into the serving set.
+    Attached(AttachOutcome),
+    /// A dataset was detached from the serving set.
+    Detached {
+        /// Dataset name.
+        dataset: String,
+    },
+    /// A CSV file was ingested into the store.
+    Ingested {
+        /// Dataset name as published.
+        dataset: String,
+        /// Rows per column.
+        rows: u64,
+        /// Numeric columns kept.
+        columns: Vec<String>,
+        /// Chunk files written.
+        chunks: u64,
+        /// Bytes written (chunks plus manifest).
+        bytes: u64,
+    },
     /// Prepared (or coalesced) query state.
     Prepared(PreparedInfo),
     /// A released noisy answer (boxed: the audit payload makes this
@@ -396,9 +493,32 @@ impl Response {
         use std::fmt::Write;
         match self {
             Response::Ok => out.push_str("{\"ok\":true}\n"),
-            Response::Datasets(names) => {
+            Response::Datasets(reply) => {
                 out.push_str("{\"ok\":true,\"datasets\":[");
-                for (i, n) in names.iter().enumerate() {
+                for (i, n) in reply.names.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    wire::push_json_str(out, n);
+                }
+                out.push_str("],\"info\":[");
+                for (i, d) in reply.info.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":");
+                    wire::push_json_str(out, &d.name);
+                    let _ = write!(out, ",\"rows\":{},\"columns\":[", d.rows);
+                    for (j, c) in d.columns.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        wire::push_json_str(out, c);
+                    }
+                    let _ = write!(out, "],\"resident_bytes\":{}}}", d.resident_bytes);
+                }
+                out.push_str("],\"available\":[");
+                for (i, n) in reply.available.iter().enumerate() {
                     if i > 0 {
                         out.push(',');
                     }
@@ -406,14 +526,49 @@ impl Response {
                 }
                 out.push_str("]}\n");
             }
+            Response::Attached(a) => {
+                out.push_str("{\"ok\":true,\"attached\":");
+                wire::push_json_str(out, &a.dataset);
+                let _ = write!(
+                    out,
+                    ",\"rows\":{},\"resident_bytes\":{},\"reloaded\":{}}}",
+                    a.rows, a.resident_bytes, a.reloaded
+                );
+                out.push('\n');
+            }
+            Response::Detached { dataset } => {
+                out.push_str("{\"ok\":true,\"detached\":");
+                wire::push_json_str(out, dataset);
+                out.push_str("}\n");
+            }
+            Response::Ingested {
+                dataset,
+                rows,
+                columns,
+                chunks,
+                bytes,
+            } => {
+                out.push_str("{\"ok\":true,\"ingested\":");
+                wire::push_json_str(out, dataset);
+                let _ = write!(out, ",\"rows\":{rows},\"columns\":[");
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    wire::push_json_str(out, c);
+                }
+                let _ = write!(out, "],\"chunks\":{chunks},\"bytes\":{bytes}}}");
+                out.push('\n');
+            }
             Response::Prepared(info) => {
                 out.push_str("{\"ok\":true,\"query_id\":");
                 wire::push_json_str(out, &info.query_id);
                 let _ = write!(
                     out,
-                    ",\"sample_size\":{},\"cached\":{}}}\n",
+                    ",\"sample_size\":{},\"cached\":{}}}",
                     info.sample_size, info.cached
                 );
+                out.push('\n');
             }
             Response::Released(outcome) => {
                 out.push_str("{\"ok\":true,\"query_id\":");
@@ -473,7 +628,8 @@ impl Response {
                 out.push_str(&reply.sched.to_json());
                 out.push_str(",\"uptime_seconds\":");
                 wire::push_json_num(out, reply.uptime_seconds);
-                let _ = write!(out, ",\"seq\":{}}}\n", reply.seq);
+                let _ = write!(out, ",\"seq\":{}}}", reply.seq);
+                out.push('\n');
             }
             Response::Metrics(reply) => {
                 out.push_str("{\"ok\":true,\"exposition\":");
@@ -526,12 +682,71 @@ impl Response {
         if v.bool_of("draining") == Some(true) {
             return Ok(Response::Draining);
         }
+        let str_arr = |field: &str| -> Vec<String> {
+            v.get(field)
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|n| n.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
         if let Some(arr) = v.get("datasets").and_then(Json::as_arr) {
-            return Ok(Response::Datasets(
-                arr.iter()
-                    .filter_map(|n| n.as_str().map(str::to_string))
-                    .collect(),
-            ));
+            let names = arr
+                .iter()
+                .filter_map(|n| n.as_str().map(str::to_string))
+                .collect();
+            // `info`/`available` are absent on pre-store servers; empty
+            // is the honest decoding for both.
+            let info = v
+                .get("info")
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|d| {
+                            Some(DatasetInfo {
+                                name: d.str_of("name")?.to_string(),
+                                rows: d.get("rows").and_then(Json::as_u64)?,
+                                columns: d
+                                    .get("columns")?
+                                    .as_arr()?
+                                    .iter()
+                                    .filter_map(|c| c.as_str().map(str::to_string))
+                                    .collect(),
+                                resident_bytes: d.get("resident_bytes").and_then(Json::as_u64)?,
+                            })
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            return Ok(Response::Datasets(DatasetsReply {
+                names,
+                info,
+                available: str_arr("available"),
+            }));
+        }
+        if let Some(dataset) = v.str_of("attached") {
+            return Ok(Response::Attached(AttachOutcome {
+                dataset: dataset.to_string(),
+                rows: v.get("rows").and_then(Json::as_u64).unwrap_or(0),
+                resident_bytes: v.get("resident_bytes").and_then(Json::as_u64).unwrap_or(0),
+                reloaded: v.bool_of("reloaded").unwrap_or(false),
+            }));
+        }
+        if let Some(dataset) = v.str_of("detached") {
+            return Ok(Response::Detached {
+                dataset: dataset.to_string(),
+            });
+        }
+        if let Some(dataset) = v.str_of("ingested") {
+            return Ok(Response::Ingested {
+                dataset: dataset.to_string(),
+                rows: v.get("rows").and_then(Json::as_u64).unwrap_or(0),
+                columns: str_arr("columns"),
+                chunks: v.get("chunks").and_then(Json::as_u64).unwrap_or(0),
+                bytes: v.get("bytes").and_then(Json::as_u64).unwrap_or(0),
+            });
         }
         if let Some(sched) = v.get("sched") {
             return SchedStats::from_json(sched).map(|sched| {
@@ -725,6 +940,8 @@ mod tests {
             },
             ServeError::Ledger("m".into()),
             ServeError::Pipeline("m".into()),
+            ServeError::AdminDisabled,
+            ServeError::Store("m".into()),
         ];
         for e in &errors {
             assert_eq!(ErrorCode::parse(e.code().as_str()), Some(e.code()));
@@ -774,10 +991,105 @@ mod tests {
                 id: None,
                 last: Some(5),
             },
+            Request::Ingest {
+                path: "/data/people.csv".into(),
+                dataset: Some("people".into()),
+            },
+            Request::Ingest {
+                path: "people.csv".into(),
+                dataset: None,
+            },
+            Request::Attach {
+                dataset: "people".into(),
+            },
+            Request::Detach {
+                dataset: "people".into(),
+            },
             Request::Shutdown,
         ];
         for req in &requests {
             assert_eq!(&reparse_request(req), req, "{req:?}");
+        }
+    }
+
+    fn reparse_response(resp: &Response) -> Response {
+        let parsed = wire::parse(resp.to_line().trim()).expect("response line parses");
+        Response::from_json(&parsed).expect("response decodes")
+    }
+
+    #[test]
+    fn datasets_reply_round_trips_with_info_and_available() {
+        let reply = DatasetsReply {
+            names: vec!["people".into(), "taxi".into()],
+            info: vec![DatasetInfo {
+                name: "people".into(),
+                rows: 1_000,
+                columns: vec!["age".into(), "income".into()],
+                resident_bytes: 16_000,
+            }],
+            available: vec!["census".into()],
+        };
+        match reparse_response(&Response::Datasets(reply.clone())) {
+            Response::Datasets(got) => assert_eq!(got, reply),
+            other => panic!("expected Datasets, got {other:?}"),
+        }
+        // The v1 shape (bare names) still decodes; extras default empty.
+        let parsed = wire::parse("{\"ok\":true,\"datasets\":[\"d\"]}").unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Datasets(got) => {
+                assert_eq!(got.names, vec!["d"]);
+                assert!(got.info.is_empty());
+                assert!(got.available.is_empty());
+            }
+            other => panic!("expected Datasets, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_admin_replies_round_trip() {
+        let attached = Response::Attached(AttachOutcome {
+            dataset: "people".into(),
+            rows: 42,
+            resident_bytes: 672,
+            reloaded: true,
+        });
+        match reparse_response(&attached) {
+            Response::Attached(got) => {
+                assert_eq!(got.dataset, "people");
+                assert_eq!(got.rows, 42);
+                assert_eq!(got.resident_bytes, 672);
+                assert!(got.reloaded);
+            }
+            other => panic!("expected Attached, got {other:?}"),
+        }
+        match reparse_response(&Response::Detached {
+            dataset: "people".into(),
+        }) {
+            Response::Detached { dataset } => assert_eq!(dataset, "people"),
+            other => panic!("expected Detached, got {other:?}"),
+        }
+        let ingested = Response::Ingested {
+            dataset: "people".into(),
+            rows: 42,
+            columns: vec!["age".into()],
+            chunks: 1,
+            bytes: 500,
+        };
+        match reparse_response(&ingested) {
+            Response::Ingested {
+                dataset,
+                rows,
+                columns,
+                chunks,
+                bytes,
+            } => {
+                assert_eq!(dataset, "people");
+                assert_eq!(rows, 42);
+                assert_eq!(columns, vec!["age"]);
+                assert_eq!(chunks, 1);
+                assert_eq!(bytes, 500);
+            }
+            other => panic!("expected Ingested, got {other:?}"),
         }
     }
 

@@ -395,10 +395,18 @@ impl Scheduler {
                 return Err(ServeError::ShuttingDown);
             }
             let capacity = self.capacity;
-            let queue = qs
-                .queues
-                .get_mut(dataset)
-                .ok_or_else(|| ServeError::UnknownDataset(dataset.to_string()))?;
+            if !qs.queues.contains_key(dataset) {
+                // A dataset attached after startup has no queue yet —
+                // create one on first use. Detached datasets keep their
+                // (empty) queue: harmless, and a job racing a detach
+                // fails at serve time with `unknown_dataset`.
+                if !self.state.has_dataset(dataset) {
+                    return Err(ServeError::UnknownDataset(dataset.to_string()));
+                }
+                qs.queues.insert(dataset.to_string(), VecDeque::new());
+                qs.order.push(dataset.to_string());
+            }
+            let queue = qs.queues.get_mut(dataset).expect("queue just ensured");
             if queue.len() >= capacity {
                 self.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::Busy);

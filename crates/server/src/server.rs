@@ -30,14 +30,18 @@
 //! the scheduler pool.
 
 use crate::obs::{Level, RegistrySnapshot, Trace, Value};
-use crate::proto::{ErrorCode, MetricsReply, PreparedInfo, Request, Response, StatsReply};
+use crate::proto::{
+    DatasetsReply, ErrorCode, MetricsReply, PreparedInfo, Request, Response, StatsReply,
+};
 use crate::sched::{JobOp, JobOutput, Scheduler, SchedulerHandle};
 use crate::state::{ServeError, ServerConfig, ServerState};
 use crate::wire;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A bound, not-yet-running server.
 pub struct Server {
@@ -237,6 +241,9 @@ fn op_name(r: &Request) -> &'static str {
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Trace { .. } => "trace",
+        Request::Ingest { .. } => "ingest",
+        Request::Attach { .. } => "attach",
+        Request::Detach { .. } => "detach",
         Request::Shutdown => "shutdown",
     }
 }
@@ -279,12 +286,27 @@ fn scrape(state: &Arc<ServerState>, sched: &Arc<Scheduler>) -> RegistrySnapshot 
             );
         }
     }
+    if let Some(catalog) = state.catalog() {
+        snap.gauges.insert(
+            "upa_store_datasets".to_string(),
+            catalog.attached_count() as f64,
+        );
+        snap.gauges.insert(
+            "upa_store_resident_bytes".to_string(),
+            catalog.resident_bytes() as f64,
+        );
+    }
     snap
 }
 
 /// Dispatches one request line, appending the reply line to `reply`;
 /// returns whether the request was a shutdown.
-fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>, reply: &mut String) -> bool {
+fn respond(
+    line: &str,
+    state: &Arc<ServerState>,
+    sched: &Arc<Scheduler>,
+    reply: &mut String,
+) -> bool {
     let obs = Arc::clone(state.obs());
     let parsed = match wire::parse(line) {
         Ok(v) => v,
@@ -329,7 +351,11 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>, reply: 
     };
     let response = match request {
         Request::Ping => Response::Ok,
-        Request::Datasets => Response::Datasets(state.dataset_names()),
+        Request::Datasets => Response::Datasets(DatasetsReply {
+            names: state.dataset_names(),
+            info: state.dataset_infos(),
+            available: state.available_datasets(),
+        }),
         Request::Prepare {
             dataset,
             query,
@@ -438,6 +464,50 @@ fn respond(line: &str, state: &Arc<ServerState>, sched: &Arc<Scheduler>, reply: 
             };
             Response::Traces(traces)
         }
+        Request::Ingest { path, dataset } => {
+            if !state.config().allow_admin {
+                Response::from(&ServeError::AdminDisabled)
+            } else {
+                let start = Instant::now();
+                match state.ingest_csv_file(Path::new(&path), dataset.as_deref()) {
+                    Ok(report) => {
+                        obs.m.store_ingest.record_duration(start.elapsed());
+                        Response::Ingested {
+                            dataset: report.dataset,
+                            rows: report.rows,
+                            columns: report.columns,
+                            chunks: report.chunks as u64,
+                            bytes: report.bytes,
+                        }
+                    }
+                    Err(e) => Response::from(&e),
+                }
+            }
+        }
+        Request::Attach { dataset } => {
+            if !state.config().allow_admin {
+                Response::from(&ServeError::AdminDisabled)
+            } else {
+                let start = Instant::now();
+                match state.attach_dataset(&dataset) {
+                    Ok(outcome) => {
+                        obs.m.store_attach.record_duration(start.elapsed());
+                        Response::Attached(outcome)
+                    }
+                    Err(e) => Response::from(&e),
+                }
+            }
+        }
+        Request::Detach { dataset } => {
+            if !state.config().allow_admin {
+                Response::from(&ServeError::AdminDisabled)
+            } else {
+                match state.detach_dataset(&dataset) {
+                    Ok(()) => Response::Detached { dataset },
+                    Err(e) => Response::from(&e),
+                }
+            }
+        }
         Request::Shutdown => {
             Response::Draining.write_line(reply);
             return true;
@@ -507,17 +577,18 @@ mod tests {
 
     impl Fixture {
         fn new() -> Fixture {
-            let state = Arc::new(
-                ServerState::new(ServerConfig {
-                    datasets: vec![DatasetSpec::synthetic("data", 1_500, 7)],
-                    budget: Some(1.0),
-                    epsilon: 0.2,
-                    sample_size: 30,
-                    threads: 2,
-                    ..ServerConfig::default()
-                })
-                .unwrap(),
-            );
+            Fixture::with_config(ServerConfig {
+                datasets: vec![DatasetSpec::synthetic("data", 1_500, 7)],
+                budget: Some(1.0),
+                epsilon: 0.2,
+                sample_size: 30,
+                threads: 2,
+                ..ServerConfig::default()
+            })
+        }
+
+        fn with_config(config: ServerConfig) -> Fixture {
+            let state = Arc::new(ServerState::new(config).unwrap());
             let handle = Scheduler::start(Arc::clone(&state));
             Fixture {
                 state,
@@ -628,6 +699,61 @@ mod tests {
             assert_eq!(reply.bool_of("ok"), Some(false), "{line}");
             assert_eq!(reply.str_of("code"), Some(code), "{line}");
         }
+    }
+
+    #[test]
+    fn admin_ops_are_gated_behind_allow_admin() {
+        // Default config: admin ops refused with the stable `admin` code
+        // even when a store is configured.
+        let dir = std::env::temp_dir().join(format!("upa_server_admin_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fx = Fixture::with_config(ServerConfig {
+            datasets: vec![DatasetSpec::synthetic("data", 500, 7)],
+            threads: 2,
+            store_path: Some(dir.clone()),
+            ..ServerConfig::default()
+        });
+        for line in [
+            r#"{"op":"attach","dataset":"x"}"#,
+            r#"{"op":"detach","dataset":"x"}"#,
+            r#"{"op":"ingest","path":"/tmp/x.csv"}"#,
+        ] {
+            let reply = fx.respond_str(line);
+            assert_eq!(reply.bool_of("ok"), Some(false), "{line}");
+            assert_eq!(reply.str_of("code"), Some("admin"), "{line}");
+        }
+
+        // With --allow-admin the same ops reach the store layer.
+        let fx = Fixture::with_config(ServerConfig {
+            datasets: vec![],
+            threads: 2,
+            store_path: Some(dir.clone()),
+            allow_admin: true,
+            ..ServerConfig::default()
+        });
+        let csv = dir.join("tiny.csv");
+        std::fs::write(&csv, "v\n1\n2\n3\n").unwrap();
+        let ingested = fx.respond_str(&format!(r#"{{"op":"ingest","path":"{}"}}"#, csv.display()));
+        assert_eq!(ingested.str_of("ingested"), Some("tiny"));
+        assert_eq!(ingested.num_of("rows"), Some(3.0));
+
+        let ds = fx.respond_str(r#"{"op":"datasets"}"#);
+        assert_eq!(ds.get("datasets").unwrap().as_arr().unwrap().len(), 0);
+        let avail = ds.get("available").unwrap().as_arr().unwrap();
+        assert_eq!(avail.len(), 1, "published but unattached");
+
+        let attached = fx.respond_str(r#"{"op":"attach","dataset":"tiny"}"#);
+        assert_eq!(attached.str_of("attached"), Some("tiny"));
+        assert_eq!(attached.num_of("rows"), Some(3.0));
+        let r = fx.respond_str(r#"{"op":"release","dataset":"tiny","query":"count"}"#);
+        assert_eq!(r.bool_of("ok"), Some(true));
+
+        let detached = fx.respond_str(r#"{"op":"detach","dataset":"tiny"}"#);
+        assert_eq!(detached.str_of("detached"), Some("tiny"));
+        let gone = fx.respond_str(r#"{"op":"release","dataset":"tiny","query":"count"}"#);
+        assert_eq!(gone.str_of("code"), Some("unknown_dataset"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,14 +31,17 @@ use crate::ledger::{spent_by_dataset, GroupCommitLedger, Ledger, LedgerObs, Spen
 use crate::obs::{Obs, Trace};
 use crate::proto::ErrorCode;
 use dataflow::Context;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use upa_core::domain::EmpiricalSampler;
 use upa_core::query::MapReduceQuery;
 use upa_core::{PreparedQuery, QueryAudit, Upa, UpaConfig, UpaError};
+use upa_store::{Catalog, IngestOptions, IngestReport, Resident, StoreError};
 
 /// An in-memory dataset the server answers queries over: named numeric
 /// columns plus the row count (so `count` works on column-less tables).
@@ -202,6 +205,14 @@ pub struct ServerConfig {
     pub log_stderr: bool,
     /// Serving-path fault injection (tests only).
     pub fault: ReleaseFault,
+    /// Persistent dataset store directory (`None` = no store; only
+    /// baked-in [`ServerConfig::datasets`] are served).
+    pub store_path: Option<PathBuf>,
+    /// Allow the `ingest`/`attach`/`detach` admin ops over the wire.
+    pub allow_admin: bool,
+    /// Store datasets to attach at startup (requires
+    /// [`ServerConfig::store_path`]).
+    pub attach: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -223,6 +234,9 @@ impl Default for ServerConfig {
             trace_capacity: 256,
             log_stderr: false,
             fault: ReleaseFault::None,
+            store_path: None,
+            allow_admin: false,
+            attach: Vec::new(),
         }
     }
 }
@@ -250,6 +264,12 @@ pub enum ServeError {
     Ledger(String),
     /// The pipeline failed.
     Pipeline(String),
+    /// An admin op (`ingest`/`attach`/`detach`) arrived but the server
+    /// was not started with `--allow-admin`.
+    AdminDisabled,
+    /// A dataset-store operation failed (no store configured, corrupt
+    /// chunks, ingest I/O, …).
+    Store(String),
 }
 
 impl ServeError {
@@ -266,6 +286,17 @@ impl ServeError {
             ServeError::BudgetExhausted { .. } => ErrorCode::Budget,
             ServeError::Ledger(_) => ErrorCode::Ledger,
             ServeError::Pipeline(_) => ErrorCode::Pipeline,
+            ServeError::AdminDisabled => ErrorCode::Admin,
+            ServeError::Store(_) => ErrorCode::Store,
+        }
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> ServeError {
+        match e {
+            StoreError::NotFound(name) => ServeError::UnknownDataset(name),
+            other => ServeError::Store(other.to_string()),
         }
     }
 }
@@ -292,6 +323,10 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::Ledger(m) => write!(f, "ledger failure: {m}"),
             ServeError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            ServeError::AdminDisabled => {
+                write!(f, "admin ops are disabled (start with --allow-admin)")
+            }
+            ServeError::Store(m) => write!(f, "store error: {m}"),
         }
     }
 }
@@ -305,8 +340,73 @@ pub type PreparedAgg = PreparedQuery<f64, (f64, f64), f64>;
 type QueryKey = (String, AggKind, String);
 
 struct DatasetState {
-    spec: DatasetSpec,
+    name: String,
+    rows: usize,
+    /// Column values behind `Arc`s: attaching from the catalog shares
+    /// the catalog's buffers instead of copying them, and a dataset
+    /// detached mid-query stays alive until its last in-flight release
+    /// drops the `Arc`.
+    columns: HashMap<String, Arc<Vec<f64>>>,
+    resident_bytes: usize,
     upa: Mutex<Upa>,
+}
+
+impl DatasetState {
+    fn from_spec(spec: &DatasetSpec, upa: Upa) -> DatasetState {
+        let columns: HashMap<String, Arc<Vec<f64>>> = spec
+            .columns
+            .iter()
+            .map(|(name, values)| (name.clone(), Arc::new(values.clone())))
+            .collect();
+        let resident_bytes = columns.values().map(|v| v.len() * 8).sum();
+        DatasetState {
+            name: spec.name.clone(),
+            rows: spec.rows,
+            columns,
+            resident_bytes,
+            upa: Mutex::new(upa),
+        }
+    }
+
+    fn from_resident(resident: &Resident, upa: Upa) -> DatasetState {
+        DatasetState {
+            name: resident.name.clone(),
+            rows: resident.rows,
+            columns: resident
+                .columns
+                .iter()
+                .map(|(name, values)| (name.clone(), Arc::clone(values)))
+                .collect(),
+            resident_bytes: resident.resident_bytes,
+            upa: Mutex::new(upa),
+        }
+    }
+}
+
+/// One served dataset's shape, as reported by the `datasets` op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Dataset name.
+    pub name: String,
+    /// Row count.
+    pub rows: u64,
+    /// Column names, sorted.
+    pub columns: Vec<String>,
+    /// Bytes of column values held in memory.
+    pub resident_bytes: u64,
+}
+
+/// The result of a successful `attach`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttachOutcome {
+    /// Dataset name.
+    pub dataset: String,
+    /// Row count of the freshly loaded data.
+    pub rows: u64,
+    /// Bytes now resident for this dataset.
+    pub resident_bytes: u64,
+    /// Whether this replaced an existing residency (a reload).
+    pub reloaded: bool,
 }
 
 /// One dataset's lock-free budget shard: `total` is immutable, `spent`
@@ -454,6 +554,16 @@ impl PreparedCache {
         );
         evicted
     }
+
+    /// Drops every cached prepare for `dataset` — attach (the data may
+    /// have changed on disk) and detach (the data is gone) both
+    /// invalidate its entries.
+    fn purge_dataset(&self, dataset: &str) {
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .retain(|key, _| key.0 != dataset);
+    }
 }
 
 /// The outcome of a successful release.
@@ -479,11 +589,23 @@ pub struct ReleaseOutcome {
 pub struct ServerState {
     config: ServerConfig,
     ctx: Context,
-    datasets: HashMap<String, DatasetState>,
+    /// Served datasets. The `RwLock` is short-hold by construction:
+    /// writers (attach/detach) only swap an `Arc` in or out — chunk
+    /// loading happens before the lock — so in-flight releases on other
+    /// datasets never stall behind an admin op.
+    datasets: RwLock<HashMap<String, Arc<DatasetState>>>,
     prepared: PreparedCache,
-    /// Per-dataset budget shards (empty when unmetered). The map itself
-    /// is immutable after startup, so reads need no lock.
-    budgets: HashMap<String, AtomicBudget>,
+    /// Per-dataset budget shards (empty when unmetered). Entries are
+    /// *never removed*: a detach leaves its dataset's spent ε in place,
+    /// so a detach/re-attach cycle cannot launder budget.
+    budgets: RwLock<HashMap<String, Arc<AtomicBudget>>>,
+    /// The persistent store's live catalog (present only when a store
+    /// path is configured).
+    catalog: Option<Catalog>,
+    /// Spent ε per dataset as replayed from the ledger at startup —
+    /// consulted when a dataset attaches after startup, so its shard
+    /// starts from the durable record rather than zero.
+    replayed_spent: HashMap<String, f64>,
     /// The group-commit ledger (present only when a ledger path is set);
     /// internally synchronized, shared by every connection thread.
     ledger: Option<GroupCommitLedger>,
@@ -496,7 +618,7 @@ pub struct ServerState {
 impl std::fmt::Debug for ServerState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerState")
-            .field("datasets", &self.datasets.len())
+            .field("datasets", &self.dataset_names().len())
             .field("epsilon", &self.config.epsilon)
             .finish()
     }
@@ -548,28 +670,43 @@ impl ServerState {
             };
             datasets.insert(
                 spec.name.clone(),
-                DatasetState {
-                    spec: spec.clone(),
-                    upa: Mutex::new(Upa::new(ctx.clone(), upa_config)),
-                },
+                Arc::new(DatasetState::from_spec(
+                    spec,
+                    Upa::new(ctx.clone(), upa_config),
+                )),
             );
             if let Some(total) = config.budget {
                 let used = spent.get(&spec.name).copied().unwrap_or(0.0);
-                budgets.insert(spec.name.clone(), AtomicBudget::new(total, used));
+                budgets.insert(spec.name.clone(), Arc::new(AtomicBudget::new(total, used)));
             }
         }
-        Ok(ServerState {
+        let catalog = match &config.store_path {
+            Some(root) => Some(
+                Catalog::open(root, config.threads.max(2))
+                    .map_err(|e| std::io::Error::other(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let state = ServerState {
             ctx,
-            datasets,
+            datasets: RwLock::new(datasets),
             prepared: PreparedCache::new(config.cache_capacity),
-            budgets,
+            budgets: RwLock::new(budgets),
+            catalog,
+            replayed_spent: spent,
             ledger,
             release_seq: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             obs,
             config,
-        })
+        };
+        for name in state.config.attach.clone() {
+            state
+                .attach_dataset(&name)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        Ok(state)
     }
 
     /// The observability hub (metrics registry, trace ring, event log).
@@ -589,9 +726,187 @@ impl ServerState {
 
     /// Registered dataset names, sorted.
     pub fn dataset_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.datasets.keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .datasets
+            .read()
+            .expect("datasets poisoned")
+            .keys()
+            .cloned()
+            .collect();
         names.sort();
         names
+    }
+
+    /// Whether a dataset of that name is currently served.
+    pub fn has_dataset(&self, name: &str) -> bool {
+        self.datasets
+            .read()
+            .expect("datasets poisoned")
+            .contains_key(name)
+    }
+
+    /// Every served dataset's shape, sorted by name.
+    pub fn dataset_infos(&self) -> Vec<DatasetInfo> {
+        let mut infos: Vec<DatasetInfo> = self
+            .datasets
+            .read()
+            .expect("datasets poisoned")
+            .values()
+            .map(|ds| {
+                let mut columns: Vec<String> = ds.columns.keys().cloned().collect();
+                columns.sort_unstable();
+                DatasetInfo {
+                    name: ds.name.clone(),
+                    rows: ds.rows as u64,
+                    columns,
+                    resident_bytes: ds.resident_bytes as u64,
+                }
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// The live catalog, when a store is configured.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.catalog.as_ref()
+    }
+
+    /// Datasets published in the store but not currently served, sorted
+    /// (empty without a store).
+    pub fn available_datasets(&self) -> Vec<String> {
+        let Some(catalog) = &self.catalog else {
+            return Vec::new();
+        };
+        let served = self.datasets.read().expect("datasets poisoned");
+        let mut names: Vec<String> = catalog
+            .available()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|n| !served.contains_key(n))
+            .collect();
+        drop(served);
+        names.sort_unstable();
+        names
+    }
+
+    // ---- store admin ops ------------------------------------------------
+
+    fn require_catalog(&self) -> Result<&Catalog, ServeError> {
+        self.catalog
+            .as_ref()
+            .ok_or_else(|| ServeError::Store("no store directory configured".into()))
+    }
+
+    /// Seeds a freshly attached dataset's engine deterministically from
+    /// the configured seed and the dataset name (attach order must not
+    /// change the noise stream).
+    fn attach_seed(&self, name: &str) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        self.config.seed ^ hasher.finish()
+    }
+
+    /// Ensures a metered dataset has a budget shard, seeding its spent ε
+    /// from the ledger replay. Existing shards — including those left by
+    /// a detach — are kept untouched, so re-attaching never resets spend.
+    fn ensure_budget(&self, name: &str) {
+        if let Some(total) = self.config.budget {
+            let mut budgets = self.budgets.write().expect("budgets poisoned");
+            budgets.entry(name.to_string()).or_insert_with(|| {
+                let used = self.replayed_spent.get(name).copied().unwrap_or(0.0);
+                Arc::new(AtomicBudget::new(total, used))
+            });
+        }
+    }
+
+    /// Attaches (or reloads) a store dataset into the serving set. The
+    /// chunk load runs before any lock is taken; the datasets write lock
+    /// is held only for the map insert. The dataset's budget shard —
+    /// with any spend from a previous residency or the ledger replay —
+    /// survives the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Unknown dataset, corrupt chunks, or no configured store.
+    pub fn attach_dataset(&self, name: &str) -> Result<AttachOutcome, ServeError> {
+        let catalog = self.require_catalog()?;
+        let (resident, reloaded) = catalog.attach(name)?;
+        let upa_config = UpaConfig {
+            epsilon: self.config.epsilon,
+            sample_size: self.config.sample_size,
+            seed: self.attach_seed(name),
+            ..UpaConfig::default()
+        };
+        let ds = Arc::new(DatasetState::from_resident(
+            &resident,
+            Upa::new(self.ctx.clone(), upa_config),
+        ));
+        self.datasets
+            .write()
+            .expect("datasets poisoned")
+            .insert(name.to_string(), ds);
+        // Any cached prepare was computed over the previous data.
+        self.prepared.purge_dataset(name);
+        self.ensure_budget(name);
+        Ok(AttachOutcome {
+            dataset: name.to_string(),
+            rows: resident.rows as u64,
+            resident_bytes: resident.resident_bytes as u64,
+            reloaded,
+        })
+    }
+
+    /// Removes a dataset from the serving set. In-flight releases finish
+    /// on their `Arc`s; the budget shard stays, so spent ε survives a
+    /// detach/re-attach cycle.
+    ///
+    /// # Errors
+    ///
+    /// Unknown dataset.
+    pub fn detach_dataset(&self, name: &str) -> Result<(), ServeError> {
+        self.datasets
+            .write()
+            .expect("datasets poisoned")
+            .remove(name)
+            .ok_or_else(|| ServeError::UnknownDataset(name.to_string()))?;
+        if let Some(catalog) = &self.catalog {
+            let _ = catalog.detach(name);
+        }
+        self.prepared.purge_dataset(name);
+        Ok(())
+    }
+
+    /// Ingests a server-local CSV file into the store (columns that
+    /// parse fully as numbers; others are skipped). The dataset is
+    /// published atomically but *not* attached — serving it is a
+    /// separate, explicit `attach`.
+    ///
+    /// # Errors
+    ///
+    /// Missing store, unreadable file, CSV/ingest failures, or an
+    /// existing dataset of the same name.
+    pub fn ingest_csv_file(
+        &self,
+        path: &Path,
+        dataset: Option<&str>,
+    ) -> Result<IngestReport, ServeError> {
+        let catalog = self.require_catalog()?;
+        let name = match dataset {
+            Some(name) => name.to_string(),
+            None => path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    ServeError::BadRequest("cannot derive a dataset name from the path".into())
+                })?,
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::Store(format!("read {}: {e}", path.display())))?;
+        Ok(catalog
+            .store()
+            .ingest_csv(&name, &text, &IngestOptions::default())?)
     }
 
     /// Number of cached prepared queries.
@@ -634,9 +949,14 @@ impl ServerState {
 
     // ---- query path -----------------------------------------------------
 
-    fn dataset(&self, name: &str) -> Result<&DatasetState, ServeError> {
+    /// Clones the dataset's `Arc` out under the read lock; callers keep
+    /// working on it even if the dataset is detached meanwhile.
+    fn dataset(&self, name: &str) -> Result<Arc<DatasetState>, ServeError> {
         self.datasets
+            .read()
+            .expect("datasets poisoned")
             .get(name)
+            .cloned()
             .ok_or_else(|| ServeError::UnknownDataset(name.to_string()))
     }
 
@@ -647,14 +967,13 @@ impl ServerState {
         column: &str,
     ) -> Result<Vec<f64>, ServeError> {
         if kind == AggKind::Count && column.is_empty() {
-            return Ok(vec![0.0; ds.spec.rows]);
+            return Ok(vec![0.0; ds.rows]);
         }
-        ds.spec
-            .columns
+        ds.columns
             .get(column)
-            .cloned()
+            .map(|values| values.as_ref().clone())
             .ok_or_else(|| ServeError::UnknownColumn {
-                dataset: ds.spec.name.clone(),
+                dataset: ds.name.clone(),
                 column: column.to_string(),
             })
     }
@@ -703,7 +1022,7 @@ impl ServerState {
             return Ok((p, query_id, true));
         }
         let ds = self.dataset(dataset)?;
-        let values = self.column_values(ds, kind, column)?;
+        let values = self.column_values(&ds, kind, column)?;
         let data = self.ctx.parallelize_default(values.clone());
         let domain = EmpiricalSampler::new(values);
         let query = build_agg_query(kind);
@@ -742,7 +1061,15 @@ impl ServerState {
         query_id: &str,
         epsilon: f64,
     ) -> Result<Option<f64>, ServeError> {
-        let reserved = match self.budgets.get(dataset) {
+        // Clone the shard `Arc` out once; the budgets lock is never held
+        // across the reserve, the ledger fsync, or the refund.
+        let shard = self
+            .budgets
+            .read()
+            .expect("budgets poisoned")
+            .get(dataset)
+            .cloned();
+        let reserved = match &shard {
             Some(shard) => Some(shard.try_reserve(epsilon).map_err(|remaining| {
                 ServeError::BudgetExhausted {
                     remaining,
@@ -758,7 +1085,7 @@ impl ServerState {
                 epsilon,
             });
             if let Err(msg) = submitted {
-                if let Some(shard) = self.budgets.get(dataset) {
+                if let Some(shard) = &shard {
                     shard.refund(epsilon);
                 }
                 return Err(ServeError::Ledger(msg));
@@ -909,6 +1236,8 @@ impl ServerState {
         self.dataset(dataset)?;
         Ok(self
             .budgets
+            .read()
+            .expect("budgets poisoned")
             .get(dataset)
             .map(|b| (b.total(), b.spent(), b.remaining())))
     }
@@ -919,6 +1248,8 @@ impl ServerState {
     pub fn budgets(&self) -> Vec<(String, f64, f64, f64)> {
         let mut out: Vec<_> = self
             .budgets
+            .read()
+            .expect("budgets poisoned")
             .iter()
             .map(|(name, b)| (name.clone(), b.total(), b.spent(), b.remaining()))
             .collect();
@@ -1233,6 +1564,250 @@ mod tests {
             "the least-recently-used entry was evicted"
         );
         assert_eq!(state.obs().m.cache_evictions.get(), 1);
+    }
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("upa_state_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn store_state(dir: &Path, budget: Option<f64>, ledger: Option<PathBuf>) -> Arc<ServerState> {
+        Arc::new(
+            ServerState::new(ServerConfig {
+                datasets: vec![],
+                budget,
+                ledger_path: ledger,
+                epsilon: 0.25,
+                sample_size: 40,
+                threads: 2,
+                store_path: Some(dir.to_path_buf()),
+                allow_admin: true,
+                ..ServerConfig::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    fn ingest_column(dir: &Path, name: &str, values: Vec<f64>) {
+        let store = upa_store::Store::open(dir).unwrap();
+        let columns = vec![("v".to_string(), values)];
+        store
+            .ingest(
+                name,
+                &columns,
+                &IngestOptions {
+                    overwrite: true,
+                    ..IngestOptions::default()
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn attach_detach_cycle_preserves_spent_budget() {
+        let dir = temp_store("cycle");
+        ingest_column(&dir, "live", (0..100).map(|i| (i % 7) as f64).collect());
+        let state = store_state(&dir, Some(1.0), None);
+        assert_eq!(state.available_datasets(), vec!["live".to_string()]);
+        assert!(!state.has_dataset("live"));
+
+        let out = state.attach_dataset("live").unwrap();
+        assert_eq!(out.rows, 100);
+        assert!(!out.reloaded, "first attach is not a reload");
+        assert!(state.has_dataset("live"));
+        assert!(state.available_datasets().is_empty());
+
+        state
+            .release("live", AggKind::Sum, "v", None, false)
+            .unwrap();
+        let (_, spent, _) = state.budget_of("live").unwrap().unwrap();
+        assert!((spent - 0.25).abs() < 1e-9);
+
+        state.detach_dataset("live").unwrap();
+        assert!(!state.has_dataset("live"));
+        assert_eq!(
+            state
+                .release("live", AggKind::Sum, "v", None, false)
+                .unwrap_err()
+                .code(),
+            ErrorCode::UnknownDataset
+        );
+        // The budget shard outlives the residency.
+        let shards = state.budgets();
+        assert_eq!(shards.len(), 1);
+        assert!(
+            (shards[0].2 - 0.25).abs() < 1e-9,
+            "spent ε kept while detached"
+        );
+
+        state.attach_dataset("live").unwrap();
+        let (_, spent_after, _) = state.budget_of("live").unwrap().unwrap();
+        assert!(
+            (spent_after - 0.25).abs() < 1e-9,
+            "spent ε unchanged across detach/re-attach"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reattach_reloads_fresh_data_and_purges_prepared_cache() {
+        let dir = temp_store("reload");
+        ingest_column(&dir, "hot", vec![1.0; 50]);
+        let state = store_state(&dir, None, None);
+        state.attach_dataset("hot").unwrap();
+        state.prepare("hot", AggKind::Sum, "v").unwrap();
+        assert!(state.cached_prepared("hot", AggKind::Sum, "v").is_some());
+
+        // Re-publish with different data, then hot-reload.
+        ingest_column(&dir, "hot", vec![2.0; 80]);
+        let out = state.attach_dataset("hot").unwrap();
+        assert!(out.reloaded, "attach-when-attached is a reload");
+        assert_eq!(out.rows, 80);
+        assert!(
+            state.cached_prepared("hot", AggKind::Sum, "v").is_none(),
+            "stale prepared state must not survive a reload"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attach_errors_are_clean() {
+        // No store configured: attach is a store error, not a panic.
+        let state = state_with(None, None);
+        assert_eq!(
+            state.attach_dataset("anything").unwrap_err().code(),
+            ErrorCode::Store
+        );
+        // Store configured but the dataset is not published.
+        let dir = temp_store("missing");
+        let state = store_state(&dir, None, None);
+        assert_eq!(
+            state.attach_dataset("ghost").unwrap_err().code(),
+            ErrorCode::UnknownDataset
+        );
+        assert_eq!(
+            state.detach_dataset("ghost").unwrap_err().code(),
+            ErrorCode::UnknownDataset
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_replay_seeds_budgets_of_late_attached_datasets() {
+        let dir = temp_store("replay");
+        ingest_column(&dir, "late", (0..60).map(|i| i as f64).collect());
+        let ledger_path = temp_ledger("late_attach");
+
+        // First life: attach, spend, die.
+        let state = store_state(&dir, Some(1.0), Some(ledger_path.clone()));
+        state.attach_dataset("late").unwrap();
+        state
+            .release("late", AggKind::Count, "", None, false)
+            .unwrap();
+        drop(state);
+
+        // Second life: the dataset is not attached at startup, but its
+        // replayed spend must seed the shard on a later attach.
+        let state2 = store_state(&dir, Some(1.0), Some(ledger_path.clone()));
+        assert!(!state2.has_dataset("late"));
+        state2.attach_dataset("late").unwrap();
+        let (total, spent, remaining) = state2.budget_of("late").unwrap().unwrap();
+        assert_eq!(total, 1.0);
+        assert!(
+            (spent - 0.25).abs() < 1e-9,
+            "replayed spend survives restart"
+        );
+        assert!((remaining - 0.75).abs() < 1e-9);
+        let _ = std::fs::remove_file(&ledger_path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_attach_list_attaches_at_startup() {
+        let dir = temp_store("startup");
+        ingest_column(&dir, "boot", vec![3.0; 30]);
+        let state = Arc::new(
+            ServerState::new(ServerConfig {
+                datasets: vec![],
+                epsilon: 0.25,
+                sample_size: 20,
+                threads: 2,
+                store_path: Some(dir.clone()),
+                attach: vec!["boot".to_string()],
+                ..ServerConfig::default()
+            })
+            .unwrap(),
+        );
+        assert!(state.has_dataset("boot"));
+        assert_eq!(state.dataset_infos()[0].rows, 30);
+        // A bad startup attach is a constructor error, not a panic.
+        let bad = ServerState::new(ServerConfig {
+            datasets: vec![],
+            store_path: Some(dir.clone()),
+            attach: vec!["nope".to_string()],
+            ..ServerConfig::default()
+        });
+        assert!(bad.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attach_seed_is_order_independent() {
+        let dir = temp_store("seeds");
+        ingest_column(&dir, "a", (0..40).map(|i| (i % 5) as f64).collect());
+        ingest_column(&dir, "b", (0..40).map(|i| (i % 3) as f64).collect());
+
+        let state_ab = store_state(&dir, None, None);
+        state_ab.attach_dataset("a").unwrap();
+        state_ab.attach_dataset("b").unwrap();
+        let ab = state_ab
+            .release("a", AggKind::Sum, "v", None, false)
+            .unwrap();
+
+        let state_ba = store_state(&dir, None, None);
+        state_ba.attach_dataset("b").unwrap();
+        state_ba.attach_dataset("a").unwrap();
+        let ba = state_ba
+            .release("a", AggKind::Sum, "v", None, false)
+            .unwrap();
+
+        assert_eq!(
+            ab.released, ba.released,
+            "attach order must not change a dataset's noise stream"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_csv_file_publishes_without_attaching() {
+        let dir = temp_store("ingest");
+        let csv = std::env::temp_dir().join(format!("upa_state_ingest_{}.csv", std::process::id()));
+        std::fs::write(&csv, "v,label\n1.5,x\n2.5,y\n3.5,z\n").unwrap();
+        let state = store_state(&dir, None, None);
+        let report = state.ingest_csv_file(&csv, None).unwrap();
+        // Name derives from the file stem; only numeric columns survive.
+        assert!(report.dataset.starts_with("upa_state_ingest_"));
+        assert_eq!(report.rows, 3);
+        assert_eq!(report.columns, vec!["v".to_string()]);
+        assert!(
+            !state.has_dataset(&report.dataset),
+            "ingest must not auto-attach"
+        );
+        assert_eq!(state.available_datasets(), vec![report.dataset.clone()]);
+
+        // Explicit names and missing files are clean errors.
+        assert_eq!(
+            state
+                .ingest_csv_file(Path::new("/nonexistent/x.csv"), Some("x"))
+                .unwrap_err()
+                .code(),
+            ErrorCode::Store
+        );
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -201,13 +201,23 @@ fn sigkill_mid_batch_never_loses_a_delivered_release() {
         w.join().unwrap();
     }
     let delivered = delivered.load(Ordering::Relaxed);
-    assert!(delivered > 1, "the flood delivered something before the kill");
+    assert!(
+        delivered > 1,
+        "the flood delivered something before the kill"
+    );
 
     // Restart on the same ledger (replay tolerates — truncates — a torn
     // tail from the kill). Every delivered release must be accounted.
     let (mut child2, addr2) = spawn_daemon_with(
         &ledger,
-        &["--budget", "100.0", "--epsilon", "0.01", "--ledger-commit-us", "3000"],
+        &[
+            "--budget",
+            "100.0",
+            "--epsilon",
+            "0.01",
+            "--ledger-commit-us",
+            "3000",
+        ],
     );
     let mut client = Client::connect(&addr2).expect("reconnect");
     let budget = client.budget("data").expect("budget op").expect("metered");

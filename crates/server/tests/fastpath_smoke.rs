@@ -110,7 +110,10 @@ fn contended_fastpath_batches_fsyncs_and_skips_the_scheduler() {
     assert_eq!(wait.count, releases, "every spend waited on a commit");
 
     // And none of it was unaccounted: the budget charged every release.
-    let budget = observer.budget("data").expect("budget op").expect("metered");
+    let budget = observer
+        .budget("data")
+        .expect("budget op")
+        .expect("metered");
     assert!(
         (budget.spent - releases as f64 * EPSILON).abs() < 1e-6,
         "{releases} releases at ε={EPSILON} should have spent {}, ledger says {}",

@@ -68,8 +68,14 @@ fn full_queues_refuse_busy_and_lapsed_deadlines_shed() {
                 for _ in 0..REQUESTS_PER_FLOODER {
                     // The deadline routes every request through the
                     // bounded queues; 60s never actually lapses.
-                    match client.release_with_deadline("data", "mean", "v", None, false, Some(60_000))
-                    {
+                    match client.release_with_deadline(
+                        "data",
+                        "mean",
+                        "v",
+                        None,
+                        false,
+                        Some(60_000),
+                    ) {
                         Ok(reply) => {
                             assert!(reply.released.is_finite());
                             served.fetch_add(1, Ordering::Relaxed);
@@ -145,7 +151,10 @@ fn full_queues_refuse_busy_and_lapsed_deadlines_shed() {
         ],
     );
     let fastpath_hits = metrics.snapshot.counters["upa_fastpath_hits_total"];
-    assert!(fastpath_hits >= 1, "cached release must count a fast-path hit");
+    assert!(
+        fastpath_hits >= 1,
+        "cached release must count a fast-path hit"
+    );
     let sched_after = observer.stats().expect("stats").sched;
     assert_eq!(
         sched_after.submitted, stats.submitted,

@@ -92,8 +92,8 @@ fn identical_concurrent_queries_coalesce_to_one_prepare() {
     assert_eq!(stats.coalesced, stats.submitted - 1, "{stats:?}");
     assert_eq!(stats.completed, stats.submitted, "{stats:?}");
     assert_eq!(stats.shed_deadline, 0);
-    let fastpath = observer.metrics().expect("metrics").snapshot.counters
-        ["upa_fastpath_hits_total"];
+    let fastpath =
+        observer.metrics().expect("metrics").snapshot.counters["upa_fastpath_hits_total"];
     assert_eq!(
         stats.submitted + fastpath,
         CLIENTS as u64,

@@ -1,0 +1,210 @@
+//! The fixed-width binary column chunk format.
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic "UPAC"
+//! 4       4           format version, u32 LE
+//! 8       8           value count N, u64 LE
+//! 16      8 × N       values, f64 bit patterns, LE
+//! 16+8N   4           FNV-1a 32 over bytes [0, 16+8N), u32 LE
+//! ```
+//!
+//! Values are raw bit patterns, so NaN payloads and ±inf round-trip
+//! exactly. The checksum covers the header too: a chunk truncated or
+//! grafted onto the wrong length is rejected before any value is
+//! trusted.
+
+use crate::fnv::fnv1a32;
+
+/// Current chunk format version, written into every chunk header and
+/// the dataset manifest.
+pub const CHUNK_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"UPAC";
+const HEADER_LEN: usize = 16;
+const TRAILER_LEN: usize = 4;
+
+/// Chunk decoding failures. Every variant means the bytes must not be
+/// trusted as data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// Shorter than a header plus trailer.
+    Truncated,
+    /// The first four bytes were not `UPAC`.
+    BadMagic,
+    /// A format version this build does not read.
+    BadVersion(u32),
+    /// Header count disagrees with the byte length; payload is
+    /// `(expected_bytes, actual_bytes)`.
+    LengthMismatch(usize, usize),
+    /// Stored and recomputed FNV-1a differ; payload is
+    /// `(stored, computed)`.
+    ChecksumMismatch(u32, u32),
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::Truncated => write!(f, "chunk shorter than its header"),
+            ChunkError::BadMagic => write!(f, "chunk magic is not UPAC"),
+            ChunkError::BadVersion(v) => write!(f, "unsupported chunk format version {v}"),
+            ChunkError::LengthMismatch(want, got) => {
+                write!(
+                    f,
+                    "chunk length mismatch: header implies {want} bytes, file has {got}"
+                )
+            }
+            ChunkError::ChecksumMismatch(stored, computed) => write!(
+                f,
+                "chunk checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// Serialises one column chunk; the returned bytes are exactly what
+/// [`decode_chunk`] accepts.
+#[must_use]
+pub fn encode_chunk(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + values.len() * 8 + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&CHUNK_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    let crc = fnv1a32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// The checksum a chunk's trailer will carry, without materialising the
+/// encoded bytes twice — manifests record it so a chunk file swapped
+/// between columns is caught even though the file itself is
+/// self-consistent.
+#[must_use]
+pub fn chunk_crc(values: &[f64]) -> u32 {
+    let mut h = crate::fnv::Fnv32::new();
+    h.eat(&MAGIC);
+    h.eat(&CHUNK_FORMAT_VERSION.to_le_bytes());
+    h.eat(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        h.eat(&v.to_bits().to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Deserialises one column chunk, verifying structure and checksum.
+///
+/// # Errors
+///
+/// Any [`ChunkError`]: the bytes are not a well-formed, intact chunk.
+pub fn decode_chunk(bytes: &[u8]) -> Result<Vec<f64>, ChunkError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(ChunkError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ChunkError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != CHUNK_FORMAT_VERSION {
+        return Err(ChunkError::BadVersion(version));
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let Ok(count) = usize::try_from(count) else {
+        return Err(ChunkError::LengthMismatch(usize::MAX, bytes.len()));
+    };
+    let expected = HEADER_LEN
+        .checked_add(count.saturating_mul(8))
+        .and_then(|n| n.checked_add(TRAILER_LEN))
+        .unwrap_or(usize::MAX);
+    if expected != bytes.len() {
+        return Err(ChunkError::LengthMismatch(expected, bytes.len()));
+    }
+    let body = &bytes[..bytes.len() - TRAILER_LEN];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - TRAILER_LEN..].try_into().unwrap());
+    let computed = fnv1a32(body);
+    if stored != computed {
+        return Err(ChunkError::ChecksumMismatch(stored, computed));
+    }
+    let mut values = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = HEADER_LEN + i * 8;
+        let bits = u64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+        values.push(f64::from_bits(bits));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_plain_values() {
+        let values = vec![0.0, -1.5, 1e300, f64::MIN_POSITIVE];
+        let bytes = encode_chunk(&values);
+        assert_eq!(decode_chunk(&bytes).unwrap(), values);
+    }
+
+    #[test]
+    fn round_trips_empty() {
+        assert_eq!(decode_chunk(&encode_chunk(&[])).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn preserves_nan_bit_patterns_and_infinities() {
+        let quiet = f64::NAN;
+        let payload = f64::from_bits(0x7ff8_0000_dead_beef);
+        let values = vec![quiet, payload, f64::INFINITY, f64::NEG_INFINITY, -0.0];
+        let bytes = encode_chunk(&values);
+        let back = decode_chunk(&bytes).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&values));
+    }
+
+    #[test]
+    fn crc_helper_matches_trailer() {
+        let values = vec![3.0, f64::NAN, -7.25];
+        let bytes = encode_chunk(&values);
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        assert_eq!(chunk_crc(&values), stored);
+    }
+
+    #[test]
+    fn rejects_flipped_byte_anywhere() {
+        let bytes = encode_chunk(&[1.0, 2.0, 3.0]);
+        for i in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[i] ^= 0x40;
+            assert!(
+                decode_chunk(&evil).is_err(),
+                "flipping byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_and_extension() {
+        let bytes = encode_chunk(&[1.0, 2.0]);
+        assert!(decode_chunk(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(decode_chunk(&longer).is_err());
+        assert_eq!(decode_chunk(&bytes[..3]), Err(ChunkError::Truncated));
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        let mut bytes = encode_chunk(&[1.0]);
+        bytes[0] = b'X';
+        assert_eq!(decode_chunk(&bytes), Err(ChunkError::BadMagic));
+        let mut bytes = encode_chunk(&[1.0]);
+        bytes[4] = 9;
+        // Version is checked before the checksum: a future-format chunk
+        // reports "unsupported version", not "corrupt".
+        assert_eq!(decode_chunk(&bytes), Err(ChunkError::BadVersion(9)));
+    }
+}

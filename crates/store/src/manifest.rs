@@ -1,0 +1,265 @@
+//! The per-dataset JSON manifest: schema, row count, chunk list and
+//! format version. The manifest is the only name→file indirection in
+//! the store — chunk files carry opaque generated names (`c0-1.bin`),
+//! so hostile column names never touch the filesystem.
+
+use crate::chunk::CHUNK_FORMAT_VERSION;
+use crate::json::{self, Json};
+
+/// File name of the manifest inside a dataset directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One chunk of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// File name inside the dataset directory.
+    pub file: String,
+    /// Number of values in the chunk.
+    pub rows: u64,
+    /// The chunk file's FNV-1a trailer, repeated here so a chunk file
+    /// swapped for another (self-consistent) one is still caught.
+    pub crc: u32,
+}
+
+/// One column and its chunk list, in row order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Column name as ingested.
+    pub name: String,
+    /// Chunks concatenated in order reconstruct the column.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+/// The dataset manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Chunk format version the dataset was written with.
+    pub format_version: u32,
+    /// Dataset name (matches the directory name).
+    pub dataset: String,
+    /// Total row count; every column's chunks sum to this.
+    pub rows: u64,
+    /// Columns in ingest order.
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl Manifest {
+    /// Serialises to the on-disk JSON form (deterministic field order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"format_version\":");
+        out.push_str(&self.format_version.to_string());
+        out.push_str(",\"dataset\":");
+        json::push_str_literal(&mut out, &self.dataset);
+        out.push_str(",\"rows\":");
+        out.push_str(&self.rows.to_string());
+        out.push_str(",\"columns\":[");
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::push_str_literal(&mut out, &col.name);
+            out.push_str(",\"chunks\":[");
+            for (j, chunk) in col.chunks.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"file\":");
+                json::push_str_literal(&mut out, &chunk.file);
+                out.push_str(",\"rows\":");
+                out.push_str(&chunk.rows.to_string());
+                out.push_str(",\"crc\":");
+                out.push_str(&chunk.crc.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses and validates a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem:
+    /// bad JSON, missing fields, an unsupported format version, or
+    /// per-column chunk rows that do not sum to the dataset row count.
+    pub fn from_json(text: &str) -> Result<Manifest, String> {
+        let doc = json::parse(text).map_err(|e| format!("manifest is not JSON: {e}"))?;
+        let format_version = field_u64(&doc, "format_version")?;
+        let format_version =
+            u32::try_from(format_version).map_err(|_| "format_version out of range".to_string())?;
+        if format_version != CHUNK_FORMAT_VERSION {
+            return Err(format!(
+                "unsupported manifest format version {format_version}"
+            ));
+        }
+        let dataset = doc
+            .get("dataset")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing 'dataset'")?
+            .to_string();
+        let rows = field_u64(&doc, "rows")?;
+        let columns_json = doc
+            .get("columns")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing 'columns'")?;
+        let mut columns = Vec::with_capacity(columns_json.len());
+        for col in columns_json {
+            let name = col
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("column missing 'name'")?
+                .to_string();
+            let chunks_json = col
+                .get("chunks")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("column '{name}' missing 'chunks'"))?;
+            let mut chunks = Vec::with_capacity(chunks_json.len());
+            let mut total = 0u64;
+            for chunk in chunks_json {
+                let file = chunk
+                    .get("file")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("column '{name}': chunk missing 'file'"))?
+                    .to_string();
+                if file.contains('/') || file.contains('\\') || file.starts_with('.') {
+                    return Err(format!("column '{name}': suspicious chunk file '{file}'"));
+                }
+                let chunk_rows = field_u64(chunk, "rows")
+                    .map_err(|e| format!("column '{name}', chunk '{file}': {e}"))?;
+                let crc = field_u64(chunk, "crc")
+                    .map_err(|e| format!("column '{name}', chunk '{file}': {e}"))?;
+                let crc =
+                    u32::try_from(crc).map_err(|_| format!("column '{name}': crc out of range"))?;
+                total = total
+                    .checked_add(chunk_rows)
+                    .ok_or_else(|| format!("column '{name}': chunk rows overflow"))?;
+                chunks.push(ChunkMeta {
+                    file,
+                    rows: chunk_rows,
+                    crc,
+                });
+            }
+            if total != rows {
+                return Err(format!(
+                    "column '{name}': chunks hold {total} rows, manifest says {rows}"
+                ));
+            }
+            columns.push(ColumnMeta { name, chunks });
+        }
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate column name in manifest".into());
+        }
+        Ok(Manifest {
+            format_version,
+            dataset,
+            rows,
+            columns,
+        })
+    }
+
+    /// Total bytes the dataset occupies once resident (values only).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.rows * 8 * self.columns.len() as u64
+    }
+
+    /// Column names in ingest order.
+    #[must_use]
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer '{key}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            format_version: CHUNK_FORMAT_VERSION,
+            dataset: "adult".into(),
+            rows: 5,
+            columns: vec![
+                ColumnMeta {
+                    name: "age".into(),
+                    chunks: vec![
+                        ChunkMeta {
+                            file: "c0-0.bin".into(),
+                            rows: 3,
+                            crc: 17,
+                        },
+                        ChunkMeta {
+                            file: "c0-1.bin".into(),
+                            rows: 2,
+                            crc: 99,
+                        },
+                    ],
+                },
+                ColumnMeta {
+                    name: "hours \"odd\" name".into(),
+                    chunks: vec![ChunkMeta {
+                        file: "c1-0.bin".into(),
+                        rows: 5,
+                        crc: 3,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_row_count_mismatch() {
+        let mut m = sample();
+        m.rows = 6;
+        let err = Manifest::from_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("rows"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_columns_and_bad_files() {
+        let mut m = sample();
+        m.columns[1].name = "age".into();
+        assert!(Manifest::from_json(&m.to_json())
+            .unwrap_err()
+            .contains("duplicate"));
+
+        let mut m = sample();
+        m.columns[0].chunks[0].file = "../escape.bin".into();
+        assert!(Manifest::from_json(&m.to_json())
+            .unwrap_err()
+            .contains("suspicious"));
+    }
+
+    #[test]
+    fn rejects_future_version_and_garbage() {
+        let text = sample()
+            .to_json()
+            .replace("\"format_version\":1", "\"format_version\":2");
+        assert!(Manifest::from_json(&text).unwrap_err().contains("version"));
+        assert!(Manifest::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn resident_bytes_counts_values() {
+        assert_eq!(sample().resident_bytes(), 5 * 8 * 2);
+    }
+}

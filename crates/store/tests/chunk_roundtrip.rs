@@ -1,0 +1,97 @@
+//! Property tests for the chunk codec: any `f64` payload — including
+//! NaNs with arbitrary payload bits and ±inf — survives encode→decode
+//! bit-exactly, and any single-byte corruption or truncation is
+//! rejected.
+
+use proptest::prelude::*;
+use upa_store::{decode_chunk, encode_chunk, ChunkError};
+
+/// Bit patterns that exercise the edges of the f64 space: quiet and
+/// payload-carrying NaNs, a signalling NaN, infinities, signed zero and
+/// the smallest subnormal. Prepended to every generated payload so the
+/// properties always cover them.
+const SPECIALS: [u64; 8] = [
+    0x7ff8_0000_0000_0000, // quiet NaN
+    0x7ff8_0000_dead_beef, // NaN with payload
+    0x7ff0_0000_0000_0001, // signalling NaN
+    0x7ff0_0000_0000_0000, // +inf
+    0xfff0_0000_0000_0000, // -inf
+    0x8000_0000_0000_0000, // -0.0
+    0x0000_0000_0000_0001, // smallest subnormal
+    0xffff_ffff_ffff_ffff, // all-ones NaN
+];
+
+/// Uniform u64 bit patterns reinterpreted as f64, with the specials in
+/// front.
+fn payload(bits: &[u64]) -> Vec<f64> {
+    SPECIALS
+        .iter()
+        .chain(bits.iter())
+        .map(|b| f64::from_bits(*b))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode→decode is the identity on bit patterns — NaN payloads and
+    /// infinities included.
+    #[test]
+    fn round_trips_bit_exactly(bits in prop::collection::vec(0u64..=u64::MAX, 0..200)) {
+        let values = payload(&bits);
+        let bytes = encode_chunk(&values);
+        let back = decode_chunk(&bytes).expect("intact chunk decodes");
+        prop_assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(values.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Flipping any bits of any single byte — header, payload or
+    /// trailer — makes the chunk undecodable.
+    #[test]
+    fn any_corrupted_byte_is_rejected(
+        bits in prop::collection::vec(0u64..=u64::MAX, 1..64),
+        at in 0u64..=u64::MAX,
+        flip in 1u8..=255,
+    ) {
+        let values = payload(&bits);
+        let bytes = encode_chunk(&values);
+        let at = (at % bytes.len() as u64) as usize;
+        let mut evil = bytes.clone();
+        evil[at] ^= flip;
+        prop_assert!(
+            decode_chunk(&evil).is_err(),
+            "byte {} xor {:#04x} must not decode", at, flip
+        );
+    }
+
+    /// Any strict prefix of a chunk is rejected.
+    #[test]
+    fn any_truncation_is_rejected(
+        bits in prop::collection::vec(0u64..=u64::MAX, 1..64),
+        keep in 0u64..=u64::MAX,
+    ) {
+        let values = payload(&bits);
+        let bytes = encode_chunk(&values);
+        let keep = (keep % bytes.len() as u64) as usize;
+        prop_assert!(decode_chunk(&bytes[..keep]).is_err());
+    }
+
+    /// Corruption confined to the trailer is reported specifically as a
+    /// checksum mismatch (the structure is fine, the binding is not).
+    #[test]
+    fn checksum_trailer_flip_reports_mismatch(
+        bits in prop::collection::vec(0u64..=u64::MAX, 1..32),
+        flip in 1u8..=255,
+    ) {
+        let values = payload(&bits);
+        let mut bytes = encode_chunk(&values);
+        let last = bytes.len() - 1;
+        bytes[last] ^= flip;
+        prop_assert!(matches!(
+            decode_chunk(&bytes),
+            Err(ChunkError::ChecksumMismatch(_, _))
+        ));
+    }
+}
