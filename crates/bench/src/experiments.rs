@@ -650,7 +650,8 @@ pub fn perf_hotpath(cfg: &ExpConfig) {
 /// request counts with `UPA_BENCH_CLIENTS` / `UPA_BENCH_SERVE_REQUESTS` /
 /// `UPA_BENCH_FASTPATH_REQUESTS`).
 pub fn serve_throughput(cfg: &ExpConfig) {
-    use upa_server::{Client, DatasetSpec, Server, ServerConfig};
+    use upa_server::{AggKind, Client, DatasetSpec, Server, ServerConfig, ServerState};
+    use upa_store::{IngestOptions, Store};
 
     let read_env = |name: &str, default: usize| {
         std::env::var(name)
@@ -769,6 +770,76 @@ pub fn serve_throughput(cfg: &ExpConfig) {
     join.join().expect("server thread").expect("server exits");
     let _ = std::fs::remove_file(&ledger_path);
 
+    // Cold-prepare phase: one store-backed dataset attached into two
+    // in-process states over the *same* chunks — one serving through the
+    // columnar zero-copy kernels, one forced down the row path (which
+    // re-materialises a `Vec<f64>` and walks it record by record). Each
+    // iteration purges the prepared cache so every prepare is cold; the
+    // two paths are bit-identical under the shared seed, so the speedup
+    // buys latency, never a different answer.
+    let cold_iters = read_env("UPA_BENCH_COLD_ITERS", 9).max(3);
+    let cold_rows = read_env("UPA_BENCH_COLD_ROWS", 400_000).max(records);
+    let store_dir = std::env::temp_dir().join(format!("upa-bench-coldprep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    std::fs::create_dir_all(&store_dir).expect("mkdir cold store");
+    {
+        let store = Store::open(&store_dir).expect("open cold store");
+        let values: Vec<f64> = (0..cold_rows).map(|i| (i % 97) as f64).collect();
+        let columns = vec![("v".to_string(), values)];
+        store
+            .ingest("cold", &columns, &IngestOptions::default())
+            .expect("ingest cold dataset");
+    }
+    let cold_state = |columnar: bool| {
+        ServerState::new(ServerConfig {
+            datasets: vec![],
+            epsilon: 0.1,
+            sample_size: 1_000.min(cold_rows),
+            seed: cfg.seed,
+            threads: cfg.threads,
+            store_path: Some(store_dir.clone()),
+            attach: vec!["cold".to_string()],
+            columnar,
+            ..ServerConfig::default()
+        })
+        .expect("cold-prepare state")
+    };
+    let col_state = cold_state(true);
+    let row_state = cold_state(false);
+    let time_cold = |state: &ServerState| -> Vec<f64> {
+        let mut us = Vec::with_capacity(cold_iters);
+        for _ in 0..cold_iters {
+            state.invalidate_prepared("cold");
+            let start = Instant::now();
+            let (_, _, hit) = state
+                .prepare("cold", AggKind::Sum, "v")
+                .expect("cold prepare");
+            assert!(!hit, "invalidation makes every prepare cold");
+            us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        us.sort_by(f64::total_cmp);
+        us
+    };
+    let cold_col = time_cold(&col_state);
+    let cold_row = time_cold(&row_state);
+    // Both engines consumed identical RNG draws, so one release each
+    // must agree to the last bit — the speedup changes nothing else.
+    let a = col_state
+        .release("cold", AggKind::Sum, "v", None, false)
+        .expect("columnar release");
+    let b = row_state
+        .release("cold", AggKind::Sum, "v", None, false)
+        .expect("row release");
+    assert_eq!(
+        a.released.to_bits(),
+        b.released.to_bits(),
+        "columnar and row cold prepares must release identical bits"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let (cold_col_p50, cold_col_p99) = (percentile(&cold_col, 50.0), percentile(&cold_col, 99.0));
+    let (cold_row_p50, cold_row_p99) = (percentile(&cold_row, 50.0), percentile(&cold_row, 99.0));
+    let cold_speedup = cold_row_p50 / cold_col_p50.max(1e-9);
+
     // Server-side latency breakdowns, from the same registry the
     // `metrics` op scrapes (microsecond histograms).
     let hist_pcts = |name: &str| -> (u64, u64) {
@@ -880,6 +951,26 @@ pub fn serve_throughput(cfg: &ExpConfig) {
         "commit wait p99 (µs)".into(),
         commit_wait_p99.to_string(),
     ]);
+    t.row(vec![
+        "cold prepare p50, columnar (µs)".into(),
+        format!("{cold_col_p50:.0}"),
+    ]);
+    t.row(vec![
+        "cold prepare p99, columnar (µs)".into(),
+        format!("{cold_col_p99:.0}"),
+    ]);
+    t.row(vec![
+        "cold prepare p50, row (µs)".into(),
+        format!("{cold_row_p50:.0}"),
+    ]);
+    t.row(vec![
+        "cold prepare p99, row (µs)".into(),
+        format!("{cold_row_p99:.0}"),
+    ]);
+    t.row(vec![
+        "cold prepare speedup".into(),
+        format!("{cold_speedup:.2}x"),
+    ]);
     t.print();
 
     let payload = format!(
@@ -900,7 +991,11 @@ pub fn serve_throughput(cfg: &ExpConfig) {
          \"server_side_us\": {{\"queue_wait\": {{\"p50\": {queue_p50}, \"p99\": {queue_p99}}}, \
          \"ledger_fsync\": {{\"p50\": {fsync_p50}, \"p99\": {fsync_p99}}}, \
          \"commit_wait\": {{\"p50\": {commit_wait_p50}, \"p99\": {commit_wait_p99}}}}},\n  \
-         \"ledger_batch\": {{\"p50\": {batch_p50}, \"max\": {batch_max}}}\n}}",
+         \"ledger_batch\": {{\"p50\": {batch_p50}, \"max\": {batch_max}}},\n  \
+         \"cold_prepare_us\": {{\"rows\": {cold_rows}, \"iters\": {cold_iters}, \
+         \"columnar\": {{\"p50\": {cold_col_p50:.1}, \"p99\": {cold_col_p99:.1}}}, \
+         \"row\": {{\"p50\": {cold_row_p50:.1}, \"p99\": {cold_row_p99:.1}}}, \
+         \"speedup\": {cold_speedup:.3}}}\n}}",
         cfg.threads,
         sched.prepares,
         sched.coalesced,

@@ -361,6 +361,7 @@ pub fn build_server_config(args: &ServeArgs) -> Result<ServerConfig, String> {
         store_path: args.store.clone(),
         attach: args.attach.clone(),
         allow_admin: args.allow_admin,
+        columnar: ServerConfig::default().columnar,
     })
 }
 
@@ -602,6 +603,12 @@ pub fn render_remote(release: &RemoteRelease) -> String {
         "released (ε={}): {:.6}\n  query              : {}\n  noise scale        : {:.6}\n  sampled records    : {}",
         reply.epsilon, reply.released, reply.query_id, reply.noise_scale, reply.sample_size,
     );
+    let cache = match (reply.cached, reply.prepare_us) {
+        (true, _) => "hit".to_string(),
+        (false, Some(us)) => format!("miss (prepared in {us} µs)"),
+        (false, None) => "miss".to_string(),
+    };
+    out.push_str(&format!("\n  cache              : {cache}"));
     if let Some(remaining) = reply.budget_remaining {
         out.push_str(&format!("\n  budget remaining   : {remaining:.6}"));
     }
@@ -751,10 +758,20 @@ mod tests {
         let text = render_remote(&release);
         assert!(text.contains("released (ε=0.25)"));
         assert!(text.contains("budget"));
+        // The first release of a key pays the cold prepare and says so.
+        assert!(!release.reply.cached);
+        assert!(release.reply.prepare_us.is_some());
+        assert!(text.contains("cache              : miss (prepared in"));
         let audit = release.reply.audit.expect("--stats carries the audit");
         let rendered = audit.render();
         assert!(rendered.contains("Query: mean"));
         assert!(rendered.contains("stages:"));
+
+        // A repeat of the same query hits the prepared cache.
+        let again = run_remote_query(&query_args).unwrap();
+        assert!(again.reply.cached);
+        assert_eq!(again.reply.prepare_us, None);
+        assert!(render_remote(&again).contains("cache              : hit"));
 
         handle.shutdown();
         join.join().unwrap().unwrap();

@@ -198,12 +198,29 @@ pub fn list_store(store_dir: &Path) -> Result<String, String> {
     let mut out = format!("datasets in {}:\n", store_dir.display());
     for name in names {
         let manifest = store.manifest(&name).map_err(|e| e.to_string())?;
-        let columns: Vec<&str> = manifest.columns.iter().map(|c| c.name.as_str()).collect();
-        out.push_str(&format!(
-            "  {name:<20} {:>10} rows   columns: {}\n",
-            manifest.rows,
-            columns.join(", "),
-        ));
+        out.push_str(&format!("  {name:<20} {:>10} rows\n", manifest.rows));
+        for col in &manifest.columns {
+            // v1 manifests carry no ingest-time stats; the range is
+            // honestly unknown rather than silently zero.
+            let range = match col.stats() {
+                Some(s) if s.count > s.nan_count => {
+                    let nan = if s.nan_count > 0 {
+                        format!("   ({} NaN)", s.nan_count)
+                    } else {
+                        String::new()
+                    };
+                    format!("range {} .. {}{nan}", s.min, s.max)
+                }
+                Some(_) => "range (no finite values)".to_string(),
+                None => "range ?".to_string(),
+            };
+            let chunks = col.chunks.len();
+            let plural = if chunks == 1 { "chunk " } else { "chunks" };
+            out.push_str(&format!(
+                "      {:<16} {chunks:>6} {plural}   {range}\n",
+                col.name,
+            ));
+        }
     }
     Ok(out.trim_end().to_string())
 }
@@ -323,7 +340,12 @@ mod tests {
         let listing = list_store(&dir.join("store")).unwrap();
         assert!(listing.contains("people"));
         assert!(listing.contains("2 rows"));
-        assert!(listing.contains("age, score"));
+        // Per-column chunk counts and ingest-time value ranges.
+        assert!(listing.contains("age"), "{listing}");
+        assert!(listing.contains("score"), "{listing}");
+        assert!(listing.contains("1 chunk"), "{listing}");
+        assert!(listing.contains("range 31 .. 44"), "{listing}");
+        assert!(listing.contains("range 7.25 .. 9.5"), "{listing}");
 
         // Re-ingesting without --overwrite refuses; with it, replaces.
         assert!(run_ingest(&args).unwrap_err().contains("exists"));

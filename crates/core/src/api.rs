@@ -54,6 +54,7 @@ use crate::output::DpOutput;
 use crate::pipeline::{Upa, UpaResult};
 use crate::query::MapReduceQuery;
 use crate::UpaConfig;
+use dataflow::columnar::ColumnarDataset;
 use dataflow::{Context, Data, Dataset};
 use std::hash::Hash;
 use std::sync::Arc;
@@ -111,6 +112,23 @@ impl DpSession {
         domain: &'s dyn DomainSampler<T>,
     ) -> DpRead<'s, T> {
         DpRead {
+            session: self,
+            data: data.clone(),
+            domain,
+        }
+    }
+
+    /// `dpread` over a columnar-backed dataset: phases 1–3 route through
+    /// the zero-copy chunk kernels ([`Upa::prepare_columnar`]) instead
+    /// of the row engine. Under the same seed the release is
+    /// bit-identical to `dpread` over
+    /// `ctx.parallelize_default(buf.to_vec())`.
+    pub fn dpread_columnar<'s>(
+        &'s mut self,
+        data: &ColumnarDataset,
+        domain: &'s dyn DomainSampler<f64>,
+    ) -> DpReadColumnar<'s> {
+        DpReadColumnar {
             session: self,
             data: data.clone(),
             domain,
@@ -209,6 +227,86 @@ impl<T: Data, Acc: Data> DpObject<'_, T, Acc> {
         let map = Arc::clone(&self.map);
         let query = MapReduceQuery::new(self.name.clone(), move |t: &T| map(t), reduce, finalize);
         self.session.upa.run(&self.data, &query, self.domain)
+    }
+}
+
+/// The result of `dpread_columnar`: a columnar dataset awaiting its
+/// `mapDP`.
+pub struct DpReadColumnar<'s> {
+    session: &'s mut DpSession,
+    data: ColumnarDataset,
+    domain: &'s dyn DomainSampler<f64>,
+}
+
+impl<'s> DpReadColumnar<'s> {
+    /// `mapDP(f64 => U)`: attaches the mapper.
+    pub fn map_dp<Acc: Data>(
+        self,
+        name: impl Into<String>,
+        map: impl Fn(&f64) -> Acc + Send + Sync + 'static,
+    ) -> DpObjectColumnar<'s, Acc> {
+        DpObjectColumnar {
+            session: self.session,
+            data: self.data,
+            name: name.into(),
+            map: Arc::new(map),
+            domain: self.domain,
+        }
+    }
+}
+
+/// `dpobject[U]` over a columnar dataset, awaiting its terminal reduce.
+pub struct DpObjectColumnar<'s, Acc> {
+    session: &'s mut DpSession,
+    data: ColumnarDataset,
+    name: String,
+    map: Arc<dyn Fn(&f64) -> Acc + Send + Sync>,
+    domain: &'s dyn DomainSampler<f64>,
+}
+
+impl<Acc: Data> DpObjectColumnar<'_, Acc> {
+    /// `reduceDP((T, T) => T)` through the columnar kernels.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Upa::run_columnar`].
+    pub fn reduce_dp(
+        self,
+        reduce: impl Fn(&Acc, &Acc) -> Acc + Send + Sync + 'static,
+    ) -> Result<UpaResult<Acc>, UpaError>
+    where
+        Acc: DpOutput,
+    {
+        let map = Arc::clone(&self.map);
+        let query = MapReduceQuery::new(
+            self.name.clone(),
+            move |t: &f64| map(t),
+            reduce,
+            |acc: Option<&Acc>| {
+                acc.cloned()
+                    .unwrap_or_else(|| Acc::from_components(vec![0.0]))
+            },
+        );
+        self.session
+            .upa
+            .run_columnar(&self.data, &query, self.domain)
+    }
+
+    /// `reduceDP` with an output projection, columnar.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Upa::run_columnar`].
+    pub fn reduce_dp_with<Out: DpOutput>(
+        self,
+        reduce: impl Fn(&Acc, &Acc) -> Acc + Send + Sync + 'static,
+        finalize: impl Fn(Option<&Acc>) -> Out + Send + Sync + 'static,
+    ) -> Result<UpaResult<Out>, UpaError> {
+        let map = Arc::clone(&self.map);
+        let query = MapReduceQuery::new(self.name.clone(), move |t: &f64| map(t), reduce, finalize);
+        self.session
+            .upa
+            .run_columnar(&self.data, &query, self.domain)
     }
 }
 
@@ -397,6 +495,61 @@ mod tests {
         // Mean via (sum, count) accumulator.
         let result = s
             .dpread(&ds, &domain)
+            .map_dp("mean", |x: &f64| vec![*x, 1.0])
+            .reduce_dp_with(
+                |a: &Vec<f64>, b: &Vec<f64>| vec![a[0] + b[0], a[1] + b[1]],
+                |acc: Option<&Vec<f64>>| acc.map(|a| a[0] / a[1]).unwrap_or(0.0),
+            )
+            .unwrap();
+        assert!((result.raw - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn columnar_flow_matches_row_flow() {
+        use crate::domain::ColumnarEmpiricalSampler;
+        use dataflow::columnar::{ColumnarBuf, ColumnarDataset};
+
+        let data: Vec<f64> = (0..1_000).map(|i| (i % 5) as f64).collect();
+
+        let (ctx, mut row) = session(50);
+        let ds = ctx.parallelize_default(data.clone());
+        let row_domain = EmpiricalSampler::new(data.clone());
+        let r1 = row
+            .dpread(&ds, &row_domain)
+            .map_dp("count", |_x: &f64| 1.0)
+            .reduce_dp(|a, b| a + b)
+            .unwrap();
+
+        let (ctx2, mut col) = session(50);
+        let buf = ColumnarBuf::from_values(&data, 128);
+        let cds = ColumnarDataset::new(&ctx2, buf.clone());
+        let col_domain = ColumnarEmpiricalSampler::new(buf);
+        let r2 = col
+            .dpread_columnar(&cds, &col_domain)
+            .map_dp("count", |_x: &f64| 1.0)
+            .reduce_dp(|a, b| a + b)
+            .unwrap();
+
+        assert_eq!(r1.raw, r2.raw);
+        assert_eq!(r1.enforced.to_bits(), r2.enforced.to_bits());
+        assert_eq!(r1.sensitivity, r2.sensitivity);
+        let audit = col.last_audit().expect("columnar release leaves an audit");
+        assert_eq!(audit.query, "count");
+        assert!(audit.stage_nanos("reduce") > 0);
+    }
+
+    #[test]
+    fn columnar_flow_with_projection() {
+        use crate::domain::ColumnarEmpiricalSampler;
+        use dataflow::columnar::{ColumnarBuf, ColumnarDataset};
+
+        let (ctx, mut s) = session(50);
+        let data: Vec<f64> = (0..1_000).map(|i| (i % 5) as f64).collect();
+        let buf = ColumnarBuf::from_values(&data, 64);
+        let cds = ColumnarDataset::new(&ctx, buf.clone());
+        let domain = ColumnarEmpiricalSampler::new(buf);
+        let result = s
+            .dpread_columnar(&cds, &domain)
             .map_dp("mean", |x: &f64| vec![*x, 1.0])
             .reduce_dp_with(
                 |a: &Vec<f64>, b: &Vec<f64>| vec![a[0] + b[0], a[1] + b[1]],

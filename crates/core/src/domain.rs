@@ -11,6 +11,7 @@
 //! with the same generators that produce the datasets, so sampled
 //! additions follow the true record distribution.
 
+use dataflow::columnar::ColumnarBuf;
 use rand::rngs::StdRng;
 
 /// Samples records from the domain `D` of possible dataset records.
@@ -90,6 +91,47 @@ impl<T: Clone + Send + Sync> DomainSampler<T> for EmpiricalSampler<T> {
     }
 }
 
+/// An [`EmpiricalSampler`] over a chunked column buffer: resamples
+/// uniformly from the shared store chunks without ever materialising a
+/// flat pool. Draws are **bit-identical** to
+/// `EmpiricalSampler::new(buf.to_vec())` under the same RNG — both
+/// consume one `gen_range(0..len)` per draw and index the same logical
+/// row — so the columnar serving path can swap this in without
+/// perturbing seeded releases.
+#[derive(Debug, Clone)]
+pub struct ColumnarEmpiricalSampler {
+    pool: ColumnarBuf,
+}
+
+impl ColumnarEmpiricalSampler {
+    /// Builds a sampler over `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty.
+    pub fn new(pool: ColumnarBuf) -> Self {
+        assert!(!pool.is_empty(), "empirical sampler needs a non-empty pool");
+        ColumnarEmpiricalSampler { pool }
+    }
+
+    /// The pool size.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the pool is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+impl DomainSampler<f64> for ColumnarEmpiricalSampler {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let i = rand::Rng::gen_range(rng, 0..self.pool.len());
+        self.pool.value(i)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +162,26 @@ mod tests {
     #[should_panic(expected = "non-empty pool")]
     fn empirical_sampler_rejects_empty_pool() {
         let _ = EmpiricalSampler::<u8>::new(Vec::new());
+    }
+
+    #[test]
+    fn columnar_sampler_matches_row_sampler_bit_for_bit() {
+        let values: Vec<f64> = (0..257).map(|i| (i as f64) * 0.37 - 40.0).collect();
+        let row = EmpiricalSampler::new(values.clone());
+        let col = ColumnarEmpiricalSampler::new(ColumnarBuf::from_values(&values, 7));
+        assert_eq!(col.len(), 257);
+        assert!(!col.is_empty());
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let a = row.sample_n(&mut rng_a, 500);
+        let b = col.sample_n(&mut rng_b, 500);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty pool")]
+    fn columnar_sampler_rejects_empty_pool() {
+        let _ = ColumnarEmpiricalSampler::new(ColumnarBuf::new(Vec::new()));
     }
 }

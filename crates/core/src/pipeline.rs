@@ -26,6 +26,7 @@ use crate::enforcer::{EnforceOutcome, EnforceState, QuerySignature, RangeEnforce
 use crate::error::UpaError;
 use crate::output::{DpOutput, OutputRange};
 use crate::query::MapReduceQuery;
+use dataflow::columnar::{slab_ranges, ColumnarDataset};
 use dataflow::{Context, Data, Dataset, MetricsSnapshot, PairOps, SpanRecorder, StageSpan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -302,6 +303,201 @@ impl Upa {
             engine: self.ctx.metrics().since(&engine_before),
             core: OnceLock::new(),
         })
+    }
+
+    /// Phases 1–3 over a columnar dataset: the zero-copy cold-prepare
+    /// path. Sampling picks `S` by `(chunk, offset)` index straight out
+    /// of the shared chunk buffers (no per-record clone or box, and the
+    /// remainder `S′` is never materialised); the un-sampled remainder
+    /// reduces chunk-parallel on the engine pool as tight loops over
+    /// contiguous `f64` slices.
+    ///
+    /// **Bit-identity contract**: under the same seed and configuration
+    /// this produces a [`PreparedQuery`] whose releases are identical —
+    /// to the last bit, noise included — to
+    /// `self.prepare(&ctx.parallelize_default(buf.to_vec()), …)` with the
+    /// engine's default map-side combine enabled. Three invariants carry
+    /// the proof:
+    ///
+    /// 1. RNG draws happen in the row path's exact order: validate (no
+    ///    draws), `sample_indices`, then `domain.sample_n`.
+    /// 2. The sampled records and their logical halves come from the same
+    ///    sorted global indices and the same half rule (stable record key
+    ///    when the query provides one, slab index otherwise), where slab
+    ///    boundaries are [`slab_ranges`] — provably the boundaries
+    ///    [`Context::parallelize`] would produce.
+    /// 3. The remainder reduce folds each slab in record order (skipping
+    ///    sampled rows) and then merges slab partials in ascending slab
+    ///    order — precisely the fold order of the row path's map-side
+    ///    combine plus reduce-side concatenation. Floating-point
+    ///    accumulation order is therefore identical.
+    ///
+    /// # Errors
+    ///
+    /// * [`UpaError::EmptyDataset`] if `data` has no records;
+    /// * [`UpaError::InvalidConfig`] if the configuration is invalid.
+    pub fn prepare_columnar<Acc, Out>(
+        &mut self,
+        data: &ColumnarDataset,
+        query: &MapReduceQuery<f64, Acc, Out>,
+        domain: &dyn DomainSampler<f64>,
+    ) -> Result<PreparedQuery<f64, Acc, Out>, UpaError>
+    where
+        Acc: Data,
+        Out: DpOutput,
+    {
+        let spans = SpanRecorder::new();
+        let engine_before = self.ctx.metrics();
+        let prepare_scope = spans.enter("prepare");
+
+        // ---- Phase 1: Partition & Sample -------------------------------
+        let len = data.len();
+        let (indices, sampled, ranges, physical_halves, half_split) = {
+            let mut scope = spans.enter("partition");
+            scope.add_records(len as u64);
+            self.config.validate()?;
+            if len == 0 {
+                return Err(UpaError::EmptyDataset);
+            }
+            let n = self.config.sample_size.min(len);
+            // Logical slabs where the row path would put its partitions.
+            let ranges = slab_ranges(len, self.ctx.config().default_partitions);
+            let num_parts = ranges.len();
+            let half_split = num_parts.div_ceil(2);
+            let indices = sample_indices(&mut self.rng, len, n);
+            // S materialises by sorted (chunk, offset) gather; S′ never
+            // does — the reduce below walks the chunks in place.
+            let sampled = data.buf().gather_sorted(&indices);
+            let mut offsets = Vec::with_capacity(num_parts + 1);
+            offsets.push(0usize);
+            for &(_, end) in &ranges {
+                offsets.push(end);
+            }
+            let half_of_global = |g: usize| -> usize {
+                let part = match offsets.binary_search(&g) {
+                    Ok(i) => i,
+                    Err(i) => i - 1,
+                };
+                usize::from(part.min(num_parts - 1) >= half_split)
+            };
+            let halves: Vec<usize> = indices.iter().map(|&g| half_of_global(g)).collect();
+            (indices, sampled, ranges, halves, half_split)
+        };
+        let n = indices.len();
+        let (additions, sampled_halves) = {
+            let mut scope = spans.enter("sample");
+            scope.add_records(2 * n as u64);
+            let additions = domain.sample_n(&mut self.rng, n);
+            let sampled_halves: Vec<usize> = match query.half_key() {
+                Some(hk) => sampled.iter().map(|t| (hk(t) % 2) as usize).collect(),
+                None => physical_halves,
+            };
+            (additions, sampled_halves)
+        };
+
+        // ---- Phase 2: Parallel Map --------------------------------------
+        let (mapped_sampled, mapped_additions) = {
+            let mut scope = spans.enter("map");
+            scope.add_records(2 * n as u64);
+            let mapped_sampled: Vec<Acc> = sampled.iter().map(|t| query.map(t)).collect();
+            let mapped_additions: Vec<Acc> = additions.iter().map(|t| query.map(t)).collect();
+            (mapped_sampled, mapped_additions)
+        };
+
+        // ---- Phase 3: Union-Preserving Reduce ---------------------------
+        // One engine task per slab streams the chunk slices covering it —
+        // a tight loop over contiguous `f64`s — folding a partial per
+        // logical half in record order while skipping sampled rows. The
+        // cross-slab merge then runs in ascending slab order, reproducing
+        // the row path's combine + shuffle fold exactly (its map-side
+        // combine folds each partition in record order and the reduce
+        // side concatenates partials by ascending partition).
+        let rem_half: [Option<Acc>; 2] = {
+            let mut scope = spans.enter("reduce");
+            scope.add_records((len - n) as u64);
+            let partials: Vec<[Option<Acc>; 2]> = {
+                let q = query.clone();
+                let picked = Arc::new(indices);
+                data.run_ranges("columnar[reduce]", ranges, move |slab, buf, start, end| {
+                    let mut next = picked.partition_point(|&g| g < start);
+                    let phys_half = usize::from(slab >= half_split);
+                    let mut acc: [Option<Acc>; 2] = [None, None];
+                    buf.for_each_slice_in(start, end, |at, slice| {
+                        // Fold the uninterrupted runs between sampled
+                        // rows — one [`MapReduceQuery::fold_run`] call
+                        // per run, so a fused kernel sees a plain
+                        // `&[f64]` and the skip test never executes
+                        // inside the hot loop. The record-order left
+                        // fold is exactly the per-record loop's.
+                        let mut pos = 0usize;
+                        while pos < slice.len() {
+                            let run_end = match picked.get(next) {
+                                Some(&g) if g < at + slice.len() => g - at,
+                                _ => slice.len(),
+                            };
+                            q.fold_run(&slice[pos..run_end], phys_half, &mut acc);
+                            if run_end < slice.len() {
+                                next += 1;
+                                pos = run_end + 1;
+                            } else {
+                                pos = run_end;
+                            }
+                        }
+                    });
+                    acc
+                })
+            };
+            // The row path exchanges one combined record per (partition,
+            // half) through a real shuffle; the columnar merge below is
+            // that exchange, so the shuffle counters stay meaningful.
+            let exchanged = 2 * partials.len() as u64;
+            self.ctx
+                .record_logical_shuffle(exchanged, exchanged * std::mem::size_of::<Acc>() as u64);
+            let mut rem: [Option<Acc>; 2] = [None, None];
+            for partial in partials {
+                for (h, p) in partial.into_iter().enumerate() {
+                    if let Some(acc) = p {
+                        rem[h] = Some(match rem[h].take() {
+                            Some(a) => query.reduce(&a, &acc),
+                            None => acc,
+                        });
+                    }
+                }
+            }
+            rem
+        };
+
+        drop(prepare_scope);
+        Ok(PreparedQuery {
+            query: query.clone(),
+            mapped_sampled: Arc::new(mapped_sampled),
+            mapped_additions: Arc::new(mapped_additions),
+            sampled_halves: Arc::new(sampled_halves),
+            rem_half,
+            spans: Arc::new(spans.spans()),
+            engine: self.ctx.metrics().since(&engine_before),
+            core: OnceLock::new(),
+        })
+    }
+
+    /// [`Upa::prepare_columnar`] followed by one [`Upa::release`] — the
+    /// columnar analogue of [`Upa::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Upa::prepare_columnar`] and [`Upa::release`].
+    pub fn run_columnar<Acc, Out>(
+        &mut self,
+        data: &ColumnarDataset,
+        query: &MapReduceQuery<f64, Acc, Out>,
+        domain: &dyn DomainSampler<f64>,
+    ) -> Result<UpaResult<Out>, UpaError>
+    where
+        Acc: Data,
+        Out: DpOutput,
+    {
+        let prepared = self.prepare_columnar(data, query, domain)?;
+        self.release(&prepared)
     }
 
     /// Releases one noisy output from a prepared query. Each call draws
@@ -1296,6 +1492,134 @@ mod tests {
         assert_eq!(upa.audits().len(), 2);
         upa.clear_audits();
         assert!(upa.last_audit().is_none());
+    }
+
+    fn result_bits<Out: DpOutput>(r: &UpaResult<Out>) -> Vec<u64> {
+        let mut bits: Vec<u64> = Vec::new();
+        for v in [&r.released, &r.enforced, &r.raw] {
+            bits.extend(v.components().iter().map(|x| x.to_bits()));
+        }
+        for v in &r.sensitivity {
+            bits.push(v.to_bits());
+        }
+        for v in &r.empirical_sensitivity {
+            bits.push(v.to_bits());
+        }
+        for o in r.removal_outputs.iter().chain(r.addition_outputs.iter()) {
+            bits.extend(o.components().iter().map(|x| x.to_bits()));
+        }
+        for (lo, hi) in &r.range.bounds {
+            bits.push(lo.to_bits());
+            bits.push(hi.to_bits());
+        }
+        bits
+    }
+
+    fn assert_columnar_matches_row(values: &[f64], chunk_rows: usize, half_key: bool) {
+        use crate::domain::ColumnarEmpiricalSampler;
+        use dataflow::columnar::ColumnarBuf;
+
+        let ctx = Context::with_threads(4);
+        let config = UpaConfig {
+            sample_size: 64,
+            add_noise: true,
+            ..UpaConfig::default()
+        };
+        let mut query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+        if half_key {
+            query = query.with_half_key(|x: &f64| x.to_bits());
+        }
+
+        let mut row = Upa::new(ctx.clone(), config.clone());
+        let ds = ctx.parallelize_default(values.to_vec());
+        let row_domain = EmpiricalSampler::new(values.to_vec());
+        let p_row = row.prepare(&ds, &query, &row_domain).unwrap();
+        let r_row = row.release(&p_row).unwrap();
+
+        let mut col = Upa::new(ctx.clone(), config);
+        let buf = ColumnarBuf::from_values(values, chunk_rows);
+        let cds = ColumnarDataset::new(&ctx, buf.clone());
+        let col_domain = ColumnarEmpiricalSampler::new(buf);
+        let p_col = col.prepare_columnar(&cds, &query, &col_domain).unwrap();
+        let r_col = col.release(&p_col).unwrap();
+
+        assert_eq!(p_row.sample_size(), p_col.sample_size());
+        assert_eq!(
+            result_bits(&r_row),
+            result_bits(&r_col),
+            "columnar release diverged (chunk_rows={chunk_rows}, half_key={half_key})"
+        );
+    }
+
+    #[test]
+    fn columnar_prepare_is_bit_identical_to_row_path() {
+        let values: Vec<f64> = (0..3_001)
+            .map(|i| ((i * 37) % 113) as f64 * 0.5 - 7.0)
+            .collect();
+        for chunk_rows in [1usize, 7, 256, 5_000] {
+            assert_columnar_matches_row(&values, chunk_rows, true);
+            assert_columnar_matches_row(&values, chunk_rows, false);
+        }
+    }
+
+    #[test]
+    fn columnar_prepare_handles_full_sample_and_empty() {
+        use crate::domain::ColumnarEmpiricalSampler;
+        use dataflow::columnar::ColumnarBuf;
+
+        // Sample size ≥ len: every record sampled, remainder empty.
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_columnar_matches_row(&values, 2, true);
+        assert_columnar_matches_row(&values, 2, false);
+
+        // Empty dataset is rejected like the row path.
+        let ctx = Context::with_threads(2);
+        let mut upa = Upa::new(
+            ctx.clone(),
+            UpaConfig {
+                sample_size: 8,
+                add_noise: false,
+                ..UpaConfig::default()
+            },
+        );
+        let cds = ColumnarDataset::new(&ctx, ColumnarBuf::new(Vec::new()));
+        let query = MapReduceQuery::scalar_sum("sum", |x: &f64| *x);
+        let domain = ColumnarEmpiricalSampler::new(ColumnarBuf::from_values(&[1.0], 1));
+        assert_eq!(
+            upa.prepare_columnar(&cds, &query, &domain).unwrap_err(),
+            UpaError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn columnar_prepare_records_stages_and_shuffles() {
+        use crate::domain::ColumnarEmpiricalSampler;
+        use dataflow::columnar::ColumnarBuf;
+
+        let ctx = Context::with_threads(4);
+        let values: Vec<f64> = (0..2_000).map(|i| (i % 11) as f64).collect();
+        let buf = ColumnarBuf::from_values(&values, 128);
+        let cds = ColumnarDataset::new(&ctx, buf.clone());
+        let mut upa = Upa::new(
+            ctx.clone(),
+            UpaConfig {
+                sample_size: 32,
+                add_noise: false,
+                ..UpaConfig::default()
+            },
+        );
+        let query =
+            MapReduceQuery::scalar_sum("sum", |x: &f64| *x).with_half_key(|x: &f64| x.to_bits());
+        let domain = ColumnarEmpiricalSampler::new(buf);
+        let prepared = upa.prepare_columnar(&cds, &query, &domain).unwrap();
+        assert!(prepared.engine.stages >= 1, "reduce must run on the engine");
+        assert!(prepared.engine.shuffles >= 1, "half-exchange must count");
+        assert!(prepared.engine.records_processed >= 2_000);
+        let _ = upa.release(&prepared).unwrap();
+        let audit = upa.last_audit().unwrap();
+        for stage in ["partition", "sample", "map", "reduce", "noise"] {
+            assert!(audit.stage_nanos(stage) > 0, "stage {stage} has zero time");
+        }
     }
 
     #[test]

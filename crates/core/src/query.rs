@@ -20,6 +20,11 @@ pub type FinalizeFn<Acc, Out> = Arc<dyn Fn(Option<&Acc>) -> Out + Send + Sync>;
 /// Shared handle to a stable half key (see
 /// [`MapReduceQuery::with_half_key`]).
 pub type HalfKeyFn<T> = Arc<dyn Fn(&T) -> u64 + Send + Sync>;
+/// Shared handle to a fused slice-fold kernel (see
+/// [`MapReduceQuery::with_slice_fold`]). Arguments: the record run, the
+/// physical half for queries without a half key, and the two per-half
+/// accumulators to fold into.
+pub type SliceFoldFn<T, Acc> = Arc<dyn Fn(&[T], usize, &mut [Option<Acc>; 2]) + Send + Sync>;
 
 /// A query `f = finalize ∘ R ∘ M` over records of type `T`.
 ///
@@ -37,6 +42,7 @@ pub struct MapReduceQuery<T, Acc, Out> {
     reduce: ReduceFn<Acc>,
     finalize: FinalizeFn<Acc, Out>,
     half_key: Option<HalfKeyFn<T>>,
+    slice_fold: Option<SliceFoldFn<T, Acc>>,
 }
 
 impl<T, Acc, Out> Clone for MapReduceQuery<T, Acc, Out> {
@@ -47,6 +53,7 @@ impl<T, Acc, Out> Clone for MapReduceQuery<T, Acc, Out> {
             reduce: Arc::clone(&self.reduce),
             finalize: Arc::clone(&self.finalize),
             half_key: self.half_key.clone(),
+            slice_fold: self.slice_fold.clone(),
         }
     }
 }
@@ -73,6 +80,7 @@ impl<T: Data, Acc: Data, Out: DpOutput> MapReduceQuery<T, Acc, Out> {
             reduce: Arc::new(reduce),
             finalize: Arc::new(finalize),
             half_key: None,
+            slice_fold: None,
         }
     }
 
@@ -97,6 +105,63 @@ impl<T: Data, Acc: Data, Out: DpOutput> MapReduceQuery<T, Acc, Out> {
     /// The stable half key, if one is attached.
     pub fn half_key(&self) -> Option<&HalfKeyFn<T>> {
         self.half_key.as_ref()
+    }
+
+    /// Attaches a **fused slice-fold kernel**: a monomorphic loop that
+    /// folds an uninterrupted run of records into the two per-half
+    /// accumulators in one call, instead of paying three dynamic
+    /// dispatches (`half_key`, `map`, `reduce`) per record.
+    ///
+    /// The columnar prepare path calls the kernel once per run between
+    /// sampled rows; every other path (and any run the kernel is absent
+    /// for) goes through the generic closures, so the kernel is purely
+    /// an optimisation hook.
+    ///
+    /// **Contract:** `kernel(slice, phys_half, acc)` must leave `acc`
+    /// exactly as the generic composition would — for each record in
+    /// order, pick half `h` as `half_key(x) % 2` (or `phys_half` when
+    /// the query has no half key), then fold `map(x)` into `acc[h]`
+    /// with `reduce` as a left fold. Same operations, same order:
+    /// bit-identical floating-point results. A kernel that disagrees
+    /// silently changes released values, so pair every kernel with an
+    /// equivalence test against [`MapReduceQuery::fold_run_generic`].
+    pub fn with_slice_fold(
+        mut self,
+        kernel: impl Fn(&[T], usize, &mut [Option<Acc>; 2]) + Send + Sync + 'static,
+    ) -> Self {
+        self.slice_fold = Some(Arc::new(kernel));
+        self
+    }
+
+    /// The fused slice-fold kernel, if one is attached.
+    pub fn slice_fold(&self) -> Option<&SliceFoldFn<T, Acc>> {
+        self.slice_fold.as_ref()
+    }
+
+    /// Folds a record run through the generic closures — the reference
+    /// semantics every [`MapReduceQuery::with_slice_fold`] kernel must
+    /// reproduce bit for bit.
+    pub fn fold_run_generic(&self, slice: &[T], phys_half: usize, acc: &mut [Option<Acc>; 2]) {
+        for v in slice {
+            let h = match self.half_key() {
+                Some(hk) => (hk(v) % 2) as usize,
+                None => phys_half,
+            };
+            let m = self.map(v);
+            match &mut acc[h] {
+                Some(a) => *a = self.reduce(a, &m),
+                None => acc[h] = Some(m),
+            }
+        }
+    }
+
+    /// Folds a record run into `acc`, through the fused kernel when one
+    /// is attached and the generic closures otherwise.
+    pub fn fold_run(&self, slice: &[T], phys_half: usize, acc: &mut [Option<Acc>; 2]) {
+        match &self.slice_fold {
+            Some(kernel) => kernel(slice, phys_half, acc),
+            None => self.fold_run_generic(slice, phys_half, acc),
+        }
     }
 
     /// The query name (used in reports and benchmark output).

@@ -1,0 +1,693 @@
+//! Columnar zero-copy datasets: chunked `f64` column buffers handed
+//! over from the store without per-record boxing, plus chunk-at-a-time
+//! kernels for the narrow ops the UPA prepare pipeline needs.
+//!
+//! A [`ColumnarBuf`] is a column split into immutable, `Arc`-shared
+//! chunks (the store's on-disk chunk layout, kept as-is in memory).
+//! A [`ColumnarDataset`] binds a buffer to a [`Context`] and runs
+//! kernels as real engine stages — one task per chunk, streaming tight
+//! loops over contiguous slices — so stage/task/record counters, stage
+//! timings and the simulated scan cost behave exactly as they do for
+//! row datasets.
+//!
+//! Chunk statistics ([`ChunkStats`]: min/max over non-NaN values, value
+//! count, NaN count) ride along from the store manifest and feed
+//! predicate pushdown: a [`RangePredicate`] can discard whole chunks by
+//! min/max before any record is touched. Pruning is sound because a NaN
+//! never satisfies a range comparison, so the non-NaN min/max bound
+//! every record that could match.
+
+use crate::context::scan_delay;
+use crate::dataset::Dataset;
+use crate::lineage::Lineage;
+use crate::Context;
+use std::sync::Arc;
+
+/// Per-chunk value statistics, computed at ingest and persisted in the
+/// store manifest (v2).
+///
+/// `min`/`max` cover **non-NaN** values only; an empty or all-NaN chunk
+/// has the empty range `min = +inf, max = -inf`. NaNs are counted
+/// separately so pruning and diagnostics can reason about them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkStats {
+    /// Smallest non-NaN value (`+inf` when none).
+    pub min: f64,
+    /// Largest non-NaN value (`-inf` when none).
+    pub max: f64,
+    /// Total values in the chunk (NaNs included).
+    pub count: u64,
+    /// How many of them are NaN.
+    pub nan_count: u64,
+}
+
+impl ChunkStats {
+    /// Scans `values` once, accumulating min/max over non-NaN entries.
+    #[must_use]
+    pub fn compute(values: &[f64]) -> ChunkStats {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut nan_count = 0u64;
+        for &v in values {
+            if v.is_nan() {
+                nan_count += 1;
+            } else {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        ChunkStats {
+            min,
+            max,
+            count: values.len() as u64,
+            nan_count,
+        }
+    }
+
+    /// Merges two chunk ranges into one covering both.
+    #[must_use]
+    pub fn merge(&self, other: &ChunkStats) -> ChunkStats {
+        ChunkStats {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            count: self.count + other.count,
+            nan_count: self.nan_count + other.nan_count,
+        }
+    }
+}
+
+/// One immutable column chunk: a shared slice plus optional statistics
+/// (absent for data loaded from a pre-stats v1 manifest).
+#[derive(Debug, Clone)]
+pub struct ColumnChunk {
+    /// The values, shared with whoever loaded them.
+    pub values: Arc<[f64]>,
+    /// Ingest-time statistics; `None` means no pruning for this chunk.
+    pub stats: Option<ChunkStats>,
+}
+
+impl ColumnChunk {
+    /// Wraps a shared slice, computing fresh statistics.
+    #[must_use]
+    pub fn with_stats(values: Arc<[f64]>) -> ColumnChunk {
+        let stats = ChunkStats::compute(&values);
+        ColumnChunk {
+            values,
+            stats: Some(stats),
+        }
+    }
+}
+
+/// An inclusive value range `[lo, hi]`, the predicate shape the prepare
+/// pipeline pushes down to chunk statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangePredicate {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl RangePredicate {
+    /// Whether one value satisfies the predicate. NaN never does.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Whether a chunk with these statistics **may** hold a matching
+    /// value. `false` means the whole chunk can be skipped unseen:
+    /// every non-NaN value lies in `[stats.min, stats.max]`, and NaNs
+    /// never match a range comparison.
+    #[must_use]
+    pub fn may_match(&self, stats: &ChunkStats) -> bool {
+        !(stats.max < self.lo || stats.min > self.hi)
+    }
+}
+
+/// What chunk pruning skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Chunks examined.
+    pub chunks: usize,
+    /// Chunks discarded by statistics alone.
+    pub pruned_chunks: usize,
+    /// Rows inside the discarded chunks (never scanned).
+    pub pruned_rows: u64,
+}
+
+impl PruneReport {
+    /// Fraction of chunks discarded (0 when there were none).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.chunks == 0 {
+            0.0
+        } else {
+            self.pruned_chunks as f64 / self.chunks as f64
+        }
+    }
+}
+
+/// A column as immutable shared chunks with prefix offsets. Cloning is
+/// cheap (two `Arc` bumps); the values are never copied.
+#[derive(Debug, Clone)]
+pub struct ColumnarBuf {
+    chunks: Arc<Vec<ColumnChunk>>,
+    /// `offsets[i]` is the global row index where chunk `i` starts;
+    /// one trailing entry holds the total length.
+    offsets: Arc<Vec<usize>>,
+}
+
+impl ColumnarBuf {
+    /// Builds a buffer over `chunks` (empty chunks are allowed).
+    #[must_use]
+    pub fn new(chunks: Vec<ColumnChunk>) -> ColumnarBuf {
+        let mut offsets = Vec::with_capacity(chunks.len() + 1);
+        offsets.push(0usize);
+        for c in &chunks {
+            offsets.push(offsets.last().copied().unwrap_or(0) + c.values.len());
+        }
+        ColumnarBuf {
+            chunks: Arc::new(chunks),
+            offsets: Arc::new(offsets),
+        }
+    }
+
+    /// Chunks a flat slice into a buffer with fresh statistics — the
+    /// ingest shape, used by tests and synthetic datasets.
+    #[must_use]
+    pub fn from_values(values: &[f64], chunk_rows: usize) -> ColumnarBuf {
+        let chunk_rows = chunk_rows.max(1);
+        let chunks = values
+            .chunks(chunk_rows)
+            .map(|w| ColumnChunk::with_stats(Arc::from(w.to_vec())))
+            .collect();
+        ColumnarBuf::new(chunks)
+    }
+
+    /// A single-chunk buffer of `rows` zeros (the synthetic column the
+    /// server substitutes for value-free COUNT queries).
+    #[must_use]
+    pub fn zeros(rows: usize) -> ColumnarBuf {
+        ColumnarBuf::new(vec![ColumnChunk::with_stats(Arc::from(vec![0.0; rows]))])
+    }
+
+    /// Total rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    /// Whether the column holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of chunks.
+    #[must_use]
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The chunk list.
+    #[must_use]
+    pub fn chunks(&self) -> &[ColumnChunk] {
+        &self.chunks
+    }
+
+    /// The value at global row `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of bounds.
+    #[must_use]
+    pub fn value(&self, g: usize) -> f64 {
+        let (chunk, off) = self.locate(g);
+        self.chunks[chunk].values[off]
+    }
+
+    /// Maps a global row index to `(chunk, offset-in-chunk)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of bounds.
+    #[must_use]
+    pub fn locate(&self, g: usize) -> (usize, usize) {
+        assert!(g < self.len(), "row {g} out of bounds ({})", self.len());
+        // partition_point finds the first offset beyond g; its
+        // predecessor starts the chunk holding g. Empty chunks share an
+        // offset with their successor and are skipped naturally.
+        let chunk = self.offsets.partition_point(|&o| o <= g) - 1;
+        (chunk, g - self.offsets[chunk])
+    }
+
+    /// Gathers the values at ascending global indices in one pass —
+    /// how the prepare pipeline materialises the sample S without
+    /// touching the rest of the column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are not strictly increasing or out of
+    /// bounds.
+    #[must_use]
+    pub fn gather_sorted(&self, indices: &[usize]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(indices.len());
+        let mut chunk = 0usize;
+        let mut prev: Option<usize> = None;
+        for &g in indices {
+            assert!(
+                prev.is_none_or(|p| p < g),
+                "gather indices must be strictly increasing"
+            );
+            prev = Some(g);
+            assert!(g < self.len(), "row {g} out of bounds ({})", self.len());
+            while self.offsets[chunk + 1] <= g {
+                chunk += 1;
+            }
+            out.push(self.chunks[chunk].values[g - self.offsets[chunk]]);
+        }
+        out
+    }
+
+    /// Calls `f` with each contiguous slice covering rows
+    /// `[start, end)`, in row order. The caller sees at most one slice
+    /// per chunk; empty intersections are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end` exceeds the length.
+    pub fn for_each_slice_in(&self, start: usize, end: usize, mut f: impl FnMut(usize, &[f64])) {
+        assert!(
+            start <= end && end <= self.len(),
+            "bad range {start}..{end}"
+        );
+        if start == end {
+            return;
+        }
+        let (mut chunk, _) = self.locate(start);
+        let mut at = start;
+        while at < end {
+            let chunk_start = self.offsets[chunk];
+            let chunk_end = self.offsets[chunk + 1];
+            if chunk_start < chunk_end {
+                let lo = at - chunk_start;
+                let hi = end.min(chunk_end) - chunk_start;
+                f(at, &self.chunks[chunk].values[lo..hi]);
+                at = end.min(chunk_end);
+            }
+            chunk += 1;
+        }
+    }
+
+    /// Materialises the column as one flat vector (the row-path
+    /// bridge; the columnar path itself never calls this).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        for c in self.chunks.iter() {
+            out.extend_from_slice(&c.values);
+        }
+        out
+    }
+
+    /// The union of all chunk statistics, or `None` if any chunk lacks
+    /// them (v1 data).
+    #[must_use]
+    pub fn total_stats(&self) -> Option<ChunkStats> {
+        let mut acc: Option<ChunkStats> = None;
+        for c in self.chunks.iter() {
+            let s = c.stats.as_ref()?;
+            acc = Some(match acc {
+                Some(a) => a.merge(s),
+                None => *s,
+            });
+        }
+        acc.or(Some(ChunkStats::compute(&[])))
+    }
+
+    /// Drops whole chunks that cannot contain a value matching `pred`,
+    /// using ingest statistics only — no record is read. Chunks without
+    /// statistics are conservatively kept.
+    #[must_use]
+    pub fn prune(&self, pred: &RangePredicate) -> (ColumnarBuf, PruneReport) {
+        let mut kept = Vec::with_capacity(self.chunks.len());
+        let mut report = PruneReport {
+            chunks: self.chunks.len(),
+            ..PruneReport::default()
+        };
+        for c in self.chunks.iter() {
+            match &c.stats {
+                Some(s) if !pred.may_match(s) => {
+                    report.pruned_chunks += 1;
+                    report.pruned_rows += c.values.len() as u64;
+                }
+                _ => kept.push(c.clone()),
+            }
+        }
+        (ColumnarBuf::new(kept), report)
+    }
+}
+
+/// The slab boundaries [`Context::parallelize`] gives `len` records
+/// over `partitions` partitions: consecutive ranges of
+/// `len.div_ceil(partitions)` rows. The columnar reduce folds inside
+/// these exact boundaries so its floating-point accumulation order is
+/// bit-identical to the row path's per-partition combine.
+#[must_use]
+pub fn slab_ranges(len: usize, partitions: usize) -> Vec<(usize, usize)> {
+    assert!(partitions > 0, "partitions must be positive");
+    if len == 0 {
+        return vec![(0, 0)];
+    }
+    let slab = len.div_ceil(partitions);
+    let mut out = Vec::with_capacity(partitions);
+    let mut at = 0usize;
+    while at < len {
+        let end = (at + slab).min(len);
+        out.push((at, end));
+        at = end;
+    }
+    out
+}
+
+/// A columnar buffer bound to an engine context: kernels run as real
+/// stages (one task per chunk or per slab) with the same metrics,
+/// timing and scan-cost semantics as row stages.
+#[derive(Debug, Clone)]
+pub struct ColumnarDataset {
+    ctx: Context,
+    buf: ColumnarBuf,
+}
+
+impl ColumnarDataset {
+    /// Binds `buf` to `ctx`.
+    #[must_use]
+    pub fn new(ctx: &Context, buf: ColumnarBuf) -> ColumnarDataset {
+        ColumnarDataset {
+            ctx: ctx.clone(),
+            buf,
+        }
+    }
+
+    /// The engine handle.
+    #[must_use]
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The underlying buffer (cheap to clone).
+    #[must_use]
+    pub fn buf(&self) -> &ColumnarBuf {
+        &self.buf
+    }
+
+    /// Total rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the dataset holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Aggregates chunk-at-a-time: one engine task per chunk folds its
+    /// contiguous slice, and the partials come back in chunk order.
+    /// The per-chunk fold is a tight loop over a `&[f64]` slice — the
+    /// auto-vectorizable shape.
+    pub fn aggregate_chunks<A, F>(&self, name: &str, fold: F) -> Vec<A>
+    where
+        A: Send + 'static,
+        F: Fn(&[f64]) -> A + Send + Sync + 'static,
+    {
+        let buf = self.buf.clone();
+        let scan_ns = self.ctx.scan_cost_ns();
+        self.ctx.record_processed_public(self.buf.len() as u64);
+        self.ctx.run_tasks(
+            name,
+            (0..buf.num_chunks()).collect(),
+            move |_i, chunk: usize| {
+                let values = &buf.chunks()[chunk].values;
+                scan_delay(values.len(), scan_ns);
+                fold(values)
+            },
+        )
+    }
+
+    /// Projects chunk-at-a-time into a new columnar dataset (map /
+    /// project): one task per chunk, fresh statistics per output chunk.
+    pub fn map_chunks<F>(&self, name: &str, f: F) -> ColumnarDataset
+    where
+        F: Fn(&[f64]) -> Vec<f64> + Send + Sync + 'static,
+    {
+        let mapped = self.aggregate_chunks(name, move |slice| {
+            ColumnChunk::with_stats(Arc::from(f(slice)))
+        });
+        ColumnarDataset::new(&self.ctx, ColumnarBuf::new(mapped))
+    }
+
+    /// Filters records chunk-at-a-time **after** pruning whole chunks
+    /// by statistics. Returns the surviving records as a new columnar
+    /// dataset plus the prune report — the predicate-pushdown hook.
+    pub fn filter_range(&self, name: &str, pred: RangePredicate) -> (ColumnarDataset, PruneReport) {
+        let (kept, report) = self.buf.prune(&pred);
+        let survivors = ColumnarDataset::new(&self.ctx, kept).map_chunks(name, move |slice| {
+            slice
+                .iter()
+                .copied()
+                .filter(|&x| pred.contains(x))
+                .collect()
+        });
+        (survivors, report)
+    }
+
+    /// Runs one engine stage with a task per row range: `f(range_index,
+    /// buffer, start, end)`. Ranges are typically [`slab_ranges`] so the
+    /// work mirrors the row path's partitioning; record counters charge
+    /// the rows covered by the ranges.
+    pub fn run_ranges<A, F>(&self, name: &str, ranges: Vec<(usize, usize)>, f: F) -> Vec<A>
+    where
+        A: Send + 'static,
+        F: Fn(usize, &ColumnarBuf, usize, usize) -> A + Send + Sync + 'static,
+    {
+        let buf = self.buf.clone();
+        let scan_ns = self.ctx.scan_cost_ns();
+        let records: u64 = ranges.iter().map(|&(s, e)| (e - s) as u64).sum();
+        self.ctx.record_processed_public(records);
+        self.ctx
+            .run_tasks(name, ranges, move |i, (start, end): (usize, usize)| {
+                scan_delay(end - start, scan_ns);
+                f(i, &buf, start, end)
+            })
+    }
+
+    /// Materialises a row [`Dataset`] with [`Context::parallelize`]
+    /// boundaries — the bridge back to the row engine for paths the
+    /// columnar kernels do not cover (and for equivalence tests).
+    #[must_use]
+    pub fn to_row_dataset(&self) -> Dataset<f64> {
+        self.ctx
+            .parallelize(self.buf.to_vec(), self.ctx.config().default_partitions)
+    }
+
+    /// Hands the chunk buffers to the row engine as partitions without
+    /// copying values — each chunk becomes one partition.
+    #[must_use]
+    pub fn chunk_partitioned_dataset(&self) -> Dataset<f64> {
+        let parts: Vec<Arc<Vec<f64>>> = self
+            .buf
+            .chunks()
+            .iter()
+            .map(|c| Arc::new(c.values.to_vec()))
+            .collect();
+        Dataset::from_parts(
+            self.ctx.clone(),
+            parts,
+            Lineage::source(format!("columnar[{} chunks]", self.buf.num_chunks())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(values: &[f64], chunk_rows: usize) -> ColumnarBuf {
+        ColumnarBuf::from_values(values, chunk_rows)
+    }
+
+    #[test]
+    fn stats_handle_nan_and_infinities() {
+        let s = ChunkStats::compute(&[1.0, f64::NAN, -3.0, f64::INFINITY]);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, f64::INFINITY);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.nan_count, 1);
+
+        let empty = ChunkStats::compute(&[]);
+        assert_eq!(empty.min, f64::INFINITY);
+        assert_eq!(empty.max, f64::NEG_INFINITY);
+
+        let all_nan = ChunkStats::compute(&[f64::NAN, f64::NAN]);
+        assert_eq!(all_nan.nan_count, 2);
+        assert_eq!(all_nan.min, f64::INFINITY);
+    }
+
+    #[test]
+    fn locate_value_and_gather_cross_chunks() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let b = buf(&values, 7);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.num_chunks(), 15);
+        for g in [0usize, 6, 7, 13, 99] {
+            assert_eq!(b.value(g), g as f64);
+        }
+        assert_eq!(b.locate(7), (1, 0));
+        let picked = b.gather_sorted(&[0, 6, 7, 50, 99]);
+        assert_eq!(picked, vec![0.0, 6.0, 7.0, 50.0, 99.0]);
+    }
+
+    #[test]
+    fn slice_iteration_covers_ranges_exactly() {
+        let values: Vec<f64> = (0..20).map(f64::from).collect();
+        let b = buf(&values, 6);
+        let mut seen = Vec::new();
+        b.for_each_slice_in(4, 17, |at, slice| {
+            assert_eq!(slice[0], at as f64);
+            seen.extend_from_slice(slice);
+        });
+        assert_eq!(seen, (4..17).map(f64::from).collect::<Vec<_>>());
+        // Empty range yields nothing.
+        b.for_each_slice_in(5, 5, |_, _| panic!("no slices expected"));
+    }
+
+    #[test]
+    fn single_record_chunks_round_trip() {
+        let values = vec![3.0, f64::NAN, -1.0];
+        let b = buf(&values, 1);
+        assert_eq!(b.num_chunks(), 3);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&b.to_vec()), bits(&values));
+    }
+
+    #[test]
+    fn pruning_skips_out_of_range_chunks_only() {
+        let mut values: Vec<f64> = (0..30).map(f64::from).collect();
+        values[25] = f64::NAN; // NaN in an out-of-range chunk must not block pruning
+        let b = buf(&values, 10);
+        let pred = RangePredicate { lo: 12.0, hi: 15.0 };
+        let (kept, report) = b.prune(&pred);
+        assert_eq!(report.chunks, 3);
+        assert_eq!(report.pruned_chunks, 2);
+        assert_eq!(report.pruned_rows, 20);
+        assert!((report.rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(kept.len(), 10);
+        assert_eq!(kept.value(0), 10.0);
+    }
+
+    #[test]
+    fn chunks_without_stats_are_never_pruned() {
+        let chunk = ColumnChunk {
+            values: Arc::from(vec![100.0, 200.0]),
+            stats: None,
+        };
+        let b = ColumnarBuf::new(vec![chunk]);
+        let (kept, report) = b.prune(&RangePredicate { lo: 0.0, hi: 1.0 });
+        assert_eq!(report.pruned_chunks, 0);
+        assert_eq!(kept.len(), 2);
+        assert!(b.total_stats().is_none());
+    }
+
+    #[test]
+    fn slab_ranges_match_parallelize_boundaries() {
+        let ctx = Context::with_threads(3);
+        for len in [0usize, 1, 2, 9, 10, 100, 101] {
+            for parts in [1usize, 2, 3, 7] {
+                let ds = ctx.parallelize((0..len as i64).collect::<Vec<i64>>(), parts);
+                let ranges = slab_ranges(len, parts);
+                let sizes: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+                let actual: Vec<usize> = ds.partitions().iter().map(|p| p.len()).collect();
+                assert_eq!(sizes, actual, "len={len} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_chunks_runs_as_one_stage_with_metrics() {
+        let ctx = Context::with_threads(2);
+        let values: Vec<f64> = (0..1000).map(f64::from).collect();
+        let ds = ColumnarDataset::new(&ctx, buf(&values, 64));
+        let before = ctx.metrics();
+        let partials = ds.aggregate_chunks("columnar[sum]", |s| s.iter().sum::<f64>());
+        let total: f64 = partials.iter().sum();
+        assert_eq!(total, 999.0 * 1000.0 / 2.0);
+        let delta = ctx.metrics().since(&before);
+        assert_eq!(delta.stages, 1);
+        assert_eq!(delta.tasks, 16);
+        assert_eq!(delta.records_processed, 1000);
+        assert_eq!(delta.shuffles, 0);
+    }
+
+    #[test]
+    fn filter_range_prunes_then_filters() {
+        let ctx = Context::with_threads(2);
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let ds = ColumnarDataset::new(&ctx, buf(&values, 10));
+        let (survivors, report) =
+            ds.filter_range("columnar[filter]", RangePredicate { lo: 33.0, hi: 36.0 });
+        assert_eq!(report.pruned_chunks, 9);
+        assert_eq!(survivors.buf().to_vec(), vec![33.0, 34.0, 35.0, 36.0]);
+    }
+
+    #[test]
+    fn map_chunks_projects_with_fresh_stats() {
+        let ctx = Context::with_threads(2);
+        let ds = ColumnarDataset::new(&ctx, buf(&[1.0, 2.0, 3.0, 4.0], 2));
+        let doubled = ds.map_chunks("columnar[double]", |s| s.iter().map(|x| x * 2.0).collect());
+        assert_eq!(doubled.buf().to_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+        let stats = doubled.buf().total_stats().unwrap();
+        assert_eq!((stats.min, stats.max), (2.0, 8.0));
+    }
+
+    #[test]
+    fn run_ranges_charges_covered_rows() {
+        let ctx = Context::with_threads(2);
+        let values: Vec<f64> = (0..50).map(f64::from).collect();
+        let ds = ColumnarDataset::new(&ctx, buf(&values, 8));
+        let before = ctx.metrics();
+        let ranges = slab_ranges(50, 4);
+        let sums = ds.run_ranges("columnar[ranges]", ranges.clone(), |_, b, s, e| {
+            let mut acc = 0.0;
+            b.for_each_slice_in(s, e, |_, slice| acc += slice.iter().sum::<f64>());
+            acc
+        });
+        assert_eq!(sums.len(), ranges.len());
+        assert_eq!(sums.iter().sum::<f64>(), 49.0 * 50.0 / 2.0);
+        let delta = ctx.metrics().since(&before);
+        assert_eq!(delta.stages, 1);
+        assert_eq!(delta.records_processed, 50);
+    }
+
+    #[test]
+    fn row_bridges_preserve_order() {
+        let ctx = Context::with_threads(2);
+        let values: Vec<f64> = (0..33).map(f64::from).collect();
+        let ds = ColumnarDataset::new(&ctx, buf(&values, 5));
+        assert_eq!(ds.to_row_dataset().collect(), values);
+        assert_eq!(ds.chunk_partitioned_dataset().collect(), values);
+        assert_eq!(ds.chunk_partitioned_dataset().num_partitions(), 7);
+    }
+
+    #[test]
+    fn zeros_and_empty_buffers_behave() {
+        let z = ColumnarBuf::zeros(4);
+        assert_eq!(z.to_vec(), vec![0.0; 4]);
+        let empty = ColumnarBuf::new(Vec::new());
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
+        assert_eq!(slab_ranges(0, 4), vec![(0, 0)]);
+    }
+}

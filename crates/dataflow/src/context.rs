@@ -330,6 +330,23 @@ impl Context {
         self.inner.metrics.record_shuffle(records, bytes);
     }
 
+    /// Charges `records` to the processed-records counter for work done
+    /// outside [`Context::run_stage`] — the columnar kernels account
+    /// their scans through this.
+    pub(crate) fn record_processed_public(&self, records: u64) {
+        self.inner.metrics.record_processed(records);
+    }
+
+    /// Records a logical record exchange performed outside the row
+    /// shuffle machinery. The columnar reduce combines per-slab
+    /// partials driver-side instead of routing them through
+    /// `shuffle_by_key`, but it is still the same exchange the paper
+    /// counts — this keeps the shuffle counters meaningful across both
+    /// paths.
+    pub fn record_logical_shuffle(&self, records: u64, bytes: u64) {
+        self.inner.metrics.record_shuffle(records, bytes);
+    }
+
     /// Number of reduce-side buckets shuffles use.
     pub(crate) fn shuffle_partitions(&self) -> usize {
         self.inner.config.shuffle_partitions

@@ -30,6 +30,7 @@
 //! assert_eq!(total, 999 * 1000);
 //! ```
 
+pub mod columnar;
 pub mod context;
 pub mod dataset;
 pub mod error;
@@ -41,6 +42,9 @@ pub mod pair;
 pub mod partitioner;
 pub mod pool;
 
+pub use columnar::{
+    ChunkStats, ColumnChunk, ColumnarBuf, ColumnarDataset, PruneReport, RangePredicate,
+};
 pub use context::{Config, Context};
 pub use dataset::Dataset;
 pub use error::DataflowError;

@@ -83,6 +83,11 @@ pub struct ReleaseReply {
     pub sample_size: usize,
     /// Budget remaining (`None` when the server is unmetered).
     pub budget_remaining: Option<f64>,
+    /// Whether the release was served from cached prepared state
+    /// (`cache: hit`) or paid a cold prepare (`cache: miss`).
+    pub cached: bool,
+    /// Microseconds of the cold prepare (`None` on a cache hit).
+    pub prepare_us: Option<u64>,
     /// The release's audit, when requested.
     pub audit: Option<QueryAudit>,
 }
@@ -492,6 +497,8 @@ impl Client {
                 noise_scale: outcome.noise_scale,
                 sample_size: outcome.sample_size,
                 budget_remaining: outcome.budget_remaining,
+                cached: outcome.cached,
+                prepare_us: outcome.prepare_us,
                 audit: outcome.audit,
             }),
             other => Err(Self::unexpected("release", &other)),

@@ -587,6 +587,14 @@ impl Response {
                     }
                     None => out.push_str(",\"budget_remaining\":null"),
                 }
+                let _ = write!(
+                    out,
+                    ",\"cache\":\"{}\"",
+                    if outcome.cached { "hit" } else { "miss" }
+                );
+                if let Some(us) = outcome.prepare_us {
+                    let _ = write!(out, ",\"prepare_us\":{us}");
+                }
                 if let Some(audit) = &outcome.audit {
                     out.push_str(",\"audit\":");
                     out.push_str(&audit.to_json());
@@ -803,6 +811,10 @@ impl Response {
                 noise_scale: num_or_nan("noise_scale")?,
                 sample_size: v.get("sample_size").and_then(Json::as_u64).unwrap_or(0) as usize,
                 budget_remaining: v.num_of("budget_remaining"),
+                // Pre-columnar servers omit `cache`; "hit" is the
+                // conservative decoding (no cold prepare to report).
+                cached: v.str_of("cache") != Some("miss"),
+                prepare_us: v.get("prepare_us").and_then(Json::as_u64),
                 audit: v.get("audit").and_then(audit_from_json),
             })));
         }
@@ -1090,6 +1102,41 @@ mod tests {
                 assert_eq!(bytes, 500);
             }
             other => panic!("expected Ingested, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_cache_metadata_round_trips() {
+        let outcome = |cached: bool, prepare_us: Option<u64>| {
+            Response::Released(Box::new(ReleaseOutcome {
+                query_id: "d/sum/v".into(),
+                released: 1.5,
+                epsilon: 0.1,
+                noise_scale: 2.0,
+                sample_size: 10,
+                budget_remaining: None,
+                cached,
+                prepare_us,
+                audit: None,
+            }))
+        };
+        let miss = outcome(false, Some(1234));
+        assert!(miss.to_line().contains("\"cache\":\"miss\""));
+        match reparse_response(&miss) {
+            Response::Released(out) => {
+                assert!(!out.cached);
+                assert_eq!(out.prepare_us, Some(1234));
+            }
+            other => panic!("expected Released, got {other:?}"),
+        }
+        let hit = outcome(true, None);
+        assert!(hit.to_line().contains("\"cache\":\"hit\""));
+        match reparse_response(&hit) {
+            Response::Released(out) => {
+                assert!(out.cached);
+                assert_eq!(out.prepare_us, None);
+            }
+            other => panic!("expected Released, got {other:?}"),
         }
     }
 

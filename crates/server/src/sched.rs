@@ -603,7 +603,13 @@ impl Scheduler {
                                 *want_audit,
                                 job.trace.as_ref(),
                             )
-                            .map(|out| JobOutput::Released(Box::new(out))),
+                            .map(|mut out| {
+                                // Only the leader paid the cold prepare;
+                                // coalesced followers shared its state.
+                                out.cached = !leader_ran;
+                                out.prepare_us = leader_ran.then_some(prep_dur.as_micros() as u64);
+                                JobOutput::Released(Box::new(out))
+                            }),
                     }));
                     self.counters.completed.fetch_add(1, Ordering::Relaxed);
                     match outcome {

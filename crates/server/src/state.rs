@@ -30,6 +30,7 @@
 use crate::ledger::{spent_by_dataset, GroupCommitLedger, Ledger, LedgerObs, SpendRecord};
 use crate::obs::{Obs, Trace};
 use crate::proto::ErrorCode;
+use dataflow::columnar::{ColumnarBuf, ColumnarDataset};
 use dataflow::Context;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -38,7 +39,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
-use upa_core::domain::EmpiricalSampler;
+use upa_core::domain::{ColumnarEmpiricalSampler, EmpiricalSampler};
 use upa_core::query::MapReduceQuery;
 use upa_core::{PreparedQuery, QueryAudit, Upa, UpaConfig, UpaError};
 use upa_store::{Catalog, IngestOptions, IngestReport, Resident, StoreError};
@@ -138,6 +139,25 @@ pub fn build_agg_query(kind: AggKind) -> MapReduceQuery<f64, (f64, f64), f64> {
         },
     )
     .with_half_key(|x: &f64| x.to_bits())
+    // Fused kernel for the columnar scan: the same half-key / map /
+    // reduce composition, monomorphised so the per-record cost is a
+    // branch and two adds instead of three dynamic dispatches. Fold
+    // order is unchanged — `(s, n)` accumulates left to right exactly
+    // as the tuple reducer does — so results stay bit-identical
+    // (`fused_kernels_match_generic_fold` pins this).
+    .with_slice_fold(move |slice: &[f64], _phys_half, acc| {
+        for &x in slice {
+            let h = (x.to_bits() % 2) as usize;
+            let m = match kind {
+                AggKind::Count => (1.0, 1.0),
+                AggKind::Sum | AggKind::Mean => (x, 1.0),
+            };
+            match &mut acc[h] {
+                Some(a) => *a = (a.0 + m.0, a.1 + m.1),
+                None => acc[h] = Some(m),
+            }
+        }
+    })
 }
 
 /// Deterministic fault injection for the serving path, extending the
@@ -213,6 +233,11 @@ pub struct ServerConfig {
     /// Store datasets to attach at startup (requires
     /// [`ServerConfig::store_path`]).
     pub attach: Vec<String>,
+    /// Serve columnar-backed datasets (catalog attaches) through the
+    /// zero-copy chunk kernels. On by default; benchmarks flip this off
+    /// to measure the row path over identical data. Releases are
+    /// bit-identical either way under the same seed.
+    pub columnar: bool,
 }
 
 impl Default for ServerConfig {
@@ -237,6 +262,7 @@ impl Default for ServerConfig {
             store_path: None,
             allow_admin: false,
             attach: Vec::new(),
+            columnar: true,
         }
     }
 }
@@ -339,30 +365,64 @@ pub type PreparedAgg = PreparedQuery<f64, (f64, f64), f64>;
 /// Cache key: `(dataset, aggregate, column)`.
 type QueryKey = (String, AggKind, String);
 
+/// One served column's storage. Baked-in [`DatasetSpec`]s carry flat
+/// vectors; catalog attaches hand over the store's chunk buffers
+/// untouched, so the columnar serving path scans the very bytes the
+/// loader decoded — no re-materialised `Vec<f64>` anywhere between disk
+/// and kernel.
+#[derive(Debug, Clone)]
+enum ColumnHandle {
+    /// Flat values behind an `Arc` (in-memory [`DatasetSpec`]s).
+    Row(Arc<Vec<f64>>),
+    /// Shared store chunks in their on-disk layout (catalog attaches).
+    Columnar(ColumnarBuf),
+}
+
+impl ColumnHandle {
+    fn len(&self) -> usize {
+        match self {
+            ColumnHandle::Row(v) => v.len(),
+            ColumnHandle::Columnar(buf) => buf.len(),
+        }
+    }
+
+    /// Flattens to a plain vector — the row path's (copying) view.
+    fn to_vec(&self) -> Vec<f64> {
+        match self {
+            ColumnHandle::Row(v) => v.as_ref().clone(),
+            ColumnHandle::Columnar(buf) => buf.to_vec(),
+        }
+    }
+}
+
 struct DatasetState {
     name: String,
     rows: usize,
-    /// Column values behind `Arc`s: attaching from the catalog shares
-    /// the catalog's buffers instead of copying them, and a dataset
+    /// Column storage handles: attaching from the catalog shares the
+    /// catalog's chunk buffers instead of copying them, and a dataset
     /// detached mid-query stays alive until its last in-flight release
-    /// drops the `Arc`.
-    columns: HashMap<String, Arc<Vec<f64>>>,
+    /// drops the handle.
+    columns: HashMap<String, ColumnHandle>,
+    /// Whether the dataset is columnar-backed (a catalog attach), so
+    /// column-less `count` queries know which execution path owns it.
+    columnar: bool,
     resident_bytes: usize,
     upa: Mutex<Upa>,
 }
 
 impl DatasetState {
     fn from_spec(spec: &DatasetSpec, upa: Upa) -> DatasetState {
-        let columns: HashMap<String, Arc<Vec<f64>>> = spec
+        let columns: HashMap<String, ColumnHandle> = spec
             .columns
             .iter()
-            .map(|(name, values)| (name.clone(), Arc::new(values.clone())))
+            .map(|(name, values)| (name.clone(), ColumnHandle::Row(Arc::new(values.clone()))))
             .collect();
         let resident_bytes = columns.values().map(|v| v.len() * 8).sum();
         DatasetState {
             name: spec.name.clone(),
             rows: spec.rows,
             columns,
+            columnar: false,
             resident_bytes,
             upa: Mutex::new(upa),
         }
@@ -375,8 +435,9 @@ impl DatasetState {
             columns: resident
                 .columns
                 .iter()
-                .map(|(name, values)| (name.clone(), Arc::clone(values)))
+                .map(|(name, buf)| (name.clone(), ColumnHandle::Columnar(buf.clone())))
                 .collect(),
+            columnar: true,
             resident_bytes: resident.resident_bytes,
             upa: Mutex::new(upa),
         }
@@ -581,6 +642,14 @@ pub struct ReleaseOutcome {
     pub sample_size: usize,
     /// Budget remaining after the charge (`None` when unmetered).
     pub budget_remaining: Option<f64>,
+    /// Whether the prepared state was already cached when this release
+    /// started. [`ServerState::release_prepared`] callers own the
+    /// prepare, so they stamp this themselves; the composed
+    /// [`ServerState::release`] sets it from its own cache probe.
+    pub cached: bool,
+    /// Wall-clock microseconds of the cold prepare that backed this
+    /// release (`None` on a cache hit).
+    pub prepare_us: Option<u64>,
     /// The release's audit record, when the caller asked for it.
     pub audit: Option<QueryAudit>,
 }
@@ -914,6 +983,12 @@ impl ServerState {
         self.prepared.len()
     }
 
+    /// Drops every cached prepare for `dataset` without touching its
+    /// residency — the cold-prepare benchmarks' reset button.
+    pub fn invalidate_prepared(&self, dataset: &str) {
+        self.prepared.purge_dataset(dataset);
+    }
+
     // ---- shutdown & admission ------------------------------------------
 
     /// Flags the server as draining; new requests are refused.
@@ -971,11 +1046,40 @@ impl ServerState {
         }
         ds.columns
             .get(column)
-            .map(|values| values.as_ref().clone())
+            .map(ColumnHandle::to_vec)
             .ok_or_else(|| ServeError::UnknownColumn {
                 dataset: ds.name.clone(),
                 column: column.to_string(),
             })
+    }
+
+    /// The chunk buffer to scan when this query should take the
+    /// columnar path: the dataset is catalog-backed, columnar serving
+    /// is enabled, and the addressed column holds shared chunks.
+    /// `Ok(None)` routes to the row path; column-less `count` over a
+    /// columnar dataset synthesises a single zero chunk, mirroring the
+    /// row path's `vec![0.0; rows]` (bit-identical — chunk layout never
+    /// reaches the fold boundaries).
+    fn columnar_column(
+        &self,
+        ds: &DatasetState,
+        kind: AggKind,
+        column: &str,
+    ) -> Result<Option<ColumnarBuf>, ServeError> {
+        if !self.config.columnar {
+            return Ok(None);
+        }
+        if kind == AggKind::Count && column.is_empty() {
+            return Ok(ds.columnar.then(|| ColumnarBuf::zeros(ds.rows)));
+        }
+        match ds.columns.get(column) {
+            Some(ColumnHandle::Columnar(buf)) => Ok(Some(buf.clone())),
+            Some(ColumnHandle::Row(_)) => Ok(None),
+            None => Err(ServeError::UnknownColumn {
+                dataset: ds.name.clone(),
+                column: column.to_string(),
+            }),
+        }
     }
 
     /// Canonical query identity.
@@ -1022,11 +1126,21 @@ impl ServerState {
             return Ok((p, query_id, true));
         }
         let ds = self.dataset(dataset)?;
-        let values = self.column_values(&ds, kind, column)?;
-        let data = self.ctx.parallelize_default(values.clone());
-        let domain = EmpiricalSampler::new(values);
         let query = build_agg_query(kind);
-        let prepared = {
+        let prepared = if let Some(buf) = self.columnar_column(&ds, kind, column)? {
+            // Zero-copy cold path: phases 1–3 run chunk-at-a-time over
+            // the store's shared buffers; the domain sampler resamples
+            // straight from the same chunks. Bit-identical to the row
+            // path under the same seed.
+            let data = ColumnarDataset::new(&self.ctx, buf.clone());
+            let domain = ColumnarEmpiricalSampler::new(buf);
+            let mut upa = ds.upa.lock().expect("engine poisoned");
+            upa.prepare_columnar(&data, &query, &domain)
+                .map_err(|e| ServeError::Pipeline(e.to_string()))?
+        } else {
+            let values = self.column_values(&ds, kind, column)?;
+            let data = self.ctx.parallelize_default(values.clone());
+            let domain = EmpiricalSampler::new(values);
             let mut upa = ds.upa.lock().expect("engine poisoned");
             upa.prepare(&data, &query, &domain)
                 .map_err(|e| ServeError::Pipeline(e.to_string()))?
@@ -1116,8 +1230,14 @@ impl ServerState {
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(ServeError::BadRequest("epsilon must be positive".into()));
         }
-        let (prepared, query_id, _cached) = self.prepare(dataset, kind, column)?;
-        self.release_prepared(dataset, &query_id, &prepared, Some(epsilon), want_audit)
+        let prep_start = Instant::now();
+        let (prepared, query_id, cached) = self.prepare(dataset, kind, column)?;
+        let prepare_us = (!cached).then(|| prep_start.elapsed().as_micros() as u64);
+        let mut out =
+            self.release_prepared(dataset, &query_id, &prepared, Some(epsilon), want_audit)?;
+        out.cached = cached;
+        out.prepare_us = prepare_us;
+        Ok(out)
     }
 
     /// Phase 4 against already-prepared state: charge + fsync the spend,
@@ -1222,6 +1342,9 @@ impl ServerState {
             noise_scale: result.max_sensitivity() / epsilon,
             sample_size: result.sample_size,
             budget_remaining,
+            // Callers that ran their own (cold) prepare restamp these.
+            cached: true,
+            prepare_us: None,
             audit,
         })
     }
@@ -1807,6 +1930,94 @@ mod tests {
             ErrorCode::Store
         );
         let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fused_kernels_match_generic_fold() {
+        // Every fused slice kernel must reproduce the generic
+        // half-key/map/reduce composition bit for bit — on ordinary
+        // values, negatives, NaN and infinities alike.
+        let mut values: Vec<f64> = (0..997).map(|i| ((i * 37) % 101) as f64 - 17.5).collect();
+        values.extend([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.0]);
+        for kind in [AggKind::Count, AggKind::Sum, AggKind::Mean] {
+            let q = build_agg_query(kind);
+            let kernel = q.slice_fold().expect("agg queries carry a fused kernel");
+            for phys_half in [0, 1] {
+                let mut fused: [Option<(f64, f64)>; 2] = [None, None];
+                let mut generic: [Option<(f64, f64)>; 2] = [None, None];
+                kernel(&values, phys_half, &mut fused);
+                q.fold_run_generic(&values, phys_half, &mut generic);
+                for h in 0..2 {
+                    match (&fused[h], &generic[h]) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.0.to_bits(), b.0.to_bits(), "{kind:?} half {h} sum");
+                            assert_eq!(a.1.to_bits(), b.1.to_bits(), "{kind:?} half {h} count");
+                        }
+                        (None, None) => {}
+                        _ => panic!("{kind:?} half {h}: fused and generic occupancy differ"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_release_is_bit_identical_to_row_path() {
+        let dir = temp_store("columnar_bits");
+        {
+            let store = upa_store::Store::open(&dir).unwrap();
+            let values: Vec<f64> = (0..4096).map(|i| ((i * 37) % 101) as f64 - 17.0).collect();
+            let columns = vec![("v".to_string(), values)];
+            // Small chunks so the kernels cross many chunk boundaries.
+            store
+                .ingest(
+                    "cols",
+                    &columns,
+                    &IngestOptions {
+                        chunk_rows: 300,
+                        overwrite: true,
+                    },
+                )
+                .unwrap();
+        }
+        let make = |columnar: bool| {
+            Arc::new(
+                ServerState::new(ServerConfig {
+                    datasets: vec![],
+                    epsilon: 0.25,
+                    sample_size: 64,
+                    threads: 2,
+                    store_path: Some(dir.clone()),
+                    columnar,
+                    ..ServerConfig::default()
+                })
+                .unwrap(),
+            )
+        };
+        let col = make(true);
+        let row = make(false);
+        col.attach_dataset("cols").unwrap();
+        row.attach_dataset("cols").unwrap();
+        for (kind, column) in [
+            (AggKind::Sum, "v"),
+            (AggKind::Mean, "v"),
+            (AggKind::Count, ""),
+        ] {
+            let a = col.release("cols", kind, column, None, true).unwrap();
+            let b = row.release("cols", kind, column, None, true).unwrap();
+            assert_eq!(
+                a.released.to_bits(),
+                b.released.to_bits(),
+                "{kind:?} release must not depend on the execution path"
+            );
+            assert!(!a.cached, "first release of a key is a cold prepare");
+            assert!(a.prepare_us.is_some(), "cold releases report prepare time");
+        }
+        // The second release of a key is a cache hit with no prepare cost.
+        let again = col.release("cols", AggKind::Sum, "v", None, false).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.prepare_us, None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

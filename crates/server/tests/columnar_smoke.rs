@@ -1,0 +1,114 @@
+//! Columnar serving smoke: the full ingest → attach → cold prepare →
+//! release path against real `upa-serverd` daemons, one serving through
+//! the columnar zero-copy kernels and one forced down the row path with
+//! `--row-scan`. Under the same seed the two must release the same bits
+//! — the scan path buys latency, never a different answer — and the
+//! wire metadata must show the cold prepare (`cache: miss` with a
+//! timing) turning into cache hits on repeat queries.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use upa_server::Client;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("upa_columnar_smoke_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn spawn_daemon(store: &Path, extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_upa-serverd"))
+        .args([
+            "--port",
+            "0",
+            "--allow-admin",
+            "--epsilon",
+            "0.25",
+            "--sample-size",
+            "64",
+            "--seed",
+            "77",
+            "--threads",
+            "2",
+        ])
+        .arg("--store")
+        .arg(store)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn upa-serverd");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read the listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("upa-server listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn columnar_and_row_daemons_release_identical_bits() {
+    let root = temp_dir("bits");
+    let store = root.join("store");
+    std::fs::create_dir_all(&store).unwrap();
+    let csv = root.join("metrics.csv");
+    let mut text = String::from("v\n");
+    for i in 0..4_096 {
+        text.push_str(&format!("{}\n", ((i * 37) % 101) as f64 - 17.0));
+    }
+    std::fs::write(&csv, text).unwrap();
+
+    // Publish once into the shared store, through the columnar daemon.
+    let (mut col_child, col_addr) = spawn_daemon(&store, &[]);
+    let mut col = Client::connect(&col_addr).expect("connect columnar");
+    let (_, rows) = col
+        .ingest(&csv.to_string_lossy(), Some("metrics"))
+        .expect("ingest");
+    assert_eq!(rows, 4_096);
+    col.attach("metrics").expect("attach columnar");
+
+    // Same store, same seed, row path forced.
+    let (mut row_child, row_addr) = spawn_daemon(&store, &["--row-scan"]);
+    let mut row = Client::connect(&row_addr).expect("connect row");
+    row.attach("metrics").expect("attach row");
+
+    for (kind, column) in [("sum", "v"), ("mean", "v"), ("count", "")] {
+        let a = col
+            .release("metrics", kind, column, None, false)
+            .expect("columnar release");
+        let b = row
+            .release("metrics", kind, column, None, false)
+            .expect("row release");
+        assert_eq!(
+            a.released.to_bits(),
+            b.released.to_bits(),
+            "{kind} must release identical bits on both scan paths"
+        );
+        assert_eq!(a.noise_scale.to_bits(), b.noise_scale.to_bits());
+        assert!(!a.cached, "first {kind} release pays the cold prepare");
+        assert!(
+            a.prepare_us.is_some(),
+            "cold releases report the prepare cost"
+        );
+    }
+
+    // Repeat queries are served from prepared state on both daemons.
+    let warm = col
+        .release("metrics", "sum", "v", None, false)
+        .expect("warm release");
+    assert!(warm.cached, "repeat release is a cache hit");
+    assert_eq!(warm.prepare_us, None, "cache hits report no prepare cost");
+
+    let _ = col.shutdown();
+    let _ = row.shutdown();
+    let _ = col_child.wait();
+    let _ = row_child.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -14,28 +14,33 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, RwLock};
 
+use dataflow::columnar::ColumnarBuf;
 use dataflow::pool::ThreadPool;
 
 use crate::store::{LoadedDataset, Store, StoreError};
 
 /// One resident (attached) dataset. Immutable once published; reload
 /// swaps in a fresh `Resident` rather than mutating this one.
+///
+/// Columns stay in their on-disk chunk layout ([`ColumnarBuf`]): the
+/// catalog hands out shared chunk buffers, never a re-materialised
+/// `Vec<f64>`, so an attach is the last copy the data ever sees.
 #[derive(Debug)]
 pub struct Resident {
     /// Dataset name.
     pub name: String,
     /// Rows per column.
     pub rows: usize,
-    /// Columns in manifest order, values shared.
-    pub columns: Vec<(String, Arc<Vec<f64>>)>,
+    /// Columns in manifest order, chunk buffers shared.
+    pub columns: Vec<(String, ColumnarBuf)>,
     /// Bytes of resident values.
     pub resident_bytes: usize,
 }
 
 impl Resident {
-    /// Looks up one column's values by name.
+    /// Looks up one column's chunk buffer by name.
     #[must_use]
-    pub fn column(&self, name: &str) -> Option<&Arc<Vec<f64>>> {
+    pub fn column(&self, name: &str) -> Option<&ColumnarBuf> {
         self.columns.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 

@@ -2,15 +2,32 @@
 //! format version. The manifest is the only name→file indirection in
 //! the store — chunk files carry opaque generated names (`c0-1.bin`),
 //! so hostile column names never touch the filesystem.
+//!
+//! # Manifest versions
+//!
+//! * **v1** — chunk list only (file, rows, crc).
+//! * **v2** — adds per-chunk statistics (`min_bits`, `max_bits`,
+//!   `nan_count`): min/max over non-NaN values as f64 **bit patterns in
+//!   hex**, because JSON numbers can neither carry ±inf nor round-trip
+//!   a u64 bit pattern exactly. The stats value count is the chunk's
+//!   `rows`. v1 manifests still load; absent stats simply disable
+//!   chunk pruning.
+//!
+//! The chunk *file* format is unchanged (still version 1); only the
+//! manifest schema grew.
 
-use crate::chunk::CHUNK_FORMAT_VERSION;
+use dataflow::columnar::ChunkStats;
+
 use crate::json::{self, Json};
 
 /// File name of the manifest inside a dataset directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
 
+/// Current manifest schema version (chunk statistics included).
+pub const MANIFEST_FORMAT_VERSION: u32 = 2;
+
 /// One chunk of one column.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChunkMeta {
     /// File name inside the dataset directory.
     pub file: String,
@@ -19,10 +36,12 @@ pub struct ChunkMeta {
     /// The chunk file's FNV-1a trailer, repeated here so a chunk file
     /// swapped for another (self-consistent) one is still caught.
     pub crc: u32,
+    /// Ingest-time value statistics (v2 manifests); `None` for v1 data.
+    pub stats: Option<ChunkStats>,
 }
 
 /// One column and its chunk list, in row order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnMeta {
     /// Column name as ingested.
     pub name: String,
@@ -30,10 +49,27 @@ pub struct ColumnMeta {
     pub chunks: Vec<ChunkMeta>,
 }
 
+impl ColumnMeta {
+    /// The union of this column's chunk statistics, or `None` when any
+    /// chunk lacks them (v1 data).
+    #[must_use]
+    pub fn stats(&self) -> Option<ChunkStats> {
+        let mut acc: Option<ChunkStats> = None;
+        for chunk in &self.chunks {
+            let s = chunk.stats.as_ref()?;
+            acc = Some(match acc {
+                Some(a) => a.merge(s),
+                None => *s,
+            });
+        }
+        acc.or(Some(ChunkStats::compute(&[])))
+    }
+}
+
 /// The dataset manifest.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
-    /// Chunk format version the dataset was written with.
+    /// Manifest schema version the dataset was written with.
     pub format_version: u32,
     /// Dataset name (matches the directory name).
     pub dataset: String,
@@ -72,6 +108,14 @@ impl Manifest {
                 out.push_str(&chunk.rows.to_string());
                 out.push_str(",\"crc\":");
                 out.push_str(&chunk.crc.to_string());
+                if let Some(stats) = &chunk.stats {
+                    out.push_str(",\"min_bits\":\"");
+                    out.push_str(&format!("{:016x}", stats.min.to_bits()));
+                    out.push_str("\",\"max_bits\":\"");
+                    out.push_str(&format!("{:016x}", stats.max.to_bits()));
+                    out.push_str("\",\"nan_count\":");
+                    out.push_str(&stats.nan_count.to_string());
+                }
                 out.push('}');
             }
             out.push_str("]}");
@@ -92,7 +136,7 @@ impl Manifest {
         let format_version = field_u64(&doc, "format_version")?;
         let format_version =
             u32::try_from(format_version).map_err(|_| "format_version out of range".to_string())?;
-        if format_version != CHUNK_FORMAT_VERSION {
+        if format_version == 0 || format_version > MANIFEST_FORMAT_VERSION {
             return Err(format!(
                 "unsupported manifest format version {format_version}"
             ));
@@ -138,10 +182,23 @@ impl Manifest {
                 total = total
                     .checked_add(chunk_rows)
                     .ok_or_else(|| format!("column '{name}': chunk rows overflow"))?;
+                let stats = match chunk.get("min_bits") {
+                    Some(_) => Some(ChunkStats {
+                        min: field_f64_bits(chunk, "min_bits")
+                            .map_err(|e| format!("column '{name}', chunk '{file}': {e}"))?,
+                        max: field_f64_bits(chunk, "max_bits")
+                            .map_err(|e| format!("column '{name}', chunk '{file}': {e}"))?,
+                        count: chunk_rows,
+                        nan_count: field_u64(chunk, "nan_count")
+                            .map_err(|e| format!("column '{name}', chunk '{file}': {e}"))?,
+                    }),
+                    None => None,
+                };
                 chunks.push(ChunkMeta {
                     file,
                     rows: chunk_rows,
                     crc,
+                    stats,
                 });
             }
             if total != rows {
@@ -183,13 +240,37 @@ fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing or non-integer '{key}'"))
 }
 
+/// Reads an f64 stored as a 16-hex-digit bit pattern. Bit patterns (not
+/// JSON numbers) so ±inf and exact values survive the round trip.
+fn field_f64_bits(doc: &Json, key: &str) -> Result<f64, String> {
+    let text = doc
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string '{key}'"))?;
+    if text.len() != 16 {
+        return Err(format!("'{key}' is not 16 hex digits"));
+    }
+    u64::from_str_radix(text, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("'{key}' is not 16 hex digits"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn stats(min: f64, max: f64, count: u64, nan_count: u64) -> Option<ChunkStats> {
+        Some(ChunkStats {
+            min,
+            max,
+            count,
+            nan_count,
+        })
+    }
+
     fn sample() -> Manifest {
         Manifest {
-            format_version: CHUNK_FORMAT_VERSION,
+            format_version: MANIFEST_FORMAT_VERSION,
             dataset: "adult".into(),
             rows: 5,
             columns: vec![
@@ -200,11 +281,13 @@ mod tests {
                             file: "c0-0.bin".into(),
                             rows: 3,
                             crc: 17,
+                            stats: stats(17.0, 41.0, 3, 0),
                         },
                         ChunkMeta {
                             file: "c0-1.bin".into(),
                             rows: 2,
                             crc: 99,
+                            stats: stats(30.0, 55.0, 2, 0),
                         },
                     ],
                 },
@@ -214,6 +297,7 @@ mod tests {
                         file: "c1-0.bin".into(),
                         rows: 5,
                         crc: 3,
+                        stats: stats(12.0, 45.0, 5, 0),
                     }],
                 },
             ],
@@ -253,9 +337,65 @@ mod tests {
     fn rejects_future_version_and_garbage() {
         let text = sample()
             .to_json()
-            .replace("\"format_version\":1", "\"format_version\":2");
+            .replace("\"format_version\":2", "\"format_version\":3");
+        assert!(Manifest::from_json(&text).unwrap_err().contains("version"));
+        let text = sample()
+            .to_json()
+            .replace("\"format_version\":2", "\"format_version\":0");
         assert!(Manifest::from_json(&text).unwrap_err().contains("version"));
         assert!(Manifest::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn stats_round_trip_nan_and_infinities_exactly() {
+        let mut m = sample();
+        m.rows = 3;
+        m.columns = vec![ColumnMeta {
+            name: "v".into(),
+            chunks: vec![ChunkMeta {
+                file: "c0-0.bin".into(),
+                rows: 3,
+                crc: 1,
+                stats: stats(f64::NEG_INFINITY, f64::INFINITY, 3, 2),
+            }],
+        }];
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        let s = back.columns[0].chunks[0].stats.unwrap();
+        assert_eq!(s.min, f64::NEG_INFINITY);
+        assert_eq!(s.max, f64::INFINITY);
+        assert_eq!(s.nan_count, 2);
+        assert_eq!(s.count, 3);
+
+        // An all-NaN chunk has the empty range (+inf, -inf).
+        let empty = ChunkStats::compute(&[f64::NAN]);
+        m.columns[0].chunks[0].stats = Some(ChunkStats { count: 3, ..empty });
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        let s = back.columns[0].chunks[0].stats.unwrap();
+        assert_eq!(s.min.to_bits(), f64::INFINITY.to_bits());
+        assert_eq!(s.max.to_bits(), f64::NEG_INFINITY.to_bits());
+    }
+
+    #[test]
+    fn v1_manifest_without_stats_still_loads() {
+        // The exact document a pre-stats build wrote: version 1, no
+        // stats fields anywhere.
+        let text = concat!(
+            "{\"format_version\":1,\"dataset\":\"old\",\"rows\":4,",
+            "\"columns\":[{\"name\":\"v\",\"chunks\":[",
+            "{\"file\":\"c0-0.bin\",\"rows\":4,\"crc\":123}]}]}\n"
+        );
+        let m = Manifest::from_json(text).unwrap();
+        assert_eq!(m.format_version, 1);
+        assert_eq!(m.columns[0].chunks[0].stats, None);
+        assert_eq!(m.columns[0].stats(), None, "no stats means no pruning");
+    }
+
+    #[test]
+    fn column_stats_union_chunks() {
+        let m = sample();
+        let s = m.columns[0].stats().unwrap();
+        assert_eq!((s.min, s.max), (17.0, 55.0));
+        assert_eq!(s.count, 5);
     }
 
     #[test]

@@ -14,11 +14,12 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use dataflow::columnar::{ChunkStats, ColumnChunk, ColumnarBuf};
 use dataflow::pool::ThreadPool;
 
-use crate::chunk::{chunk_crc, decode_chunk, encode_chunk, ChunkError, CHUNK_FORMAT_VERSION};
+use crate::chunk::{chunk_crc, decode_chunk, encode_chunk, ChunkError};
 use crate::csv::{self, CsvError};
-use crate::manifest::{ChunkMeta, ColumnMeta, Manifest, MANIFEST_FILE};
+use crate::manifest::{ChunkMeta, ColumnMeta, Manifest, MANIFEST_FILE, MANIFEST_FORMAT_VERSION};
 
 /// Test hook: sleep this many milliseconds after writing each chunk
 /// file, so a crash-safety test can land a `SIGKILL` mid-ingest.
@@ -112,27 +113,30 @@ pub struct IngestReport {
     pub bytes: u64,
 }
 
-/// A dataset pulled fully into memory.
+/// A dataset pulled fully into memory, kept in its on-disk chunk
+/// layout: each column is a [`ColumnarBuf`] of `Arc`-shared chunk
+/// buffers (plus manifest statistics), so the serving stack can scan
+/// columnar without ever re-materialising a flat `Vec<f64>`.
 #[derive(Debug, Clone)]
 pub struct LoadedDataset {
     /// Dataset name.
     pub name: String,
     /// Rows per column.
     pub rows: usize,
-    /// Columns in manifest order; values are shared so a catalog and a
-    /// server can hold the same data without copying.
-    pub columns: Vec<(String, Arc<Vec<f64>>)>,
+    /// Columns in manifest order; chunk buffers are shared so a catalog
+    /// and a server can hold the same data without copying.
+    pub columns: Vec<(String, ColumnarBuf)>,
     /// Bytes of resident values.
     pub resident_bytes: usize,
 }
 
 impl LoadedDataset {
-    /// The columns as a name→values map (still shared).
+    /// The columns as a name→buffer map (still shared).
     #[must_use]
-    pub fn column_map(&self) -> HashMap<String, Arc<Vec<f64>>> {
+    pub fn column_map(&self) -> HashMap<String, ColumnarBuf> {
         self.columns
             .iter()
-            .map(|(n, v)| (n.clone(), Arc::clone(v)))
+            .map(|(n, v)| (n.clone(), v.clone()))
             .collect()
     }
 }
@@ -278,6 +282,7 @@ impl Store {
                     file,
                     rows: window.len() as u64,
                     crc: chunk_crc(window),
+                    stats: Some(ChunkStats::compute(window)),
                 });
                 if let Some(d) = delay {
                     std::thread::sleep(d);
@@ -295,6 +300,7 @@ impl Store {
                     file,
                     rows: 0,
                     crc: chunk_crc(&[]),
+                    stats: Some(ChunkStats::compute(&[])),
                 });
             }
             manifest_columns.push(ColumnMeta {
@@ -303,7 +309,7 @@ impl Store {
             });
         }
         let manifest = Manifest {
-            format_version: CHUNK_FORMAT_VERSION,
+            format_version: MANIFEST_FORMAT_VERSION,
             dataset: name.to_string(),
             rows: rows as u64,
             columns: manifest_columns,
@@ -384,29 +390,35 @@ impl Store {
                 jobs.push((col_idx, dir.join(&chunk.file), chunk.clone()));
             }
         }
-        let decoded: Vec<Result<(usize, Vec<f64>), StoreError>> = match pool {
+        let decoded: Vec<Result<(usize, ColumnChunk), StoreError>> = match pool {
             Some(pool) if jobs.len() > 1 => {
                 pool.map_ordered(jobs, Arc::new(|_, job| load_chunk_job(job)))
             }
             _ => jobs.into_iter().map(load_chunk_job).collect(),
         };
 
-        let mut columns: Vec<(String, Vec<f64>)> = manifest
+        // Jobs were pushed column-major and map_ordered preserves input
+        // order, so chunks land back in manifest order per column.
+        let mut columns: Vec<(String, Vec<ColumnChunk>)> = manifest
             .columns
             .iter()
             .map(|c| (c.name.clone(), Vec::new()))
             .collect();
         for outcome in decoded {
-            let (col_idx, values) = outcome?;
-            columns[col_idx].1.extend_from_slice(&values);
+            let (col_idx, chunk) = outcome?;
+            columns[col_idx].1.push(chunk);
         }
         let rows = usize::try_from(manifest.rows)
             .map_err(|_| StoreError::Corrupt(format!("dataset '{name}': rows overflow")))?;
-        for (col_name, values) in &columns {
-            if values.len() != rows {
+        let columns: Vec<(String, ColumnarBuf)> = columns
+            .into_iter()
+            .map(|(n, chunks)| (n, ColumnarBuf::new(chunks)))
+            .collect();
+        for (col_name, buf) in &columns {
+            if buf.len() != rows {
                 return Err(StoreError::Corrupt(format!(
                     "dataset '{name}', column '{col_name}': loaded {} rows, manifest says {rows}",
-                    values.len()
+                    buf.len()
                 )));
             }
         }
@@ -414,7 +426,7 @@ impl Store {
         Ok(LoadedDataset {
             name: name.to_string(),
             rows,
-            columns: columns.into_iter().map(|(n, v)| (n, Arc::new(v))).collect(),
+            columns,
             resident_bytes,
         })
     }
@@ -436,7 +448,7 @@ impl Store {
     }
 }
 
-fn load_chunk_job(job: (usize, PathBuf, ChunkMeta)) -> Result<(usize, Vec<f64>), StoreError> {
+fn load_chunk_job(job: (usize, PathBuf, ChunkMeta)) -> Result<(usize, ColumnChunk), StoreError> {
     let (col_idx, path, meta) = job;
     let mut bytes = Vec::new();
     File::open(&path)
@@ -461,7 +473,15 @@ fn load_chunk_job(job: (usize, PathBuf, ChunkMeta)) -> Result<(usize, Vec<f64>),
             meta.crc
         )));
     }
-    Ok((col_idx, values))
+    // v1 manifests carry no stats; the chunk stays unprunable rather
+    // than paying a rescan here.
+    Ok((
+        col_idx,
+        ColumnChunk {
+            values: Arc::from(values),
+            stats: meta.stats,
+        },
+    ))
 }
 
 fn write_fsynced(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
@@ -529,7 +549,12 @@ mod tests {
         assert_eq!(loaded.rows, 5);
         assert_eq!(loaded.resident_bytes, 5 * 8 * 2);
         assert_eq!(loaded.columns[0].0, "age");
-        assert_eq!(*loaded.columns[0].1, vec![41.0, 17.0, 29.0, 55.0, 30.0]);
+        assert_eq!(
+            loaded.columns[0].1.to_vec(),
+            vec![41.0, 17.0, 29.0, 55.0, 30.0]
+        );
+        let stats = loaded.columns[0].1.total_stats().unwrap();
+        assert_eq!((stats.min, stats.max), (17.0, 55.0));
         let _ = fs::remove_dir_all(&root);
     }
 
@@ -548,7 +573,8 @@ mod tests {
 
         let pool = ThreadPool::new(4);
         let loaded = store.load("big", Some(&pool)).unwrap();
-        assert_eq!(*loaded.columns[0].1, values);
+        assert_eq!(loaded.columns[0].1.to_vec(), values);
+        assert_eq!(loaded.columns[0].1.num_chunks(), 16);
         let _ = fs::remove_dir_all(&root);
     }
 
